@@ -1,0 +1,15 @@
+"""Benchmark regenerating the A*-vs-fast-algorithms comparison (ASTAR)."""
+
+from conftest import run_experiment
+
+from repro.experiments import astar_comparison
+
+
+def test_astar(benchmark):
+    """Quality and CPU of A*-off/A*-on next to T1-on/TB-off/C-off."""
+    table = run_experiment(benchmark, astar_comparison, "ASTAR")
+    aggregated = table.aggregate(["policy"], ["distance", "cpu"])
+    rows = {r["policy"]: r for r in aggregated.rows}
+    # Paper shape: greedy quality within a whisker of A*, far cheaper.
+    assert rows["T1-on"]["distance"] <= rows["A*-off"]["distance"] + 0.1
+    assert rows["T1-on"]["cpu"] <= rows["A*-off"]["cpu"]

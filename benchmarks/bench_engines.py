@@ -1,0 +1,41 @@
+"""Micro-benchmarks of the three TPO construction engines.
+
+Not a paper artifact per se, but the cost model behind Figure 1(b): how
+expensive is materializing ``T_K`` itself under each engine on the
+standard Figure-1 workload.
+"""
+
+import pytest
+
+from repro.tpo import ExactBuilder, GridBuilder, MonteCarloBuilder
+from repro.workloads import uniform_intervals
+
+N, K, WIDTH, SEED = 12, 6, 0.2, 11
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """The Figure-1-style uniform-interval workload (fixed seed)."""
+    return uniform_intervals(N, width=WIDTH, rng=SEED)
+
+
+def test_grid_engine(benchmark, workload):
+    """Grid engine (the default)."""
+    tree = benchmark(lambda: GridBuilder(resolution=800).build(workload, K))
+    assert tree.is_complete
+
+
+def test_exact_engine(benchmark, workload):
+    """Exact piecewise-polynomial engine (the test oracle)."""
+    tree = benchmark.pedantic(
+        lambda: ExactBuilder().build(workload, K), iterations=1, rounds=2
+    )
+    assert tree.is_complete
+
+
+def test_mc_engine(benchmark, workload):
+    """Monte Carlo engine at 50k samples."""
+    tree = benchmark(
+        lambda: MonteCarloBuilder(samples=50000, seed=SEED).build(workload, K)
+    )
+    assert tree.is_complete

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 1(a): distance to ω_r vs budget."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig1a
+
+
+def test_fig1a(benchmark):
+    """Distance-vs-budget grid for T1-on/TB-off/C-off/incr/naive/random."""
+    table = run_experiment(benchmark, fig1a, "FIG1A")
+    aggregated = table.aggregate(["policy", "budget"], ["distance"])
+    by_cell = {
+        (r["policy"], r["budget"]): r["distance"] for r in aggregated.rows
+    }
+    budgets = sorted({r["budget"] for r in aggregated.rows})
+    top_budget = budgets[-1]
+    # Paper shape: every proposed algorithm beats Random at the top budget,
+    # and budget monotonically improves T1-on.
+    for proposed in ("T1-on", "TB-off", "C-off"):
+        assert by_cell[(proposed, top_budget)] <= by_cell[("random", top_budget)] + 1e-9
+    assert by_cell[("T1-on", top_budget)] <= by_cell[("T1-on", budgets[0])] + 1e-9

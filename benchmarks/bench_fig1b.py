@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 1(b): CPU seconds vs budget."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig1b
+
+
+def test_fig1b(benchmark):
+    """CPU-vs-budget grid for the four fast algorithms."""
+    table = run_experiment(benchmark, fig1b, "FIG1B")
+    aggregated = table.aggregate(["policy"], ["cpu"])
+    cpu = {r["policy"]: r["cpu"] for r in aggregated.rows}
+    # Paper shape: C-off is the costliest of the four; incr the cheapest.
+    assert cpu["C-off"] >= cpu["TB-off"]
+    assert cpu["incr"] <= cpu["C-off"]

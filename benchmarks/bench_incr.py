@@ -1,0 +1,16 @@
+"""Benchmark regenerating the incr round-size ablation (INCR)."""
+
+from conftest import run_experiment
+
+from repro.experiments import incr_ablation
+
+
+def test_incr(benchmark):
+    """Distance/CPU of incr across round sizes vs full-tree T1-on."""
+    table = run_experiment(benchmark, incr_ablation, "INCR")
+    aggregated = table.aggregate(["arm"], ["distance", "cpu"])
+    rows = {r["arm"]: r for r in aggregated.rows}
+    reference = rows["T1-on (full tree)"]
+    incr_rows = [r for arm, r in rows.items() if arm.startswith("incr")]
+    # Paper shape: incr's CPU is below the full-tree algorithm for every n.
+    assert all(r["cpu"] <= reference["cpu"] + 1e-9 for r in incr_rows)

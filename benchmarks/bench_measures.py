@@ -1,0 +1,15 @@
+"""Benchmark regenerating the uncertainty-measure comparison (MEAS)."""
+
+from conftest import run_experiment
+
+from repro.experiments import measures
+
+
+def test_measures(benchmark):
+    """Final distance when T1-on is driven by U_H / U_Hw / U_ORA / U_MPO."""
+    table = run_experiment(benchmark, measures, "MEAS")
+    aggregated = table.aggregate(["measure"], ["distance"])
+    values = {r["measure"]: r["distance"] for r in aggregated.rows}
+    # Paper claim: at least one structural measure does not lose to U_H.
+    structural_best = min(values["Hw"], values["ORA"], values["MPO"])
+    assert structural_best <= values["H"] + 0.05

@@ -1,0 +1,16 @@
+"""Benchmark regenerating the noisy-worker experiment (NOISE)."""
+
+from conftest import run_experiment
+
+from repro.experiments import noisy
+
+
+def test_noise(benchmark):
+    """Distance vs budget for worker accuracies 1.0/0.9/0.8/0.7 (+voting)."""
+    table = run_experiment(benchmark, noisy, "NOISE")
+    aggregated = table.aggregate(["arm", "budget"], ["distance"])
+    budgets = sorted({r["budget"] for r in aggregated.rows})
+    cells = {(r["arm"], r["budget"]): r["distance"] for r in aggregated.rows}
+    # Paper shape: even noisy answers reduce distance versus budget 0.
+    for arm in ("p=1", "p=0.9", "p=0.8"):
+        assert cells[(arm, budgets[-1])] <= cells[(arm, budgets[0])] + 1e-9

@@ -1,0 +1,13 @@
+"""Benchmark regenerating the N/K scalability sweep (SCALE)."""
+
+from conftest import run_experiment
+
+from repro.experiments import scalability
+
+
+def test_scalability(benchmark):
+    """Build + session CPU per engine as N and K grow."""
+    table = run_experiment(benchmark, scalability, "SCALE")
+    aggregated = table.aggregate(["sweep", "engine", "n", "k"], ["build_cpu"])
+    # Sanity: every sweep point produced a measurement.
+    assert len(aggregated.rows) > 0

@@ -1,0 +1,18 @@
+"""Benchmark for the transitive-inference ablation (TRANS, extension)."""
+
+from conftest import run_experiment
+
+from repro.experiments import transitive_ablation
+
+
+def test_transitive(benchmark):
+    """Distance at equal paid budget, closure on vs off, + free answers."""
+    table = run_experiment(benchmark, transitive_ablation, "TRANS")
+    aggregated = table.aggregate(["arm", "budget"], ["distance"])
+    budgets = sorted({r["budget"] for r in aggregated.rows})
+    cells = {(r["arm"], r["budget"]): r["distance"] for r in aggregated.rows}
+    # The closure never hurts at equal paid budget (it only adds answers).
+    for policy in ("T1-on", "naive"):
+        assert cells[(f"{policy}+closure", budgets[-1])] <= (
+            cells[(policy, budgets[-1])] + 0.02
+        )

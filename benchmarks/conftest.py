@@ -1,0 +1,25 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper artifact (DESIGN.md §5): it runs the
+experiment's ``fast`` grid under ``pytest-benchmark`` timing and prints the
+paper-shaped series/rows (visible with ``pytest -s`` or in the captured
+output block); raw records are also written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_experiment(benchmark, module, experiment_id: str, fast: bool = True):
+    """Benchmark an experiment module and persist + print its report."""
+    table = benchmark.pedantic(
+        module.run, kwargs={"fast": fast}, iterations=1, rounds=1
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    table.to_csv(RESULTS_DIR / f"{experiment_id.lower()}.csv")
+    print()
+    print(module.report(table))
+    return table

@@ -1,0 +1,48 @@
+"""Photo contest: picking the top-3 photos from sparse, noisy user votes.
+
+"The imprecision of human contributions" is the paper's second motivating
+data source.  Each photo has only a few 1–5 star votes, so its quality is a
+histogram distribution and the top-3 is ambiguous.  We compare all the
+paper's fast selection policies on the *same* contest and the same crowd
+noise, reproducing the Figure-1(a) story on a single realistic instance.
+
+Run:  python examples/photo_contest.py
+"""
+
+import numpy as np
+
+from repro import GroundTruth, SimulatedCrowd, UncertaintyReductionSession, make_policy
+from repro.db import AttributeScore
+from repro.workloads import photo_contest
+
+rng = np.random.default_rng(2016)
+
+table = photo_contest(n_photos=12, votes_per_photo=6, rng=rng)
+scores = table.score_distributions(scoring=AttributeScore("rating"))
+truth = GroundTruth([row.attributes["true_quality"] for row in table])
+print("true podium:", [table[i].key for i in truth.top_k(3)])
+print()
+
+BUDGET = 8
+print(f"{'policy':>8s}  {'asked':>5s}  {'orderings':>18s}  {'distance':>18s}  {'cpu':>7s}")
+for name in ["T1-on", "TB-off", "C-off", "incr", "naive", "random"]:
+    crowd = SimulatedCrowd(
+        truth, worker_accuracy=0.85, replication=3,
+        rng=np.random.default_rng(99),
+    )
+    session = UncertaintyReductionSession(
+        scores, k=3, crowd=crowd, rng=np.random.default_rng(1)
+    )
+    kwargs = {"round_size": 4} if name == "incr" else {}
+    result = session.run(make_policy(name, **kwargs), BUDGET)
+    orderings = f"{result.orderings_initial} -> {result.orderings_final}"
+    distance = f"{result.initial_distance:.4f} -> {result.distance_to_truth:.4f}"
+    if result.policy == "incr":
+        orderings = f"(lazy) -> {result.orderings_final}"
+        distance = f"(lazy) -> {result.distance_to_truth:.4f}"
+    print(
+        f"{name:>8s}  {result.questions_asked:>5d}  {orderings:>18s}  "
+        f"{distance:>18s}  {result.cpu_seconds:>6.3f}s"
+    )
+
+print("\n(3 workers vote on every question; their majority is ~94% reliable)")

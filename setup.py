@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments whose setuptools lacks the ``wheel`` package required
+by PEP-517 editable builds (legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

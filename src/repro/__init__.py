@@ -1,0 +1,155 @@
+"""repro — Crowdsourcing for Top-K Query Processing over Uncertain Data.
+
+A full reproduction of Ciceri, Fraternali, Martinenghi & Tagliasacchi
+(ICDE 2016 / TKDE 28(1), 2016): top-K query processing over tuples with
+uncertain scores, where a budget of pairwise crowd questions is spent to
+shrink the space of possible orderings.
+
+Quick start::
+
+    import numpy as np
+    from repro import (Uniform, GroundTruth, SimulatedCrowd,
+                       UncertaintyReductionSession, make_policy)
+
+    rng = np.random.default_rng(0)
+    scores = [Uniform(c, c + 0.3) for c in rng.random(12)]
+    truth = GroundTruth.sample(scores, rng)
+    crowd = SimulatedCrowd(truth, worker_accuracy=0.9, rng=rng)
+    session = UncertaintyReductionSession(scores, k=5, crowd=crowd, rng=rng)
+    result = session.run(make_policy("T1-on"), budget=10)
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced figure and table.
+"""
+
+from repro.core import (
+    AStarOfflinePolicy,
+    AStarOnlinePolicy,
+    ConditionalPolicy,
+    ExhaustivePolicy,
+    IncrementalAlgorithm,
+    NaivePolicy,
+    POLICIES,
+    RandomPolicy,
+    SessionResult,
+    Top1OnlinePolicy,
+    TopBPolicy,
+    UncertaintyReductionSession,
+    make_policy,
+)
+from repro.crowd import (
+    GroundTruth,
+    NoisyWorker,
+    PerfectWorker,
+    SimulatedCrowd,
+)
+from repro.db import (
+    AttributeScore,
+    LinearScore,
+    UncertainTable,
+    crowdsourced_topk,
+    topk,
+)
+from repro.core.policies import ValueOfInformationStopper
+from repro.distributions import (
+    AffineDistribution,
+    Histogram,
+    Mixture,
+    PointMass,
+    ScoreDistribution,
+    Triangular,
+    TruncatedGaussian,
+    TruncatedPareto,
+    Uniform,
+)
+from repro.questions import Answer, Question, relevant_questions
+from repro.rank import expected_topk_distance, kendall_tau, topk_kendall
+from repro.tpo import (
+    ExactBuilder,
+    GridBuilder,
+    MonteCarloBuilder,
+    OrderingSpace,
+    TPOTree,
+    expected_ranks,
+    make_builder,
+    profile_space,
+    pt_k,
+    u_kranks,
+    u_topk,
+)
+from repro.uncertainty import (
+    EntropyMeasure,
+    MPOUncertainty,
+    ORAUncertainty,
+    WeightedEntropyMeasure,
+    get_measure,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # distributions
+    "ScoreDistribution",
+    "Uniform",
+    "Triangular",
+    "TruncatedGaussian",
+    "TruncatedPareto",
+    "Histogram",
+    "PointMass",
+    "AffineDistribution",
+    "Mixture",
+    # tpo
+    "TPOTree",
+    "OrderingSpace",
+    "GridBuilder",
+    "ExactBuilder",
+    "MonteCarloBuilder",
+    "make_builder",
+    "u_topk",
+    "u_kranks",
+    "pt_k",
+    "expected_ranks",
+    "profile_space",
+    # uncertainty
+    "EntropyMeasure",
+    "WeightedEntropyMeasure",
+    "ORAUncertainty",
+    "MPOUncertainty",
+    "get_measure",
+    # questions
+    "Question",
+    "Answer",
+    "relevant_questions",
+    # rank
+    "kendall_tau",
+    "topk_kendall",
+    "expected_topk_distance",
+    # crowd
+    "GroundTruth",
+    "PerfectWorker",
+    "NoisyWorker",
+    "SimulatedCrowd",
+    # core
+    "UncertaintyReductionSession",
+    "SessionResult",
+    "make_policy",
+    "POLICIES",
+    "RandomPolicy",
+    "NaivePolicy",
+    "TopBPolicy",
+    "ConditionalPolicy",
+    "AStarOfflinePolicy",
+    "AStarOnlinePolicy",
+    "Top1OnlinePolicy",
+    "ExhaustivePolicy",
+    "ValueOfInformationStopper",
+    "IncrementalAlgorithm",
+    # db
+    "UncertainTable",
+    "AttributeScore",
+    "LinearScore",
+    "topk",
+    "crowdsourced_topk",
+]

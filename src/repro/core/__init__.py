@@ -1,0 +1,67 @@
+"""The paper's primary contribution (S6 in DESIGN.md).
+
+Question-selection policies for crowd-powered uncertainty reduction over
+top-K query results, plus the session engine that runs them against a
+budget and a (simulated) crowd.
+"""
+
+from repro.core.incremental import IncrementalAlgorithm
+from repro.core.policies import (
+    AStarOfflinePolicy,
+    AStarOnlinePolicy,
+    ConditionalPolicy,
+    ExhaustivePolicy,
+    NaivePolicy,
+    OfflinePolicy,
+    OnlinePolicy,
+    Policy,
+    RandomPolicy,
+    Top1OnlinePolicy,
+    TopBPolicy,
+    ValueOfInformationStopper,
+)
+from repro.core.session import SessionResult, UncertaintyReductionSession
+
+POLICIES = {
+    "random": RandomPolicy,
+    "naive": NaivePolicy,
+    "TB-off": TopBPolicy,
+    "C-off": ConditionalPolicy,
+    "A*-off": AStarOfflinePolicy,
+    "A*-on": AStarOnlinePolicy,
+    "T1-on": Top1OnlinePolicy,
+    "incr": IncrementalAlgorithm,
+    "exhaustive": ExhaustivePolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> Policy:
+    """Instantiate a policy by its paper name (see :data:`POLICIES`)."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {sorted(POLICIES)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "Policy",
+    "OfflinePolicy",
+    "OnlinePolicy",
+    "RandomPolicy",
+    "NaivePolicy",
+    "TopBPolicy",
+    "ConditionalPolicy",
+    "AStarOfflinePolicy",
+    "AStarOnlinePolicy",
+    "Top1OnlinePolicy",
+    "ExhaustivePolicy",
+    "ValueOfInformationStopper",
+    "IncrementalAlgorithm",
+    "UncertaintyReductionSession",
+    "SessionResult",
+    "POLICIES",
+    "make_policy",
+]

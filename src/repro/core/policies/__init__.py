@@ -1,0 +1,33 @@
+"""Question-selection policies (the paper's algorithm suite)."""
+
+from repro.core.policies.astar import AStarOfflinePolicy, AStarOnlinePolicy
+from repro.core.policies.base import (
+    POOL_ALL,
+    POOL_RELEVANT,
+    OfflinePolicy,
+    OnlinePolicy,
+    Policy,
+)
+from repro.core.policies.baselines import NaivePolicy, RandomPolicy
+from repro.core.policies.conditional import ConditionalPolicy
+from repro.core.policies.exhaustive import ExhaustivePolicy
+from repro.core.policies.stopping import ValueOfInformationStopper
+from repro.core.policies.top1 import Top1OnlinePolicy
+from repro.core.policies.topb import TopBPolicy
+
+__all__ = [
+    "Policy",
+    "OfflinePolicy",
+    "OnlinePolicy",
+    "POOL_ALL",
+    "POOL_RELEVANT",
+    "RandomPolicy",
+    "NaivePolicy",
+    "TopBPolicy",
+    "ConditionalPolicy",
+    "AStarOfflinePolicy",
+    "AStarOnlinePolicy",
+    "Top1OnlinePolicy",
+    "ExhaustivePolicy",
+    "ValueOfInformationStopper",
+]

@@ -1,0 +1,79 @@
+"""Policy interfaces for uncertainty-reduction question selection.
+
+The paper's two interaction modes with a crowdsourcing market (§III):
+
+* **offline** — the whole batch of B questions is chosen before any answer
+  arrives (tasks published once, evaluated as a whole);
+* **online** — each question may depend on all previous answers (the
+  employer inspects crowd work as it becomes available).
+
+The ``incr`` algorithm is a *hybrid*: it additionally controls TPO
+construction, so it implements a third interface that drives the whole
+loop (see :mod:`repro.core.incremental`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.questions.model import Question
+from repro.questions.residual import ResidualEvaluator
+from repro.tpo.space import OrderingSpace
+
+#: Candidate pools a policy may request from the session.
+POOL_ALL = "all"  # every pair of tuples in T_K (Random baseline)
+POOL_RELEVANT = "relevant"  # the paper's Q_K (overlapping pdfs)
+
+
+class Policy(abc.ABC):
+    """Common surface of all question-selection strategies."""
+
+    #: Identifier used in experiment configs and result tables.
+    name: str = "abstract"
+    #: Which candidate pool the session should hand to this policy.
+    pool: str = POOL_RELEVANT
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class OfflinePolicy(Policy):
+    """Selects the full question batch before any answer is known."""
+
+    @abc.abstractmethod
+    def select(
+        self,
+        space: OrderingSpace,
+        candidates: Sequence[Question],
+        budget: int,
+        evaluator: ResidualEvaluator,
+        rng: np.random.Generator,
+    ) -> List[Question]:
+        """Return at most ``budget`` questions from ``candidates``."""
+
+
+class OnlinePolicy(Policy):
+    """Selects one question at a time, seeing all previous answers."""
+
+    @abc.abstractmethod
+    def next_question(
+        self,
+        space: OrderingSpace,
+        candidates: Sequence[Question],
+        remaining_budget: int,
+        evaluator: ResidualEvaluator,
+        rng: np.random.Generator,
+    ) -> Optional[Question]:
+        """Return the next question, or None to terminate early."""
+
+
+__all__ = [
+    "Policy",
+    "OfflinePolicy",
+    "OnlinePolicy",
+    "POOL_ALL",
+    "POOL_RELEVANT",
+]

@@ -1,0 +1,59 @@
+"""The paper's two baseline question-selection strategies (§IV).
+
+* ``Random`` — B questions drawn uniformly among *all* tuple comparisons in
+  ``T_K``, including pairs whose order is already certain;
+* ``Naive`` — avoids obviously irrelevant questions by drawing uniformly
+  from the relevant set ``Q_K`` instead.
+
+Both ignore the expected-uncertainty-reduction objective entirely; every
+proposed algorithm must beat them for the paper's story to hold.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.policies.base import POOL_ALL, POOL_RELEVANT, OfflinePolicy
+from repro.questions.model import Question
+from repro.questions.residual import ResidualEvaluator
+from repro.tpo.space import OrderingSpace
+from repro.utils.rng import choice_without_replacement
+
+
+class RandomPolicy(OfflinePolicy):
+    """Uniformly random questions among all pairs of tuples in ``T_K``."""
+
+    name = "random"
+    pool = POOL_ALL
+
+    def select(
+        self,
+        space: OrderingSpace,
+        candidates: Sequence[Question],
+        budget: int,
+        evaluator: ResidualEvaluator,
+        rng: np.random.Generator,
+    ) -> List[Question]:
+        return choice_without_replacement(rng, candidates, budget)
+
+
+class NaivePolicy(OfflinePolicy):
+    """Uniformly random questions from the relevant set ``Q_K``."""
+
+    name = "naive"
+    pool = POOL_RELEVANT
+
+    def select(
+        self,
+        space: OrderingSpace,
+        candidates: Sequence[Question],
+        budget: int,
+        evaluator: ResidualEvaluator,
+        rng: np.random.Generator,
+    ) -> List[Question]:
+        return choice_without_replacement(rng, candidates, budget)
+
+
+__all__ = ["RandomPolicy", "NaivePolicy"]

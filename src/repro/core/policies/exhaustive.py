@@ -1,0 +1,70 @@
+"""Exhaustive offline selection — the brute-force reference optimum.
+
+Enumerates every B-subset of the candidate questions and returns the one
+with minimal expected residual uncertainty.  Exponential; guarded by a
+subset cap.  Not part of the paper's algorithm suite — it exists so the
+test suite can *prove* ``A*-off`` optimal (Theorem 3.2) and measure how
+close the greedy algorithms get on small instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.policies.base import OfflinePolicy
+from repro.questions.model import Question
+from repro.questions.residual import ResidualEvaluator
+from repro.tpo.space import OrderingSpace
+
+
+class ExhaustivePolicy(OfflinePolicy):
+    """Try every B-subset of candidates; pick the best.
+
+    Parameters
+    ----------
+    max_subsets:
+        Safety valve — raises :class:`ValueError` when the enumeration
+        would exceed this many subsets.
+    """
+
+    name = "exhaustive"
+
+    def __init__(self, max_subsets: int = 200000) -> None:
+        self.max_subsets = max_subsets
+        #: Residual value of the winning subset (diagnostics for tests).
+        self.last_best_residual: float = float("nan")
+
+    def select(
+        self,
+        space: OrderingSpace,
+        candidates: Sequence[Question],
+        budget: int,
+        evaluator: ResidualEvaluator,
+        rng: np.random.Generator,
+    ) -> List[Question]:
+        if budget <= 0 or not candidates:
+            return []
+        budget = min(budget, len(candidates))
+        count = math.comb(len(candidates), budget)
+        if count > self.max_subsets:
+            raise ValueError(
+                f"{count} subsets exceed the cap of {self.max_subsets}; "
+                "use A*-off instead"
+            )
+        codes = evaluator.codes_matrix(space, candidates)
+        best_subset, best_value = None, np.inf
+        for subset in itertools.combinations(range(len(candidates)), budget):
+            value = evaluator.set_residual_from_codes(
+                space, codes[:, list(subset)]
+            )
+            if value < best_value - 1e-15:
+                best_value, best_subset = value, subset
+        self.last_best_residual = float(best_value)
+        return [candidates[c] for c in best_subset]
+
+
+__all__ = ["ExhaustivePolicy"]

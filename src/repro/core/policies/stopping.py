@@ -1,0 +1,71 @@
+"""Value-of-information stopping for online policies.
+
+A fixed budget is the paper's model, but a practitioner usually wants to
+stop *earlier* once the next answer is no longer worth its cost.
+:class:`ValueOfInformationStopper` wraps any online policy and terminates
+the session when the best achievable expected uncertainty reduction drops
+below a threshold — the marginal value of one more crowd task.
+
+This composes rather than replaces the paper's algorithms: wrapping
+``T1-on`` yields "T1-on with economic stopping", whose savings the test
+suite quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.policies.base import OnlinePolicy
+from repro.questions.model import Question
+from repro.questions.residual import ResidualEvaluator
+from repro.tpo.space import OrderingSpace
+from repro.utils.validation import check_positive
+
+
+class ValueOfInformationStopper(OnlinePolicy):
+    """Terminate when no question's expected reduction clears a threshold.
+
+    Parameters
+    ----------
+    inner:
+        The online policy actually choosing questions.
+    min_reduction:
+        Minimum expected uncertainty reduction (in the driving measure's
+        units) a question must promise; anything below stops the session.
+    """
+
+    def __init__(self, inner: OnlinePolicy, min_reduction: float) -> None:
+        check_positive("min_reduction", min_reduction)
+        self.inner = inner
+        self.min_reduction = float(min_reduction)
+        self.name = f"{inner.name}+stop({min_reduction:g})"
+        self.pool = inner.pool
+        #: True when the last ``next_question`` call stopped for economy
+        #: (rather than exhausted budget/candidates).
+        self.stopped_economically = False
+
+    def next_question(
+        self,
+        space: OrderingSpace,
+        candidates: Sequence[Question],
+        remaining_budget: int,
+        evaluator: ResidualEvaluator,
+        rng: np.random.Generator,
+    ) -> Optional[Question]:
+        self.stopped_economically = False
+        question = self.inner.next_question(
+            space, candidates, remaining_budget, evaluator, rng
+        )
+        if question is None:
+            return None
+        current = evaluator.uncertainty(space)
+        residual = evaluator.single(space, question)
+        if current - residual < self.min_reduction:
+            self.stopped_economically = True
+            return None
+        return question
+
+
+__all__ = ["ValueOfInformationStopper"]

@@ -1,0 +1,41 @@
+"""``T1-on`` — the Top-1 online algorithm (§III-B).
+
+At every step, pick the single question minimizing the expected residual
+uncertainty of the *current* (already pruned) tree, ask it, prune with the
+received answer, repeat.  Terminates early when all uncertainty is removed
+with fewer than B questions — one of its practical advantages over the
+offline batch algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.policies.base import OnlinePolicy
+from repro.questions.model import Question
+from repro.questions.residual import ResidualEvaluator
+from repro.tpo.space import OrderingSpace
+
+
+class Top1OnlinePolicy(OnlinePolicy):
+    """Greedy one-step-lookahead online selection."""
+
+    name = "T1-on"
+
+    def next_question(
+        self,
+        space: OrderingSpace,
+        candidates: Sequence[Question],
+        remaining_budget: int,
+        evaluator: ResidualEvaluator,
+        rng: np.random.Generator,
+    ) -> Optional[Question]:
+        if remaining_budget <= 0 or not candidates or space.is_certain:
+            return None
+        residuals = evaluator.rank_singles(space, candidates)
+        return candidates[int(np.argmin(residuals))]
+
+
+__all__ = ["Top1OnlinePolicy"]

@@ -1,0 +1,42 @@
+"""``TB-off`` — the Top-B offline algorithm (§III-A).
+
+For every candidate ``q ∈ Q_K`` compute the single-question expected
+residual uncertainty ``R_q(T_K)``, then return the B questions with the
+largest expected uncertainty *reduction* (equivalently, the smallest
+residual).  Each question is scored in isolation, so the batch may contain
+redundant questions — the weakness ``C-off`` addresses at higher cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.policies.base import OfflinePolicy
+from repro.questions.model import Question
+from repro.questions.residual import ResidualEvaluator
+from repro.tpo.space import OrderingSpace
+
+
+class TopBPolicy(OfflinePolicy):
+    """Pick the B individually-best questions by expected residual."""
+
+    name = "TB-off"
+
+    def select(
+        self,
+        space: OrderingSpace,
+        candidates: Sequence[Question],
+        budget: int,
+        evaluator: ResidualEvaluator,
+        rng: np.random.Generator,
+    ) -> List[Question]:
+        if budget <= 0 or not candidates:
+            return []
+        residuals = evaluator.rank_singles(space, candidates)
+        order = np.argsort(residuals, kind="stable")[:budget]
+        return [candidates[int(index)] for index in order]
+
+
+__all__ = ["TopBPolicy"]

@@ -1,0 +1,312 @@
+"""The uncertainty-reduction session: policy × crowd × TPO orchestration.
+
+A session owns everything one top-K-with-crowd run needs — the uncertain
+scores, the TPO builder, the uncertainty measure, and the (simulated)
+crowd — and executes a question-selection policy against a budget, keeping
+the books the experiments need: questions asked, CPU time split into
+build/select/update, uncertainty before/after, and the paper's quality
+metric ``D(ω_r, T_K)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.incremental import IncrementalAlgorithm
+from repro.core.policies.base import (
+    POOL_ALL,
+    OfflinePolicy,
+    OnlinePolicy,
+    Policy,
+)
+from repro.crowd.simulator import SimulatedCrowd
+from repro.distributions.base import ScoreDistribution
+from repro.questions.candidates import all_pair_questions, relevant_questions
+from repro.questions.model import Answer, Question
+from repro.questions.residual import ResidualEvaluator
+from repro.questions.transitive import InferenceCache
+from repro.rank.kendall import DEFAULT_PENALTY, expected_topk_distance
+from repro.tpo.builders import GridBuilder, TPOBuilder
+from repro.tpo.space import OrderingSpace
+from repro.uncertainty.base import UncertaintyMeasure
+from repro.uncertainty.entropy import EntropyMeasure
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.timing import Stopwatch
+
+
+@dataclass
+class SessionResult:
+    """Outcome of one policy run (one repetition of one experiment cell)."""
+
+    policy: str
+    budget: int
+    questions_asked: int
+    answers: List[Answer]
+    final_space: OrderingSpace
+    initial_uncertainty: float
+    final_uncertainty: float
+    distance_to_truth: float
+    initial_distance: float
+    orderings_initial: int
+    orderings_final: int
+    timings: Dict[str, float] = field(default_factory=dict)
+    crowd_cost: float = 0.0
+    trajectory: Optional[List[float]] = None
+    #: Questions answered for free by transitive inference (0 unless the
+    #: session was built with ``use_transitive_inference=True``).
+    inferred_answers: int = 0
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Algorithm CPU time (build + select + update, no crowd latency)."""
+        return sum(self.timings.values())
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.policy:>10s}  B={self.budget:<3d} asked={self.questions_asked:<3d} "
+            f"D={self.distance_to_truth:.4f} (from {self.initial_distance:.4f})  "
+            f"U={self.final_uncertainty:.4f} (from {self.initial_uncertainty:.4f})  "
+            f"cpu={self.cpu_seconds:.3f}s"
+        )
+
+
+class UncertaintyReductionSession:
+    """Runs question-selection policies over one uncertain top-K query.
+
+    Parameters
+    ----------
+    distributions:
+        Uncertain scores of the N tuples.
+    k:
+        Top-K depth of the query.
+    crowd:
+        Answer source (normally a :class:`SimulatedCrowd`); its ground
+        truth also defines the quality metric.
+    builder:
+        TPO engine (default: grid).
+    measure:
+        Uncertainty measure driving all policies (default: ``U_H``).
+    track_trajectory:
+        When True, record ``D(ω_r, ·)`` after every answer.
+    use_transitive_inference:
+        When True (and the crowd is reliable), answers implied by the
+        transitive closure of previous answers — or by disjoint pdf
+        supports — are applied for free instead of being posted to the
+        crowd, stretching the budget (see
+        :mod:`repro.questions.transitive`).
+    """
+
+    def __init__(
+        self,
+        distributions: Sequence[ScoreDistribution],
+        k: int,
+        crowd: SimulatedCrowd,
+        builder: Optional[TPOBuilder] = None,
+        measure: Optional[UncertaintyMeasure] = None,
+        penalty: float = DEFAULT_PENALTY,
+        rng: SeedLike = None,
+        track_trajectory: bool = False,
+        use_transitive_inference: bool = False,
+    ) -> None:
+        self.distributions = list(distributions)
+        self.k = min(k, len(self.distributions))
+        self.crowd = crowd
+        self.builder = builder if builder is not None else GridBuilder()
+        self.measure = measure if measure is not None else EntropyMeasure()
+        self.evaluator = ResidualEvaluator(self.measure)
+        self.penalty = penalty
+        self.rng = ensure_rng(rng)
+        self.track_trajectory = track_trajectory
+        self.use_transitive_inference = use_transitive_inference
+        self.watch = Stopwatch()
+        self._inference: Optional[InferenceCache] = None
+
+    # ------------------------------------------------------------------
+
+    def _distance(self, space: OrderingSpace) -> float:
+        """The paper's ``D(ω_r, T_K)`` against the crowd's ground truth."""
+        reference = self.crowd.truth.top_k(self.k)
+        return expected_topk_distance(
+            space, reference, penalty=self.penalty, normalized=True
+        )
+
+    def _candidates(self, space: OrderingSpace, pool: str) -> List[Question]:
+        if pool == POOL_ALL:
+            return all_pair_questions(space)
+        return relevant_questions(space, self.distributions)
+
+    # ------------------------------------------------------------------
+
+    def run(self, policy: Policy, budget: int) -> SessionResult:
+        """Execute ``policy`` with ``budget`` questions; returns the books.
+
+        Every call starts from a freshly built TPO and the crowd's current
+        ground truth; timings and crowd statistics are reset.
+        """
+        if budget < 0:
+            raise ValueError(f"budget must be >= 0, got {budget}")
+        self.watch.reset()
+        self.crowd.stats.reset()
+        self._inference = None
+        if self.use_transitive_inference and self.crowd.is_reliable:
+            self._inference = InferenceCache(
+                len(self.distributions), self.distributions
+            )
+        if isinstance(policy, IncrementalAlgorithm):
+            return self._run_incremental(policy, budget)
+        with self.watch.span("build"):
+            tree = self.builder.build(self.distributions, self.k)
+            space = tree.to_space()
+        initial_uncertainty = self.evaluator.uncertainty(space)
+        initial_distance = self._distance(space)
+        orderings_initial = space.size
+        trajectory = [initial_distance] if self.track_trajectory else None
+        answers: List[Answer] = []
+        if isinstance(policy, OfflinePolicy):
+            space = self._run_offline(policy, space, budget, answers, trajectory)
+        elif isinstance(policy, OnlinePolicy):
+            space = self._run_online(policy, space, budget, answers, trajectory)
+        else:
+            raise TypeError(
+                f"{type(policy).__name__} is neither offline, online, nor incr"
+            )
+        return self._result(
+            policy,
+            budget,
+            answers,
+            space,
+            initial_uncertainty,
+            initial_distance,
+            orderings_initial,
+            trajectory,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _obtain_answer(self, question: Question) -> tuple:
+        """Answer a question, for free when transitively implied.
+
+        Returns ``(answer, was_inferred)``; inferred answers never reach
+        the crowd and do not consume budget.
+        """
+        if self._inference is not None:
+            inferred = self._inference.lookup(question)
+            if inferred is not None:
+                return inferred, True
+        answer = self.crowd.ask(question)
+        if self._inference is not None:
+            self._inference.record(answer)
+        return answer, False
+
+    def _run_offline(
+        self,
+        policy: OfflinePolicy,
+        space: OrderingSpace,
+        budget: int,
+        answers: List[Answer],
+        trajectory: Optional[List[float]],
+    ) -> OrderingSpace:
+        with self.watch.span("select"):
+            candidates = self._candidates(space, policy.pool)
+            batch = policy.select(
+                space, candidates, budget, self.evaluator, self.rng
+            )
+        for question in batch:
+            answer, inferred = self._obtain_answer(question)
+            if not inferred:
+                answers.append(answer)
+            with self.watch.span("update"):
+                space = self.evaluator.apply_answer(
+                    space, question, answer.holds, answer.accuracy
+                )
+            if trajectory is not None:
+                trajectory.append(self._distance(space))
+        return space
+
+    def _run_online(
+        self,
+        policy: OnlinePolicy,
+        space: OrderingSpace,
+        budget: int,
+        answers: List[Answer],
+        trajectory: Optional[List[float]],
+    ) -> OrderingSpace:
+        while len(answers) < budget:
+            with self.watch.span("select"):
+                candidates = self._candidates(space, policy.pool)
+                question = policy.next_question(
+                    space,
+                    candidates,
+                    budget - len(answers),
+                    self.evaluator,
+                    self.rng,
+                )
+            if question is None:
+                break  # early termination: uncertainty exhausted
+            answer, inferred = self._obtain_answer(question)
+            if not inferred:
+                answers.append(answer)
+            with self.watch.span("update"):
+                space = self.evaluator.apply_answer(
+                    space, question, answer.holds, answer.accuracy
+                )
+            if trajectory is not None:
+                trajectory.append(self._distance(space))
+        return space
+
+    def _run_incremental(
+        self, policy: IncrementalAlgorithm, budget: int
+    ) -> SessionResult:
+        space, answers = policy.run(self, budget)
+        # incr never materializes the unpruned T_K; initial metrics are
+        # reported as NaN rather than paying the full construction cost.
+        return self._result(
+            policy,
+            budget,
+            answers,
+            space,
+            initial_uncertainty=float("nan"),
+            initial_distance=float("nan"),
+            orderings_initial=-1,
+            trajectory=None,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _result(
+        self,
+        policy: Policy,
+        budget: int,
+        answers: List[Answer],
+        space: OrderingSpace,
+        initial_uncertainty: float,
+        initial_distance: float,
+        orderings_initial: int,
+        trajectory: Optional[List[float]],
+    ) -> SessionResult:
+        return SessionResult(
+            policy=policy.name,
+            budget=budget,
+            questions_asked=len(answers),
+            answers=answers,
+            final_space=space,
+            initial_uncertainty=initial_uncertainty,
+            final_uncertainty=self.evaluator.uncertainty(space),
+            distance_to_truth=self._distance(space),
+            initial_distance=initial_distance,
+            orderings_initial=orderings_initial,
+            orderings_final=space.size,
+            timings=dict(self.watch.totals),
+            crowd_cost=self.crowd.stats.total_cost,
+            trajectory=trajectory,
+            inferred_answers=(
+                self._inference.savings if self._inference is not None else 0
+            ),
+        )
+
+
+__all__ = ["UncertaintyReductionSession", "SessionResult"]

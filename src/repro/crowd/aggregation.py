@@ -1,0 +1,79 @@
+"""Answer aggregation across replicated crowd assignments.
+
+Crowdsourcing markets routinely assign the same task to several workers;
+aggregating the replies both raises effective accuracy and yields the
+reliability value the Bayesian TPO update needs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.utils.validation import check_fraction
+
+
+def majority_vote(votes: Sequence[bool]) -> Tuple[bool, float]:
+    """Unweighted majority; ties resolved toward ``True``.
+
+    Returns ``(verdict, support)`` where support is the fraction of votes
+    agreeing with the verdict.
+    """
+    if not votes:
+        raise ValueError("cannot aggregate an empty vote list")
+    positive = sum(1 for v in votes if v)
+    verdict = positive * 2 >= len(votes)
+    agreeing = positive if verdict else len(votes) - positive
+    return verdict, agreeing / len(votes)
+
+
+def weighted_vote(
+    votes: Sequence[bool], accuracies: Sequence[float]
+) -> Tuple[bool, float]:
+    """Log-odds (Bayesian) vote fusion for independent Bernoulli workers.
+
+    Each vote contributes ``±log(p/(1−p))``; the returned confidence is the
+    posterior probability of the verdict under a uniform prior — the
+    principled ``accuracy`` to feed the TPO reweighting.
+    """
+    if len(votes) != len(accuracies):
+        raise ValueError("need one accuracy per vote")
+    if not votes:
+        raise ValueError("cannot aggregate an empty vote list")
+    log_odds = 0.0
+    for vote, accuracy in zip(votes, accuracies):
+        check_fraction("accuracy", accuracy)
+        p = min(max(accuracy, 1e-9), 1.0 - 1e-9)
+        weight = math.log(p / (1.0 - p))
+        log_odds += weight if vote else -weight
+    verdict = log_odds >= 0.0
+    posterior = 1.0 / (1.0 + math.exp(-abs(log_odds)))
+    return verdict, posterior
+
+
+def majority_accuracy(worker_accuracy: float, replication: int) -> float:
+    """Probability that a ``replication``-way majority is correct.
+
+    Closed-form tail of the binomial; for even sizes a tie is broken
+    uniformly.  Used to report the effective reliability of a replicated
+    crowd configuration.
+    """
+    check_fraction("worker_accuracy", worker_accuracy)
+    if replication < 1:
+        raise ValueError("replication must be >= 1")
+    p = worker_accuracy
+    total = 0.0
+    for correct in range(replication + 1):
+        prob = (
+            math.comb(replication, correct)
+            * p**correct
+            * (1.0 - p) ** (replication - correct)
+        )
+        if 2 * correct > replication:
+            total += prob
+        elif 2 * correct == replication:
+            total += 0.5 * prob
+    return total
+
+
+__all__ = ["majority_vote", "weighted_vote", "majority_accuracy"]

@@ -1,0 +1,156 @@
+"""Worker-accuracy estimation from redundant answers (Dawid–Skene style).
+
+The paper assumes worker accuracies are *known* when reweighting the TPO
+(§III-C).  In a real marketplace they must be estimated; this module
+implements the classical EM approach of Dawid & Skene (1979) specialized to
+binary comparison tasks:
+
+* E-step — infer a posterior over each question's true answer from the
+  current accuracy estimates;
+* M-step — re-estimate each worker's accuracy as their posterior-expected
+  agreement rate.
+
+The output plugs straight into :class:`~repro.crowd.simulator.SimulatedCrowd`
+via ``assumed_accuracy``, closing the loop the paper leaves to future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.questions.model import Question
+from repro.utils.validation import check_fraction
+
+
+@dataclass
+class LabeledVote:
+    """One worker's reply to one question."""
+
+    question: Question
+    worker: str
+    holds: bool
+
+
+@dataclass
+class EstimationResult:
+    """Output of :func:`estimate_worker_accuracies`."""
+
+    #: MAP accuracy per worker name.
+    accuracies: Dict[str, float]
+    #: Posterior probability that each question's canonical claim holds.
+    posteriors: Dict[Question, float]
+    #: EM iterations actually performed.
+    iterations: int
+    #: Converged (change below tolerance) vs stopped at the cap.
+    converged: bool
+
+    def consensus(self) -> Dict[Question, bool]:
+        """MAP answer per question."""
+        return {q: p >= 0.5 for q, p in self.posteriors.items()}
+
+
+def estimate_worker_accuracies(
+    votes: Sequence[LabeledVote],
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+    prior_accuracy: float = 0.7,
+    prior_strength: float = 2.0,
+) -> EstimationResult:
+    """Joint EM estimation of worker accuracies and true answers.
+
+    Parameters
+    ----------
+    votes:
+        The full answer log (several workers per question).
+    prior_accuracy, prior_strength:
+        A Beta-like pseudo-count prior pulling accuracies toward
+        ``prior_accuracy``; keeps estimates identifiable when a worker
+        answered few questions and breaks the label-switching symmetry
+        (the all-workers-adversarial mirror solution).
+    """
+    if not votes:
+        raise ValueError("need at least one vote")
+    check_fraction("prior_accuracy", prior_accuracy)
+    workers = sorted({v.worker for v in votes})
+    questions = sorted({v.question for v in votes})
+    worker_index = {w: i for i, w in enumerate(workers)}
+    question_index = {q: i for i, q in enumerate(questions)}
+    # Vote tensor entries: (question, worker) → ±1; 0 = no vote.
+    matrix = np.zeros((len(questions), len(workers)), dtype=np.int8)
+    for vote in votes:
+        matrix[question_index[vote.question], worker_index[vote.worker]] = (
+            1 if vote.holds else -1
+        )
+    voted = matrix != 0
+    said_yes = matrix == 1
+    votes_per_question = voted.sum(axis=1)
+    # Dawid–Skene initialization: soft majority vote per question.  Starting
+    # from uniform accuracies leaves the symmetric likelihood free to settle
+    # in a worker-permuted local optimum; anchoring on the majority does not.
+    posteriors = np.where(
+        votes_per_question > 0,
+        said_yes.sum(axis=1) / np.maximum(votes_per_question, 1),
+        0.5,
+    ).astype(float)
+    accuracies = np.full(len(workers), prior_accuracy)
+    iterations = 0
+    converged = False
+    for iterations in range(1, max_iterations + 1):
+        previous = accuracies.copy()
+        # M-step: expected agreement per worker, with the pseudo-count prior.
+        # Pr(vote correct) = posterior if vote==+1 else (1 − posterior).
+        correctness = np.where(
+            said_yes, posteriors[:, None], 1.0 - posteriors[:, None]
+        )
+        agree = np.where(voted, correctness, 0.0).sum(axis=0)
+        answered = voted.sum(axis=0)
+        accuracies = (agree + prior_strength * prior_accuracy) / (
+            answered + prior_strength
+        )
+        # E-step: log-odds of "claim holds" per question.
+        safe = np.clip(accuracies, 1e-6, 1.0 - 1e-6)
+        weight = np.log(safe / (1.0 - safe))
+        log_odds = matrix @ weight
+        posteriors = 1.0 / (1.0 + np.exp(-log_odds))
+        if np.max(np.abs(accuracies - previous)) < tolerance:
+            converged = True
+            break
+    return EstimationResult(
+        accuracies={w: float(accuracies[worker_index[w]]) for w in workers},
+        posteriors={
+            q: float(posteriors[question_index[q]]) for q in questions
+        },
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+def simulate_vote_log(
+    truth,
+    questions: Sequence[Question],
+    worker_accuracies: Dict[str, float],
+    rng: np.random.Generator,
+) -> List[LabeledVote]:
+    """Generate a redundant vote log for estimation experiments.
+
+    Every worker answers every question with their own Bernoulli accuracy.
+    """
+    votes: List[LabeledVote] = []
+    for question in questions:
+        correct = truth.holds(question)
+        for worker, accuracy in worker_accuracies.items():
+            check_fraction(f"accuracy[{worker}]", accuracy)
+            holds = correct if rng.random() < accuracy else not correct
+            votes.append(LabeledVote(question, worker, holds))
+    return votes
+
+
+__all__ = [
+    "LabeledVote",
+    "EstimationResult",
+    "estimate_worker_accuracies",
+    "simulate_vote_log",
+]

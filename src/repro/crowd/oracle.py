@@ -1,0 +1,77 @@
+"""Ground truth for simulated crowdsourcing runs.
+
+The paper evaluates against the *real ordering* ``ω_r`` — one concrete
+realization of the uncertain scores.  :class:`GroundTruth` draws (or is
+given) that realization; workers consult it, and the final quality metric
+``D(ω_r, T_K)`` compares the surviving orderings against its top-K prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.distributions.base import ScoreDistribution
+from repro.questions.model import Question
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class GroundTruth:
+    """A fixed realization of all tuple scores.
+
+    Parameters
+    ----------
+    scores:
+        The realized score vector; ties are broken by tuple index
+        (deterministically), matching the paper's tie-breaking assumption.
+    """
+
+    def __init__(self, scores: Sequence[float]) -> None:
+        self.scores = np.asarray(scores, dtype=float)
+        if self.scores.ndim != 1 or self.scores.size == 0:
+            raise ValueError("scores must be a non-empty vector")
+        # argsort on (-score, index): descending score, ascending index.
+        order = np.lexsort((np.arange(self.scores.size), -self.scores))
+        self.ordering = order.astype(np.int32)
+        self._rank = np.empty_like(self.ordering)
+        self._rank[self.ordering] = np.arange(self.scores.size)
+
+    @classmethod
+    def sample(
+        cls,
+        distributions: Sequence[ScoreDistribution],
+        rng: SeedLike = None,
+    ) -> "GroundTruth":
+        """Draw the realization from the score model itself.
+
+        This is the self-consistent setting: the crowd "knows" a world that
+        the uncertain database deems possible.
+        """
+        generator = ensure_rng(rng)
+        scores = [float(np.atleast_1d(d.sample(generator, 1))[0]) for d in distributions]
+        return cls(scores)
+
+    @property
+    def n_tuples(self) -> int:
+        """Universe size."""
+        return self.scores.size
+
+    def rank_of(self, tuple_index: int) -> int:
+        """0-based true rank of a tuple (0 = best)."""
+        return int(self._rank[tuple_index])
+
+    def top_k(self, k: int) -> np.ndarray:
+        """The true top-``k`` prefix ranking ``ω_r`` (best first)."""
+        return self.ordering[:k].copy()
+
+    def holds(self, question: Question) -> bool:
+        """Whether the canonical claim ``t_i ≺ t_j`` is true in ``ω_r``."""
+        return self.rank_of(question.i) < self.rank_of(question.j)
+
+    def __repr__(self) -> str:
+        head = ", ".join(f"t{t}" for t in self.ordering[:5])
+        return f"GroundTruth(n={self.n_tuples}, top=[{head}, …])"
+
+
+__all__ = ["GroundTruth"]

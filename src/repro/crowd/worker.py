@@ -1,0 +1,101 @@
+"""Crowd worker models.
+
+A worker turns a (question, ground truth) pair into a possibly wrong
+boolean.  The paper's noise model is the standard Bernoulli one: a worker
+with accuracy ``p`` reports the true comparison with probability ``p`` and
+its negation otherwise, independently across questions.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Optional
+
+from repro.crowd.oracle import GroundTruth
+from repro.questions.model import Question
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_fraction
+
+_worker_ids = itertools.count(1)
+
+
+class Worker(abc.ABC):
+    """A (simulated) crowd worker."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name or f"worker-{next(_worker_ids)}"
+        #: Number of questions this worker has answered.
+        self.answered = 0
+
+    @property
+    @abc.abstractmethod
+    def accuracy(self) -> float:
+        """Probability that an answer matches the ground truth."""
+
+    @abc.abstractmethod
+    def _judge(self, question: Question, truth: GroundTruth) -> bool:
+        """Produce the (possibly erroneous) verdict on the canonical claim."""
+
+    def answer(self, question: Question, truth: GroundTruth) -> bool:
+        """Answer a question; increments the per-worker task counter."""
+        self.answered += 1
+        return self._judge(question, truth)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name}, accuracy={self.accuracy:g})"
+
+
+class PerfectWorker(Worker):
+    """An always-correct worker (accuracy 1): enables hard pruning."""
+
+    @property
+    def accuracy(self) -> float:
+        return 1.0
+
+    def _judge(self, question: Question, truth: GroundTruth) -> bool:
+        return truth.holds(question)
+
+
+class NoisyWorker(Worker):
+    """Bernoulli-noise worker: correct with probability ``accuracy``.
+
+    Errors are independent across questions and of the question content —
+    the model under which majority voting and the Bayesian TPO update are
+    exact.
+    """
+
+    def __init__(
+        self,
+        accuracy: float,
+        rng: SeedLike = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        check_fraction("accuracy", accuracy)
+        self._accuracy = float(accuracy)
+        self._rng = ensure_rng(rng)
+
+    @property
+    def accuracy(self) -> float:
+        return self._accuracy
+
+    def _judge(self, question: Question, truth: GroundTruth) -> bool:
+        correct = truth.holds(question)
+        if self._rng.random() < self._accuracy:
+            return correct
+        return not correct
+
+
+class AdversarialWorker(Worker):
+    """Always answers incorrectly (accuracy 0) — a robustness stressor."""
+
+    @property
+    def accuracy(self) -> float:
+        return 0.0
+
+    def _judge(self, question: Question, truth: GroundTruth) -> bool:
+        return not truth.holds(question)
+
+
+__all__ = ["Worker", "PerfectWorker", "NoisyWorker", "AdversarialWorker"]

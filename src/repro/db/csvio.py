@@ -1,0 +1,119 @@
+"""CSV import/export for uncertain tables.
+
+Uncertainty columns use a light convention so that realistic files (sensor
+dumps, review exports) load without custom code:
+
+* ``<attr>`` — certain value;
+* ``<attr>_lo`` / ``<attr>_hi`` — a uniform interval;
+* ``<attr>_mu`` / ``<attr>_sigma`` — a truncated Gaussian;
+* ``<attr>_samples`` — ``;``-separated observations fit as a histogram.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.db.table import UncertainTable
+from repro.distributions.gaussian import TruncatedGaussian
+from repro.distributions.histogram import Histogram
+from repro.distributions.uniform import Uniform
+
+PathLike = Union[str, Path]
+
+_LO, _HI, _MU, _SIGMA, _SAMPLES = "_lo", "_hi", "_mu", "_sigma", "_samples"
+
+
+def _parse_row(row: Dict[str, str]) -> Dict[str, object]:
+    """Turn one CSV row into tuple attributes, decoding uncertainty."""
+    attributes: Dict[str, object] = {}
+    consumed = set()
+    for column in row:
+        if column in consumed or column == "key":
+            continue
+        if column.endswith(_LO):
+            base = column[: -len(_LO)]
+            hi_column = base + _HI
+            if hi_column in row:
+                attributes[base] = Uniform(
+                    float(row[column]), float(row[hi_column])
+                )
+                consumed.update({column, hi_column})
+                continue
+        if column.endswith(_MU):
+            base = column[: -len(_MU)]
+            sigma_column = base + _SIGMA
+            if sigma_column in row:
+                attributes[base] = TruncatedGaussian(
+                    float(row[column]), float(row[sigma_column])
+                )
+                consumed.update({column, sigma_column})
+                continue
+        if column.endswith(_SAMPLES):
+            base = column[: -len(_SAMPLES)]
+            samples = [float(v) for v in row[column].split(";") if v != ""]
+            attributes[base] = Histogram.from_samples(samples)
+            consumed.add(column)
+            continue
+        if column.endswith((_HI, _SIGMA)):
+            continue  # handled together with its partner column
+        value = row[column]
+        try:
+            attributes[column] = float(value)
+        except ValueError:
+            attributes[column] = value
+    return attributes
+
+
+def read_table(path: PathLike, name: str = None) -> UncertainTable:
+    """Load an uncertain table from CSV (requires a ``key`` column)."""
+    path = Path(path)
+    table = UncertainTable(name or path.stem)
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or "key" not in reader.fieldnames:
+            raise ValueError(f"{path} must have a 'key' column")
+        for row in reader:
+            table.insert(row["key"], **_parse_row(row))
+    return table
+
+
+def write_table(
+    table: UncertainTable, path: PathLike, attributes: List[str]
+) -> None:
+    """Export chosen attributes to CSV, encoding uncertainty columns.
+
+    Uniform attributes become ``_lo``/``_hi`` pairs, Gaussians
+    ``_mu``/``_sigma`` pairs, everything else its plain value (histograms
+    are exported by their mean — lossy, flagged in the header comment).
+    """
+    path = Path(path)
+    header: List[str] = ["key"]
+    for attribute in attributes:
+        sample = table[0].attributes.get(attribute)
+        if isinstance(sample, Uniform):
+            header.extend([attribute + _LO, attribute + _HI])
+        elif isinstance(sample, TruncatedGaussian):
+            header.extend([attribute + _MU, attribute + _SIGMA])
+        else:
+            header.append(attribute)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row in table:
+            record: List[object] = [row.key]
+            for attribute in attributes:
+                value = row.attributes.get(attribute)
+                if isinstance(value, Uniform):
+                    record.extend([value.lower, value.upper])
+                elif isinstance(value, TruncatedGaussian):
+                    record.extend([value.mu, value.sigma])
+                elif hasattr(value, "mean"):
+                    record.append(value.mean())
+                else:
+                    record.append(value)
+            writer.writerow(record)
+
+
+__all__ = ["read_table", "write_table"]

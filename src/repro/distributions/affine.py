@@ -1,0 +1,121 @@
+"""Affine transforms of score distributions.
+
+Scoring functions routinely rescale attribute values (``score = a·x + b``);
+:class:`AffineDistribution` implements the transformed law exactly for any
+base distribution, so the db layer's linear scoring functions stay within
+the analytic family.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.distributions.base import ArrayLike, ScoreDistribution
+from repro.distributions.piecewise import PiecewisePolynomial
+
+
+class AffineDistribution(ScoreDistribution):
+    """The law of ``a·X + b`` for ``X ~ base`` and ``a ≠ 0``."""
+
+    def __init__(self, base: ScoreDistribution, a: float, b: float = 0.0) -> None:
+        if a == 0:
+            raise ValueError("scale must be non-zero (use PointMass for constants)")
+        self.base = base
+        self.a = float(a)
+        self.b = float(b)
+
+    @property
+    def lower(self) -> float:
+        if self.a > 0:
+            return self.a * self.base.lower + self.b
+        return self.a * self.base.upper + self.b
+
+    @property
+    def upper(self) -> float:
+        if self.a > 0:
+            return self.a * self.base.upper + self.b
+        return self.a * self.base.lower + self.b
+
+    @property
+    def is_deterministic(self) -> bool:
+        return self.base.is_deterministic
+
+    def _inverse(self, y: ArrayLike) -> np.ndarray:
+        return (np.asarray(y, dtype=float) - self.b) / self.a
+
+    def pdf(self, x: ArrayLike) -> ArrayLike:
+        return np.asarray(self.base.pdf(self._inverse(x))) / abs(self.a)
+
+    def cdf(self, x: ArrayLike) -> ArrayLike:
+        inner = np.asarray(self.base.cdf(self._inverse(x)))
+        if self.a > 0:
+            return inner
+        return 1.0 - inner  # continuous base: Pr(X >= t) = 1 - F(t)
+
+    def quantile(self, p: ArrayLike) -> ArrayLike:
+        p = np.asarray(p, dtype=float)
+        if self.a > 0:
+            return self.a * np.asarray(self.base.quantile(p)) + self.b
+        return self.a * np.asarray(self.base.quantile(1.0 - p)) + self.b
+
+    def mean(self) -> float:
+        return self.a * self.base.mean() + self.b
+
+    def variance(self) -> float:
+        return self.a**2 * self.base.variance()
+
+    def sample(self, rng=None, size: Optional[int] = None) -> ArrayLike:
+        return self.a * np.asarray(self.base.sample(rng, size)) + self.b
+
+    def piecewise_pdf(self, resolution: Optional[int] = None) -> PiecewisePolynomial:
+        inner = self.base.piecewise_pdf(resolution)
+        # Map each piece through y = a·x + b; coefficients transform by the
+        # substitution u_y = (u_x)/|a| scaling per power.
+        xs = inner.breakpoints * self.a + self.b
+        coeffs = inner.coefficients
+        if self.a < 0:
+            xs = xs[::-1]
+            coeffs = coeffs[::-1]
+        new_coeffs = []
+        for piece_index, c in enumerate(coeffs):
+            powers = np.arange(len(c))
+            if self.a > 0:
+                # local u_y = a · u_x  ⇒  u_x^j = u_y^j / a^j
+                transformed = c / (self.a**powers) / abs(self.a)
+            else:
+                # Negative scale flips the piece: express the density in
+                # the flipped local coordinate via polynomial shift.
+                width_y = xs[piece_index + 1] - xs[piece_index]
+                # u_x = (width_y - u_y) / |a|
+                transformed = _flip_coefficients(c, width_y, abs(self.a))
+            new_coeffs.append(transformed)
+        return PiecewisePolynomial(xs, new_coeffs)
+
+    def __repr__(self) -> str:
+        return f"AffineDistribution({self.a:g}·{self.base!r} + {self.b:g})"
+
+
+def _flip_coefficients(c: np.ndarray, width_y: float, scale: float) -> np.ndarray:
+    """Coefficients of ``p((width_y − u)/scale) / scale`` in powers of ``u``."""
+    degree = len(c) - 1
+    result = np.zeros(degree + 1)
+    # p(v) = Σ c_j v^j with v = (width_y − u)/scale; expand binomially.
+    from math import comb
+
+    for j, cj in enumerate(c):
+        if cj == 0.0:
+            continue
+        for m in range(j + 1):
+            result[m] += (
+                cj
+                * comb(j, m)
+                * (width_y ** (j - m))
+                * ((-1.0) ** m)
+                / (scale**j)
+            )
+    return result / scale
+
+
+__all__ = ["AffineDistribution"]

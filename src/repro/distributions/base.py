@@ -1,0 +1,181 @@
+"""Abstract interface for uncertain tuple scores.
+
+The paper models the score of tuple ``t_i`` as a random variable with a pdf
+``f_i`` over a bounded interval.  :class:`ScoreDistribution` is the contract
+every concrete score model implements; everything downstream (TPO builders,
+question generation, crowd simulation) programs against it.
+
+Two representations coexist:
+
+* an *analytic* one (``pdf``/``cdf``/``quantile``), used by the grid and
+  Monte Carlo engines and by the crowd oracle, and
+* a *piecewise-polynomial* one (:meth:`piecewise_pdf`), used by the exact
+  engine.  For polynomial-family distributions the conversion is lossless;
+  smooth distributions (Gaussian, Pareto) are discretized into fine
+  histograms — precisely the discretization the TKDE paper applies.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.distributions.piecewise import PiecewisePolynomial
+from repro.utils.rng import SeedLike, ensure_rng
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class ScoreDistribution(abc.ABC):
+    """Probability distribution of one tuple's score.
+
+    Concrete subclasses must have bounded support ``[lower, upper]`` and a
+    well-defined density (point masses are modelled by
+    :class:`~repro.distributions.point.PointMass`, which overrides the
+    comparison logic instead of providing a density).
+    """
+
+    #: Number of histogram bins used when discretizing a non-polynomial pdf.
+    DEFAULT_RESOLUTION = 256
+
+    # -- support -------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def lower(self) -> float:
+        """Infimum of the support."""
+
+    @property
+    @abc.abstractmethod
+    def upper(self) -> float:
+        """Supremum of the support."""
+
+    @property
+    def support(self) -> Tuple[float, float]:
+        """``(lower, upper)`` as a tuple."""
+        return (self.lower, self.upper)
+
+    @property
+    def is_deterministic(self) -> bool:
+        """True when the score is a single point (no uncertainty)."""
+        return False
+
+    def width(self) -> float:
+        """Width of the support interval."""
+        return self.upper - self.lower
+
+    # -- density / distribution ----------------------------------------
+
+    @abc.abstractmethod
+    def pdf(self, x: ArrayLike) -> ArrayLike:
+        """Probability density at ``x`` (vectorized, 0 outside support)."""
+
+    @abc.abstractmethod
+    def cdf(self, x: ArrayLike) -> ArrayLike:
+        """``Pr(X <= x)`` (vectorized)."""
+
+    def sf(self, x: ArrayLike) -> ArrayLike:
+        """Survival function ``Pr(X > x)``."""
+        return 1.0 - np.asarray(self.cdf(x))
+
+    @abc.abstractmethod
+    def quantile(self, p: ArrayLike) -> ArrayLike:
+        """Inverse CDF; ``quantile(0)=lower`` and ``quantile(1)=upper``."""
+
+    # -- moments ---------------------------------------------------------
+
+    def mean(self) -> float:
+        """Expected score.  Default: integrate the piecewise pdf."""
+        pdf = self.piecewise_pdf()
+        identity = PiecewisePolynomial(
+            [pdf.lower, pdf.upper], [[pdf.lower, 1.0]]
+        )
+        return (pdf * identity).definite_integral()
+
+    def variance(self) -> float:
+        """Score variance.  Default: integrate the piecewise pdf."""
+        pdf = self.piecewise_pdf()
+        mu = self.mean()
+        centered = PiecewisePolynomial(
+            [pdf.lower, pdf.upper], [[(pdf.lower - mu) ** 2, 2.0 * (pdf.lower - mu), 1.0]]
+        )
+        return max(0.0, (pdf * centered).definite_integral())
+
+    def std(self) -> float:
+        """Score standard deviation."""
+        return float(np.sqrt(self.variance()))
+
+    # -- sampling --------------------------------------------------------
+
+    def sample(self, rng: SeedLike = None, size: Optional[int] = None) -> ArrayLike:
+        """Draw score realizations via inverse-transform sampling."""
+        generator = ensure_rng(rng)
+        u = generator.random(size)
+        return self.quantile(u)
+
+    # -- exact-engine view ------------------------------------------------
+
+    @abc.abstractmethod
+    def piecewise_pdf(self, resolution: Optional[int] = None) -> PiecewisePolynomial:
+        """Pdf as a piecewise polynomial (exact or discretized)."""
+
+    def piecewise_cdf(self, resolution: Optional[int] = None) -> PiecewisePolynomial:
+        """CDF as a piecewise polynomial on the support.
+
+        The returned function equals the CDF on ``[lower, upper]``; callers
+        combining CDFs of several tuples should
+        :meth:`~repro.distributions.piecewise.PiecewisePolynomial.extend_right_constant`
+        it to the common upper bound first.
+        """
+        return self.piecewise_pdf(resolution).antiderivative()
+
+    # -- pairwise comparisons ----------------------------------------------
+
+    def overlaps(self, other: "ScoreDistribution", tolerance: float = 0.0) -> bool:
+        """True when the supports overlap, i.e. the relative order of the two
+        scores is uncertain (this is the membership test for ``Q_K``)."""
+        return (
+            self.lower < other.upper - tolerance
+            and other.lower < self.upper - tolerance
+        )
+
+    def prob_greater(self, other: "ScoreDistribution") -> float:
+        """``Pr(X > Y)`` for independent scores ``X ~ self``, ``Y ~ other``.
+
+        Computed in closed form as ``∫ f_X(x) · F_Y(x) dx``; ties have
+        probability zero for continuous scores.  Subclasses with atoms
+        override this.
+        """
+        if self.lower >= other.upper:
+            return 1.0
+        if self.upper <= other.lower:
+            return 0.0
+        if other.is_deterministic:
+            return float(np.clip(self.sf(other.lower), 0.0, 1.0))
+        f_x = self.piecewise_pdf()
+        cdf_y = other.piecewise_cdf().extend_right_constant(
+            max(self.upper, other.upper)
+        )
+        return float(np.clip((f_x * cdf_y).definite_integral(), 0.0, 1.0))
+
+    # -- misc ----------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Summary dict used by serialization and reporting."""
+        return {
+            "type": type(self).__name__,
+            "lower": self.lower,
+            "upper": self.upper,
+            "mean": self.mean(),
+            "std": self.std(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(support=[{self.lower:.6g}, {self.upper:.6g}])"
+        )
+
+
+__all__ = ["ScoreDistribution", "ArrayLike"]

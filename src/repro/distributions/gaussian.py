@@ -1,0 +1,127 @@
+"""Truncated Gaussian score distribution.
+
+The paper reports that its algorithms "work also with non-uniform tuple
+score distributions"; the Gaussian is the canonical non-uniform case.  The
+analytic cdf/quantile use the error function; the exact TPO engine receives
+a fine histogram discretization (the same treatment the TKDE version applies
+to arbitrary pdfs).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+from scipy.special import erf, erfinv
+
+from repro.distributions.base import ArrayLike, ScoreDistribution
+from repro.distributions.histogram import Histogram
+from repro.distributions.piecewise import PiecewisePolynomial
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def _phi(z: np.ndarray) -> np.ndarray:
+    """Standard normal cdf."""
+    return 0.5 * (1.0 + erf(z / _SQRT2))
+
+
+class TruncatedGaussian(ScoreDistribution):
+    """Normal(mu, sigma²) truncated to ``[lower, upper]``.
+
+    Defaults truncate at ``mu ± 4 sigma``, which keeps >99.99 % of the mass
+    while preserving the bounded support the TPO machinery requires.
+    """
+
+    def __init__(
+        self,
+        mu: float,
+        sigma: float,
+        lower: Optional[float] = None,
+        upper: Optional[float] = None,
+    ) -> None:
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma!r}")
+        self._mu = float(mu)
+        self._sigma = float(sigma)
+        self._lower = float(mu - 4.0 * sigma) if lower is None else float(lower)
+        self._upper = float(mu + 4.0 * sigma) if upper is None else float(upper)
+        if self._upper <= self._lower:
+            raise ValueError("truncation interval must be non-degenerate")
+        alpha = (self._lower - self._mu) / self._sigma
+        beta = (self._upper - self._mu) / self._sigma
+        self._cdf_alpha = float(_phi(np.asarray(alpha)))
+        self._mass = float(_phi(np.asarray(beta))) - self._cdf_alpha
+        if self._mass <= 0:
+            raise ValueError(
+                "truncation interval carries no Gaussian mass; widen it"
+            )
+
+    @property
+    def mu(self) -> float:
+        """Mean of the untruncated Gaussian."""
+        return self._mu
+
+    @property
+    def sigma(self) -> float:
+        """Standard deviation of the untruncated Gaussian."""
+        return self._sigma
+
+    @property
+    def lower(self) -> float:
+        return self._lower
+
+    @property
+    def upper(self) -> float:
+        return self._upper
+
+    def pdf(self, x: ArrayLike) -> ArrayLike:
+        x = np.asarray(x, dtype=float)
+        z = (x - self._mu) / self._sigma
+        raw = np.exp(-0.5 * z * z) / (self._sigma * math.sqrt(2.0 * math.pi))
+        inside = (x >= self._lower) & (x <= self._upper)
+        return np.where(inside, raw / self._mass, 0.0)
+
+    def cdf(self, x: ArrayLike) -> ArrayLike:
+        x = np.asarray(x, dtype=float)
+        z = (np.clip(x, self._lower, self._upper) - self._mu) / self._sigma
+        value = (_phi(z) - self._cdf_alpha) / self._mass
+        value = np.where(x < self._lower, 0.0, value)
+        value = np.where(x >= self._upper, 1.0, value)
+        return np.clip(value, 0.0, 1.0)
+
+    def quantile(self, p: ArrayLike) -> ArrayLike:
+        p = np.asarray(p, dtype=float)
+        p = np.clip(p, 0.0, 1.0)
+        target = self._cdf_alpha + p * self._mass
+        target = np.clip(target, 1e-15, 1.0 - 1e-15)
+        z = _SQRT2 * erfinv(2.0 * target - 1.0)
+        return np.clip(self._mu + self._sigma * z, self._lower, self._upper)
+
+    def mean(self) -> float:
+        a = (self._lower - self._mu) / self._sigma
+        b = (self._upper - self._mu) / self._sigma
+        phi = lambda z: math.exp(-0.5 * z * z) / math.sqrt(2.0 * math.pi)
+        return self._mu + self._sigma * (phi(a) - phi(b)) / self._mass
+
+    def variance(self) -> float:
+        a = (self._lower - self._mu) / self._sigma
+        b = (self._upper - self._mu) / self._sigma
+        phi = lambda z: math.exp(-0.5 * z * z) / math.sqrt(2.0 * math.pi)
+        correction = (a * phi(a) - b * phi(b)) / self._mass
+        shift = (phi(a) - phi(b)) / self._mass
+        return self._sigma**2 * max(1.0 + correction - shift**2, 0.0)
+
+    def piecewise_pdf(self, resolution: Optional[int] = None) -> PiecewisePolynomial:
+        bins = resolution or self.DEFAULT_RESOLUTION
+        return Histogram.discretize(self, bins=bins).piecewise_pdf()
+
+    def __repr__(self) -> str:
+        return (
+            f"TruncatedGaussian(mu={self._mu:.6g}, sigma={self._sigma:.6g}, "
+            f"support=[{self._lower:.6g}, {self._upper:.6g}])"
+        )
+
+
+__all__ = ["TruncatedGaussian"]

@@ -1,0 +1,160 @@
+"""Histogram (piecewise-constant) score distributions.
+
+Histograms are the workhorse representation: any empirical or analytic score
+pdf can be discretized into one (the TKDE paper does exactly this), and they
+stay inside the piecewise-polynomial family, so the exact TPO engine handles
+them natively.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.distributions.base import ArrayLike, ScoreDistribution
+from repro.distributions.piecewise import PiecewisePolynomial
+
+
+class Histogram(ScoreDistribution):
+    """Piecewise-constant pdf over ``edges`` with bin ``masses``.
+
+    Parameters
+    ----------
+    edges:
+        Strictly increasing bin edges, length ``m + 1``.
+    masses:
+        Non-negative bin probabilities, length ``m``; normalized on input.
+    """
+
+    def __init__(self, edges: Sequence[float], masses: Sequence[float]) -> None:
+        edges_arr = np.asarray(edges, dtype=float)
+        masses_arr = np.asarray(masses, dtype=float)
+        if edges_arr.ndim != 1 or edges_arr.size < 2:
+            raise ValueError("edges must be 1-D with at least two entries")
+        if np.any(np.diff(edges_arr) <= 0):
+            raise ValueError("edges must be strictly increasing")
+        if masses_arr.size != edges_arr.size - 1:
+            raise ValueError("need one mass per bin")
+        if np.any(masses_arr < 0):
+            raise ValueError("bin masses must be non-negative")
+        total = masses_arr.sum()
+        if total <= 0:
+            raise ValueError("total mass must be positive")
+        self._edges = edges_arr
+        self._masses = masses_arr / total
+        self._densities = self._masses / np.diff(edges_arr)
+        self._cum = np.concatenate([[0.0], np.cumsum(self._masses)])
+        self._cum[-1] = 1.0
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[float], bins: int = 32
+    ) -> "Histogram":
+        """Fit a histogram to empirical score samples."""
+        samples_arr = np.asarray(samples, dtype=float)
+        if samples_arr.size == 0:
+            raise ValueError("need at least one sample")
+        lo, hi = float(samples_arr.min()), float(samples_arr.max())
+        if hi <= lo:
+            hi = lo + 1e-6
+        counts, edges = np.histogram(samples_arr, bins=bins, range=(lo, hi))
+        counts = counts.astype(float)
+        if counts.sum() == 0:
+            counts[:] = 1.0
+        return cls(edges, counts)
+
+    @classmethod
+    def discretize(
+        cls, dist: ScoreDistribution, bins: int = 64
+    ) -> "Histogram":
+        """Discretize an arbitrary distribution by matching bin masses."""
+        edges = np.linspace(dist.lower, dist.upper, bins + 1)
+        cdf_vals = np.asarray(dist.cdf(edges))
+        masses = np.clip(np.diff(cdf_vals), 0.0, None)
+        if masses.sum() <= 0:
+            raise ValueError("distribution has no mass on its support")
+        return cls(edges, masses)
+
+    @property
+    def edges(self) -> np.ndarray:
+        """Bin edges (read-only view)."""
+        return self._edges
+
+    @property
+    def masses(self) -> np.ndarray:
+        """Normalized bin masses."""
+        return self._masses
+
+    @property
+    def lower(self) -> float:
+        return float(self._edges[0])
+
+    @property
+    def upper(self) -> float:
+        return float(self._edges[-1])
+
+    def pdf(self, x: ArrayLike) -> ArrayLike:
+        x = np.asarray(x, dtype=float)
+        result = np.zeros_like(x)
+        inside = (x >= self._edges[0]) & (x <= self._edges[-1])
+        idx = np.searchsorted(self._edges, x[inside], side="right") - 1
+        idx = np.clip(idx, 0, len(self._densities) - 1)
+        result[inside] = self._densities[idx]
+        return result
+
+    def cdf(self, x: ArrayLike) -> ArrayLike:
+        x = np.asarray(x, dtype=float)
+        result = np.empty_like(x)
+        below = x < self._edges[0]
+        above = x >= self._edges[-1]
+        mid = ~below & ~above
+        result[below] = 0.0
+        result[above] = 1.0
+        if np.any(mid):
+            idx = np.searchsorted(self._edges, x[mid], side="right") - 1
+            idx = np.clip(idx, 0, len(self._densities) - 1)
+            result[mid] = self._cum[idx] + self._densities[idx] * (
+                x[mid] - self._edges[idx]
+            )
+        return np.clip(result, 0.0, 1.0)
+
+    def quantile(self, p: ArrayLike) -> ArrayLike:
+        p = np.asarray(p, dtype=float)
+        p = np.clip(p, 0.0, 1.0)
+        idx = np.searchsorted(self._cum, p, side="right") - 1
+        idx = np.clip(idx, 0, len(self._masses) - 1)
+        remainder = p - self._cum[idx]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            offset = np.where(
+                self._densities[idx] > 0,
+                remainder / self._densities[idx],
+                0.0,
+            )
+        return np.clip(
+            self._edges[idx] + offset, self._edges[0], self._edges[-1]
+        )
+
+    def mean(self) -> float:
+        centers = 0.5 * (self._edges[:-1] + self._edges[1:])
+        return float(np.dot(centers, self._masses))
+
+    def variance(self) -> float:
+        centers = 0.5 * (self._edges[:-1] + self._edges[1:])
+        widths = np.diff(self._edges)
+        mu = self.mean()
+        # Var = Σ mass_i · (within-bin variance + center offset²)
+        within = widths**2 / 12.0
+        return float(np.dot(self._masses, within + (centers - mu) ** 2))
+
+    def piecewise_pdf(self, resolution: Optional[int] = None) -> PiecewisePolynomial:
+        return PiecewisePolynomial.from_histogram(self._edges, self._densities)
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(bins={len(self._masses)}, "
+            f"support=[{self.lower:.6g}, {self.upper:.6g}])"
+        )
+
+
+__all__ = ["Histogram"]

@@ -1,0 +1,122 @@
+"""Finite mixtures of score distributions.
+
+Mixtures model multi-modal score evidence — e.g. reviews split between
+"great" and "terrible", or a sensor that is either calibrated or drifted.
+All operations reduce to convex combinations of the components', so the
+mixture stays exact whenever its components are.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.distributions.base import ArrayLike, ScoreDistribution
+from repro.distributions.piecewise import PiecewisePolynomial
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_probability_vector
+
+
+class Mixture(ScoreDistribution):
+    """``f = Σ w_c · f_c`` over component distributions.
+
+    Parameters
+    ----------
+    components:
+        The component distributions (at least one).
+    weights:
+        Mixing weights; normalized and validated on input.
+    """
+
+    def __init__(
+        self,
+        components: Sequence[ScoreDistribution],
+        weights: Sequence[float],
+    ) -> None:
+        if not components:
+            raise ValueError("a mixture needs at least one component")
+        self.components = list(components)
+        self.weights = check_probability_vector("weights", weights)
+        if len(self.components) != self.weights.size:
+            raise ValueError("need one weight per component")
+
+    @property
+    def lower(self) -> float:
+        return min(c.lower for c in self.components)
+
+    @property
+    def upper(self) -> float:
+        return max(c.upper for c in self.components)
+
+    def pdf(self, x: ArrayLike) -> ArrayLike:
+        x = np.asarray(x, dtype=float)
+        total = np.zeros_like(x)
+        for weight, component in zip(self.weights, self.components):
+            total += weight * np.asarray(component.pdf(x))
+        return total
+
+    def cdf(self, x: ArrayLike) -> ArrayLike:
+        x = np.asarray(x, dtype=float)
+        total = np.zeros_like(x)
+        for weight, component in zip(self.weights, self.components):
+            total += weight * np.asarray(component.cdf(x))
+        return np.clip(total, 0.0, 1.0)
+
+    def quantile(self, p: ArrayLike) -> ArrayLike:
+        """Inverse CDF by bisection (the mixture CDF has no closed inverse)."""
+        p = np.clip(np.asarray(p, dtype=float), 0.0, 1.0)
+        low = np.full_like(p, self.lower)
+        high = np.full_like(p, self.upper)
+        for _ in range(60):  # 2^-60 of the support: below float noise
+            mid = 0.5 * (low + high)
+            below = np.asarray(self.cdf(mid)) < p
+            low = np.where(below, mid, low)
+            high = np.where(below, high, mid)
+        return 0.5 * (low + high)
+
+    def mean(self) -> float:
+        return float(
+            np.dot(self.weights, [c.mean() for c in self.components])
+        )
+
+    def variance(self) -> float:
+        means = np.array([c.mean() for c in self.components])
+        variances = np.array([c.variance() for c in self.components])
+        mu = float(np.dot(self.weights, means))
+        second = np.dot(self.weights, variances + means**2)
+        return float(max(second - mu**2, 0.0))
+
+    def sample(self, rng=None, size: Optional[int] = None):
+        generator = ensure_rng(rng)
+        if size is None:
+            index = int(generator.choice(len(self.components), p=self.weights))
+            return self.components[index].sample(generator)
+        choices = generator.choice(
+            len(self.components), size=size, p=self.weights
+        )
+        out = np.empty(size, dtype=float)
+        for index in range(len(self.components)):
+            mask = choices == index
+            count = int(mask.sum())
+            if count:
+                out[mask] = np.atleast_1d(
+                    self.components[index].sample(generator, count)
+                )
+        return out
+
+    def piecewise_pdf(self, resolution: Optional[int] = None) -> PiecewisePolynomial:
+        total = None
+        for weight, component in zip(self.weights, self.components):
+            term = component.piecewise_pdf(resolution) * float(weight)
+            total = term if total is None else total + term
+        return total
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{w:.3g}·{c!r}" for w, c in zip(self.weights, self.components)
+        )
+        return f"Mixture({parts})"
+
+
+__all__ = ["Mixture"]

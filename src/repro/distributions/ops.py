@@ -1,0 +1,86 @@
+"""Pairwise operations over collections of score distributions.
+
+These helpers answer the two questions the question-selection machinery asks
+about a set of tuples: *which pairs have an uncertain relative order* (the
+candidate set ``Q_K`` of the paper) and *how likely is each order* (used by
+the crowd oracle and by Bayesian answer updates).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributions.base import ScoreDistribution
+
+
+def prob_greater_matrix(dists: Sequence[ScoreDistribution]) -> np.ndarray:
+    """Matrix ``P`` with ``P[i, j] = Pr(X_i > X_j)`` (diagonal = 0.5).
+
+    Only the upper triangle is computed; the lower follows from
+    ``P[j, i] = 1 − P[i, j]`` (continuous scores tie with probability 0).
+    """
+    n = len(dists)
+    matrix = np.full((n, n), 0.5)
+    for i in range(n):
+        for j in range(i + 1, n):
+            p = dists[i].prob_greater(dists[j])
+            matrix[i, j] = p
+            matrix[j, i] = 1.0 - p
+    return matrix
+
+
+def overlap_matrix(
+    dists: Sequence[ScoreDistribution], tolerance: float = 0.0
+) -> np.ndarray:
+    """Boolean matrix marking pairs whose supports overlap.
+
+    ``overlap[i, j]`` is True exactly when the relative order of tuples
+    ``i`` and ``j`` is uncertain, i.e. when asking the crowd about the pair
+    is potentially useful.
+    """
+    n = len(dists)
+    lowers = np.array([d.lower for d in dists])
+    uppers = np.array([d.upper for d in dists])
+    overlap = (lowers[:, None] < uppers[None, :] - tolerance) & (
+        lowers[None, :] < uppers[:, None] - tolerance
+    )
+    np.fill_diagonal(overlap, False)
+    return overlap
+
+
+def certain_order(
+    dists: Sequence[ScoreDistribution], tolerance: float = 0.0
+) -> np.ndarray:
+    """Matrix ``C`` with ``C[i, j]`` True when ``X_i > X_j`` surely holds."""
+    n = len(dists)
+    lowers = np.array([d.lower for d in dists])
+    uppers = np.array([d.upper for d in dists])
+    certain = lowers[:, None] >= uppers[None, :] - tolerance
+    np.fill_diagonal(certain, False)
+    return certain
+
+
+def joint_sample(
+    dists: Sequence[ScoreDistribution],
+    rng: np.random.Generator,
+    size: int = 1,
+) -> np.ndarray:
+    """Draw ``size`` independent joint score vectors, shape ``(size, n)``."""
+    columns = [np.atleast_1d(d.sample(rng, size)) for d in dists]
+    return np.column_stack(columns)
+
+
+def expected_scores(dists: Sequence[ScoreDistribution]) -> np.ndarray:
+    """Vector of expected scores (the deterministic ranking baseline)."""
+    return np.array([d.mean() for d in dists])
+
+
+__all__ = [
+    "prob_greater_matrix",
+    "overlap_matrix",
+    "certain_order",
+    "joint_sample",
+    "expected_scores",
+]

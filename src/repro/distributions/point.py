@@ -1,0 +1,105 @@
+"""Deterministic (certain) scores as degenerate distributions.
+
+Tuples whose score is known exactly still participate in top-K processing;
+modelling them as point masses lets one table mix certain and uncertain
+tuples without special cases in the TPO builders.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.distributions.base import ArrayLike, ScoreDistribution
+from repro.distributions.piecewise import PiecewisePolynomial
+
+
+class PointMass(ScoreDistribution):
+    """A score known with certainty: ``Pr(X = value) = 1``."""
+
+    #: Half-width of the box used when a polynomial view is required.
+    EPSILON = 1e-9
+
+    def __init__(self, value: float) -> None:
+        if not np.isfinite(value):
+            raise ValueError("point-mass value must be finite")
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """The deterministic score."""
+        return self._value
+
+    @property
+    def lower(self) -> float:
+        return self._value
+
+    @property
+    def upper(self) -> float:
+        return self._value
+
+    @property
+    def is_deterministic(self) -> bool:
+        return True
+
+    def pdf(self, x: ArrayLike) -> ArrayLike:
+        """Densities are not defined for atoms; returns 0 everywhere.
+
+        Use :meth:`cdf` / :meth:`prob_greater` for probability queries.
+        """
+        x = np.asarray(x, dtype=float)
+        return np.zeros_like(x)
+
+    def cdf(self, x: ArrayLike) -> ArrayLike:
+        x = np.asarray(x, dtype=float)
+        return np.where(x >= self._value, 1.0, 0.0)
+
+    def quantile(self, p: ArrayLike) -> ArrayLike:
+        p = np.asarray(p, dtype=float)
+        return np.full_like(p, self._value)
+
+    def mean(self) -> float:
+        return self._value
+
+    def variance(self) -> float:
+        return 0.0
+
+    def sample(self, rng=None, size: Optional[int] = None) -> ArrayLike:
+        if size is None:
+            return self._value
+        return np.full(size, self._value)
+
+    def piecewise_pdf(self, resolution: Optional[int] = None) -> PiecewisePolynomial:
+        """A narrow box of mass 1 around the value.
+
+        The exact engine only ever integrates this against continuous
+        factors, for which the box converges to the atom as ``EPSILON → 0``;
+        with the default width the approximation error is far below the
+        engine's probability tolerance.
+        """
+        half = self.EPSILON
+        return PiecewisePolynomial.constant(
+            1.0 / (2.0 * half), self._value - half, self._value + half
+        )
+
+    def overlaps(self, other: ScoreDistribution, tolerance: float = 0.0) -> bool:
+        if isinstance(other, PointMass):
+            return False  # two certain scores are always ordered (ties broken)
+        return other.lower < self._value < other.upper
+
+    def prob_greater(self, other: ScoreDistribution) -> float:
+        if isinstance(other, PointMass):
+            if self._value > other._value:
+                return 1.0
+            if self._value < other._value:
+                return 0.0
+            return 0.5  # tie broken uniformly
+        # Pr(value > Y) = F_Y(value^-); continuous Y has no atom at value.
+        return float(np.clip(other.cdf(self._value), 0.0, 1.0))
+
+    def __repr__(self) -> str:
+        return f"PointMass({self._value:.6g})"
+
+
+__all__ = ["PointMass"]

@@ -1,0 +1,120 @@
+"""Triangular score distribution (degree-1 piecewise polynomial).
+
+A cheap unimodal alternative to the Gaussian that stays *exactly* inside the
+piecewise-polynomial family — useful both as a workload option and as a test
+vehicle for the degree-1 paths of the exact engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.distributions.base import ArrayLike, ScoreDistribution
+from repro.distributions.piecewise import PiecewisePolynomial
+
+
+class Triangular(ScoreDistribution):
+    """Triangular pdf on ``[lower, upper]`` with the given ``mode``."""
+
+    def __init__(self, lower: float, mode: float, upper: float) -> None:
+        if not (lower <= mode <= upper) or upper <= lower:
+            raise ValueError(
+                f"need lower <= mode <= upper with lower < upper, got "
+                f"({lower!r}, {mode!r}, {upper!r})"
+            )
+        self._lower = float(lower)
+        self._mode = float(mode)
+        self._upper = float(upper)
+        self._peak = 2.0 / (self._upper - self._lower)
+
+    @property
+    def lower(self) -> float:
+        return self._lower
+
+    @property
+    def upper(self) -> float:
+        return self._upper
+
+    @property
+    def mode(self) -> float:
+        """Location of the pdf peak."""
+        return self._mode
+
+    def pdf(self, x: ArrayLike) -> ArrayLike:
+        x = np.asarray(x, dtype=float)
+        a, c, b = self._lower, self._mode, self._upper
+        result = np.zeros_like(x)
+        if c > a:
+            rising = (x >= a) & (x < c)
+            result[rising] = self._peak * (x[rising] - a) / (c - a)
+        if b > c:
+            falling = (x >= c) & (x <= b)
+            result[falling] = self._peak * (b - x[falling]) / (b - c)
+        else:
+            result[x == b] = self._peak
+        return result
+
+    def cdf(self, x: ArrayLike) -> ArrayLike:
+        x = np.asarray(x, dtype=float)
+        a, c, b = self._lower, self._mode, self._upper
+        result = np.zeros_like(x)
+        if c > a:
+            rising = (x >= a) & (x < c)
+            result[rising] = (x[rising] - a) ** 2 / ((b - a) * (c - a))
+        at_or_after_mode = x >= c
+        if b > c:
+            result[at_or_after_mode] = 1.0 - (
+                np.clip(b - x[at_or_after_mode], 0.0, None) ** 2
+                / ((b - a) * (b - c))
+            )
+        else:
+            result[at_or_after_mode] = 1.0
+        result[x >= b] = 1.0
+        return np.clip(result, 0.0, 1.0)
+
+    def quantile(self, p: ArrayLike) -> ArrayLike:
+        p = np.asarray(p, dtype=float)
+        p = np.clip(p, 0.0, 1.0)
+        a, c, b = self._lower, self._mode, self._upper
+        split = (c - a) / (b - a) if b > a else 0.0
+        low = a + np.sqrt(np.clip(p, 0, None) * (b - a) * max(c - a, 0.0))
+        high = b - np.sqrt(np.clip(1.0 - p, 0, None) * (b - a) * max(b - c, 0.0))
+        return np.where(p <= split, low, high)
+
+    def mean(self) -> float:
+        return (self._lower + self._mode + self._upper) / 3.0
+
+    def variance(self) -> float:
+        a, c, b = self._lower, self._mode, self._upper
+        return (a * a + b * b + c * c - a * b - a * c - b * c) / 18.0
+
+    def piecewise_pdf(self, resolution: Optional[int] = None) -> PiecewisePolynomial:
+        a, c, b = self._lower, self._mode, self._upper
+        # A mode within float noise of an endpoint is a pure ramp; building
+        # the two-piece form there would produce an overflow-width slope.
+        epsilon = 1e-12 * (b - a)
+        if c - a <= epsilon:
+            c = a
+        elif b - c <= epsilon:
+            c = b
+        if c == a:
+            # Pure falling ramp: f(x) = peak · (b − x)/(b − a)
+            slope = -self._peak / (b - a)
+            return PiecewisePolynomial([a, b], [[self._peak, slope]])
+        if c == b:
+            slope = self._peak / (b - a)
+            return PiecewisePolynomial([a, b], [[0.0, slope]])
+        rise = self._peak / (c - a)
+        fall = self._peak / (b - c)
+        return PiecewisePolynomial(
+            [a, c, b],
+            [[0.0, rise], [self._peak, -fall]],
+        )
+
+    def __repr__(self) -> str:
+        return f"Triangular({self._lower:.6g}, {self._mode:.6g}, {self._upper:.6g})"
+
+
+__all__ = ["Triangular"]

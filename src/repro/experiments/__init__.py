@@ -1,0 +1,54 @@
+"""Experiment harness and per-figure reproduction modules (S10).
+
+Each module maps to one experiment id of DESIGN.md §5 / EXPERIMENTS.md and
+exposes ``run(fast=True) -> ResultTable``, ``report(table) -> str`` and a
+printing ``main``.
+"""
+
+from repro.experiments import (
+    astar_comparison,
+    distributions_exp,
+    fig1a,
+    fig1b,
+    incr_ablation,
+    measures,
+    noisy,
+    scalability,
+    transitive_ablation,
+)
+from repro.experiments.harness import (
+    ExperimentConfig,
+    ResultTable,
+    format_series,
+    run_cell,
+)
+
+#: Experiment id → module, mirroring DESIGN.md §5.
+EXPERIMENTS = {
+    "FIG1A": fig1a,
+    "FIG1B": fig1b,
+    "MEAS": measures,
+    "ASTAR": astar_comparison,
+    "NOISE": noisy,
+    "DIST": distributions_exp,
+    "INCR": incr_ablation,
+    "SCALE": scalability,
+    "TRANS": transitive_ablation,
+}
+
+__all__ = [
+    "ExperimentConfig",
+    "ResultTable",
+    "format_series",
+    "run_cell",
+    "EXPERIMENTS",
+    "fig1a",
+    "fig1b",
+    "measures",
+    "astar_comparison",
+    "noisy",
+    "distributions_exp",
+    "incr_ablation",
+    "scalability",
+    "transitive_ablation",
+]

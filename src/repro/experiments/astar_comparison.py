@@ -1,0 +1,69 @@
+"""ASTAR — A*-based algorithms vs. the fast algorithms (§IV prose claim).
+
+The paper: ``T1-on`` and ``C-off`` are "nearly as good as with the A*-based
+algorithms, but at a fraction of the cost".  This experiment runs all five
+proposed algorithms on deliberately small instances (A* is exponential) and
+reports quality and CPU side by side.
+
+Expected shape: distances within a few percent of each other; A* CPU one or
+more orders of magnitude above ``T1-on``/``TB-off``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentConfig, ResultTable, run_cell
+
+POLICIES = {
+    "A*-off": {"max_expansions": 3000},
+    "A*-on": {"max_expansions": 1500},
+    "C-off": {},
+    "TB-off": {},
+    "T1-on": {},
+}
+
+FAST_CONFIG = ExperimentConfig(
+    n=9, k=4, workload_params={"width": 0.25}, repetitions=2
+)
+FAST_BUDGETS = [3]
+
+FULL_CONFIG = ExperimentConfig(
+    n=10, k=5, workload_params={"width": 0.25}, repetitions=3
+)
+FULL_BUDGETS = [2, 4, 6]
+
+
+def run(fast: bool = True) -> ResultTable:
+    """Run the five proposed algorithms on small instances."""
+    config = FAST_CONFIG if fast else FULL_CONFIG
+    budgets = FAST_BUDGETS if fast else FULL_BUDGETS
+    table = ResultTable()
+    for policy_name, params in POLICIES.items():
+        for budget in budgets:
+            for rep in range(config.repetitions):
+                result = run_cell(config, policy_name, budget, rep, params)
+                table.add_result(result, rep=rep)
+    return table
+
+
+def report(table: ResultTable) -> str:
+    """Quality + CPU per algorithm and budget."""
+    aggregated = table.aggregate(
+        ["policy", "budget"], ["distance", "uncertainty", "cpu"]
+    )
+    aggregated.rows.sort(key=lambda r: (r["budget"], r["distance"]))
+    return "ASTAR  quality vs cost of the A*-based algorithms\n" + (
+        aggregated.format(
+            ["policy", "budget", "distance", "uncertainty", "cpu", "reps"]
+        )
+    )
+
+
+def main(fast: bool = True) -> ResultTable:
+    """Run and print."""
+    table = run(fast)
+    print(report(table))
+    return table
+
+
+if __name__ == "__main__":
+    main(fast=False)

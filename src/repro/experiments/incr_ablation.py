@@ -1,0 +1,66 @@
+"""INCR — round-size ablation of the incremental algorithm (§III-D).
+
+``incr`` poses ``n`` questions per round between tree extensions;
+``n = 1`` approaches fully online behaviour (best information per
+question, most interaction rounds), ``n = B`` a single offline batch.
+This experiment sweeps ``n`` at a fixed budget and reports quality and
+CPU, plus the full-construction ``T1-on`` for reference.
+
+Expected shape: quality degrades mildly as ``n`` grows; CPU stays far
+below the full-tree algorithms for all ``n`` (the paper's "much lower CPU
+times … with slightly lower quality").
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentConfig, ResultTable, run_cell
+
+FAST_CONFIG = ExperimentConfig(
+    n=14, k=7, workload_params={"width": 0.2}, repetitions=2
+)
+FAST_BUDGET = 12
+FAST_ROUND_SIZES = [1, 4, 12]
+
+FULL_CONFIG = ExperimentConfig(
+    n=20, k=10, workload_params={"width": 0.15}, repetitions=4
+)
+FULL_BUDGET = 30
+FULL_ROUND_SIZES = [1, 2, 5, 10, 30]
+
+
+def run(fast: bool = True) -> ResultTable:
+    """Sweep the incr round size; include T1-on as the quality ceiling."""
+    config = FAST_CONFIG if fast else FULL_CONFIG
+    budget = FAST_BUDGET if fast else FULL_BUDGET
+    round_sizes = FAST_ROUND_SIZES if fast else FULL_ROUND_SIZES
+    table = ResultTable()
+    for n in round_sizes:
+        for rep in range(config.repetitions):
+            result = run_cell(
+                config, "incr", budget, rep, {"round_size": n}
+            )
+            table.add_result(result, rep=rep, arm=f"incr n={n}")
+    for rep in range(config.repetitions):
+        result = run_cell(config, "T1-on", budget, rep)
+        table.add_result(result, rep=rep, arm="T1-on (full tree)")
+    return table
+
+
+def report(table: ResultTable) -> str:
+    """Distance and CPU per arm at the fixed budget."""
+    aggregated = table.aggregate(["arm"], ["distance", "cpu", "asked"])
+    aggregated.rows.sort(key=lambda r: r["cpu"])
+    return "INCR  round-size ablation at fixed budget\n" + aggregated.format(
+        ["arm", "distance", "cpu", "asked", "reps"]
+    )
+
+
+def main(fast: bool = True) -> ResultTable:
+    """Run and print."""
+    table = run(fast)
+    print(report(table))
+    return table
+
+
+if __name__ == "__main__":
+    main(fast=False)

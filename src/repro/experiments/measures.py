@@ -1,0 +1,69 @@
+"""MEAS — uncertainty-measure comparison (§IV prose claim).
+
+The paper observes that measures aware of the tree's *structure*
+(``U_MPO``, ``U_Hw``, ``U_ORA``) outperform the state-of-the-art leaf
+entropy ``U_H`` when used as the objective driving question selection.
+This experiment runs ``T1-on`` with each measure as its objective and
+compares the final distance to the real ordering at equal budgets.
+
+Expected shape: ``Hw``/``ORA``/``MPO`` reach a lower distance than ``H``
+for small-to-medium budgets (they spend questions on the ranks that matter).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import (
+    ExperimentConfig,
+    ResultTable,
+    format_series,
+    run_cell,
+)
+
+MEASURES = ["H", "Hw", "ORA", "MPO"]
+
+FAST_CONFIG = ExperimentConfig(
+    n=12, k=6, workload_params={"width": 0.26}, repetitions=3
+)
+FAST_BUDGETS = [4, 8, 12]
+
+FULL_CONFIG = ExperimentConfig(
+    n=16, k=8, workload_params={"width": 0.18}, repetitions=4
+)
+FULL_BUDGETS = [5, 10, 15, 20]
+
+
+def run(fast: bool = True) -> ResultTable:
+    """Drive T1-on with each uncertainty measure."""
+    base = FAST_CONFIG if fast else FULL_CONFIG
+    budgets = FAST_BUDGETS if fast else FULL_BUDGETS
+    table = ResultTable()
+    for measure in MEASURES:
+        config = ExperimentConfig(
+            **{**base.__dict__, "measure": measure, "measure_params": {}}
+        )
+        for budget in budgets:
+            for rep in range(config.repetitions):
+                result = run_cell(config, "T1-on", budget, rep)
+                table.add_result(result, rep=rep, measure=measure)
+    return table
+
+
+def report(table: ResultTable) -> str:
+    """Mean final distance per (measure, budget)."""
+    aggregated = table.aggregate(["measure", "budget"], ["distance", "cpu"])
+    series = aggregated.pivot("measure", "budget", "distance")
+    return (
+        "MEAS  final D(omega_r, T_K) by driving measure (T1-on)\n"
+        + format_series(series)
+    )
+
+
+def main(fast: bool = True) -> ResultTable:
+    """Run and print."""
+    table = run(fast)
+    print(report(table))
+    return table
+
+
+if __name__ == "__main__":
+    main(fast=False)

@@ -1,0 +1,118 @@
+"""SCALE — engine and algorithm scalability in N and K.
+
+Complements Figure 1(b): how TPO construction and one ``T1-on`` selection
+step scale as the table grows (N) and the query deepens (K), per engine.
+
+Expected shape: grid-engine build time grows with the number of orderings
+(roughly exponential in K for fixed overlap, polynomial in N for fixed
+tree size); ``incr`` is insensitive to K until its rounds force deeper
+levels; the Monte Carlo engine's cost is dominated by the fixed sample
+budget.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.crowd.oracle import GroundTruth
+from repro.crowd.simulator import SimulatedCrowd
+from repro.core import make_policy
+from repro.core.session import UncertaintyReductionSession
+from repro.experiments.harness import ResultTable
+from repro.tpo.builders import make_builder
+from repro.utils.rng import derive_seed
+from repro.workloads.synthetic import uniform_intervals
+
+FAST_GRID = {
+    "n_sweep": [8, 12],
+    "k_sweep": [3, 5],
+    "engines": ["grid", "mc"],
+    "budget": 5,
+    "reps": 2,
+}
+FULL_GRID = {
+    "n_sweep": [10, 15, 20, 25],
+    "k_sweep": [4, 6, 8, 10],
+    "engines": ["grid", "exact", "mc"],
+    "budget": 10,
+    "reps": 3,
+}
+
+#: Width shrinks with N to keep tree sizes comparable across the sweep.
+def _width(n: int) -> float:
+    return min(0.25, 3.0 / n)
+
+
+def _run_point(
+    n: int, k: int, engine: str, budget: int, rep: int
+) -> dict:
+    """One (N, K, engine) measurement: build time + session CPU."""
+    dists = uniform_intervals(n, width=_width(n), rng=derive_seed(7, "w", n, k, rep))
+    truth = GroundTruth.sample(dists, rng=derive_seed(7, "t", n, k, rep))
+    engine_params = {"resolution": 600} if engine == "grid" else {}
+    if engine == "mc":
+        engine_params = {"samples": 20000, "seed": derive_seed(7, "mc", rep)}
+    builder = make_builder(engine, **engine_params)
+    start = time.process_time()
+    tree = builder.build(dists, k)
+    build_seconds = time.process_time() - start
+    crowd = SimulatedCrowd(truth, rng=derive_seed(7, "c", n, k, rep))
+    session = UncertaintyReductionSession(
+        dists, k, crowd, builder=builder, rng=derive_seed(7, "p", n, k, rep)
+    )
+    result = session.run(make_policy("T1-on"), budget)
+    return {
+        "n": n,
+        "k": k,
+        "engine": engine,
+        "build_cpu": build_seconds,
+        "session_cpu": result.cpu_seconds,
+        "orderings": tree.ordering_count(),
+        "distance": result.distance_to_truth,
+        "rep": rep,
+    }
+
+
+def run(fast: bool = True) -> ResultTable:
+    """Sweep N (at mid K) and K (at mid N) for every engine."""
+    grid = FAST_GRID if fast else FULL_GRID
+    table = ResultTable()
+    mid_k = grid["k_sweep"][len(grid["k_sweep"]) // 2]
+    mid_n = grid["n_sweep"][len(grid["n_sweep"]) // 2]
+    for engine in grid["engines"]:
+        for n in grid["n_sweep"]:
+            for rep in range(grid["reps"]):
+                table.add(
+                    sweep="N", **_run_point(n, mid_k, engine, grid["budget"], rep)
+                )
+        for k in grid["k_sweep"]:
+            for rep in range(grid["reps"]):
+                table.add(
+                    sweep="K", **_run_point(mid_n, k, engine, grid["budget"], rep)
+                )
+    return table
+
+
+def report(table: ResultTable) -> str:
+    """Build/session CPU per sweep point and engine."""
+    aggregated = table.aggregate(
+        ["sweep", "engine", "n", "k"],
+        ["build_cpu", "session_cpu", "orderings"],
+    )
+    aggregated.rows.sort(
+        key=lambda r: (r["sweep"], r["engine"], r["n"], r["k"])
+    )
+    return "SCALE  engine scalability in N and K\n" + aggregated.format(
+        ["sweep", "engine", "n", "k", "build_cpu", "session_cpu", "orderings"]
+    )
+
+
+def main(fast: bool = True) -> ResultTable:
+    """Run and print."""
+    table = run(fast)
+    print(report(table))
+    return table
+
+
+if __name__ == "__main__":
+    main(fast=False)

@@ -1,0 +1,88 @@
+"""Candidate question generation.
+
+The paper distinguishes three pools (§III–IV):
+
+* *all comparisons* among tuples appearing in ``T_K`` — what the ``Random``
+  baseline draws from;
+* the relevant set ``Q_K`` — comparisons of tuples **whose pdfs overlap**,
+  i.e. whose relative order is genuinely uncertain (the ``Naive`` baseline
+  and all proposed algorithms draw from this);
+* the *informative* subset — pairs on which the current ordering space
+  still disagrees, so an answer is guaranteed to prune something.  ``Q_K``
+  shrinks to this set as answers arrive (asking an already-settled pair
+  wastes budget), so the selection policies regenerate candidates from the
+  live space.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.distributions.base import ScoreDistribution
+from repro.questions.model import Question
+from repro.tpo.space import OrderingSpace
+
+
+def all_pair_questions(space: OrderingSpace) -> List[Question]:
+    """Every pairwise comparison among tuples present in the space."""
+    present = space.present_tuples()
+    return [
+        Question(int(present[a]), int(present[b]))
+        for a in range(len(present))
+        for b in range(a + 1, len(present))
+    ]
+
+
+def relevant_questions(
+    space: OrderingSpace,
+    distributions: Optional[Sequence[ScoreDistribution]] = None,
+) -> List[Question]:
+    """The paper's ``Q_K``: pairs with an uncertain relative order.
+
+    When ``distributions`` are given, uncertainty means overlapping score
+    pdfs (the paper's definition); otherwise it is inferred from the space
+    (both orders carry positive probability).  Pairs already settled by the
+    space — every ordering agrees — are excluded in both modes, since their
+    expected uncertainty reduction is zero.
+    """
+    questions: List[Question] = []
+    present = space.present_tuples()
+    for a in range(len(present)):
+        for b in range(a + 1, len(present)):
+            i, j = int(present[a]), int(present[b])
+            if distributions is not None and not distributions[i].overlaps(
+                distributions[j]
+            ):
+                continue
+            if is_settled(space, i, j):
+                continue
+            questions.append(Question(i, j))
+    return questions
+
+
+def is_settled(space: OrderingSpace, i: int, j: int) -> bool:
+    """True when every ordering of the space agrees on the pair's order.
+
+    A pair with all stances ``≥ 0`` (or all ``≤ 0``) cannot be pruned by
+    the *likely* answer; it is settled in the weaker sense used for
+    candidate filtering when both decisive stances are absent on one side.
+    """
+    codes = space.agreement_codes(i, j)
+    mass_plus = float(space.probabilities[codes == 1].sum())
+    mass_minus = float(space.probabilities[codes == -1].sum())
+    return mass_plus <= 0.0 or mass_minus <= 0.0
+
+
+def informative_questions(space: OrderingSpace) -> List[Question]:
+    """Pairs on which the space still disagrees (strictly prunable)."""
+    return relevant_questions(space, distributions=None)
+
+
+__all__ = [
+    "all_pair_questions",
+    "relevant_questions",
+    "informative_questions",
+    "is_settled",
+]

@@ -1,0 +1,173 @@
+"""Expected residual uncertainty of question (sets).
+
+This is the objective every selection policy optimizes (§III of the paper):
+``R_q(T_K)`` — the expected uncertainty of the tree after asking ``q`` and
+pruning with the answer — and its generalization ``R_Q`` to question sets.
+
+Single questions are a two-outcome expectation.  For sets we avoid the
+``2^B`` answer-vector blow-up: each ordering of the space induces an answer
+*pattern* in ``{+1, −1, 0}^B``, so at most ``L`` (= number of orderings)
+distinct answer combinations actually have support.  ``R_Q`` is the
+pattern-mass-weighted expectation of the measure over the compatible
+sub-spaces (exact whenever all orderings are decisive on all questions,
+e.g. when ``K = N``; the canonical tractable reading otherwise — see
+DESIGN.md §3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.questions.model import Question
+from repro.tpo.space import DegenerateSpaceError, OrderingSpace
+from repro.uncertainty.base import UncertaintyMeasure
+
+
+class ResidualEvaluator:
+    """Evaluates expected residual uncertainty under a fixed measure.
+
+    Parameters
+    ----------
+    measure:
+        The uncertainty measure ``U`` defining the objective.
+    """
+
+    def __init__(self, measure: UncertaintyMeasure) -> None:
+        self.measure = measure
+        #: Number of measure evaluations performed (cost accounting).
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+
+    def uncertainty(self, space: OrderingSpace) -> float:
+        """``U(T)`` itself (counted like any other evaluation)."""
+        self.evaluations += 1
+        return self.measure(space)
+
+    def single(self, space: OrderingSpace, question: Question) -> float:
+        """``R_q(T) = Pr(yes)·U(T|yes) + Pr(no)·U(T|no)``.
+
+        ``Pr(yes)`` is the normalized decisive mass (paths silent on the
+        pair are consistent with either answer and survive both prunings).
+        """
+        codes = space.agreement_codes(question.i, question.j)
+        mass_yes = float(space.probabilities[codes == 1].sum())
+        mass_no = float(space.probabilities[codes == -1].sum())
+        decisive = mass_yes + mass_no
+        if decisive <= 0.0:
+            # The question cannot prune anything: residual = current U.
+            return self.uncertainty(space)
+        p_yes = mass_yes / decisive
+        residual = 0.0
+        if p_yes > 0.0:
+            residual += p_yes * self.uncertainty(space.restrict(codes != -1))
+        if p_yes < 1.0:
+            residual += (1.0 - p_yes) * self.uncertainty(
+                space.restrict(codes != 1)
+            )
+        return residual
+
+    def rank_singles(
+        self, space: OrderingSpace, questions: Sequence[Question]
+    ) -> np.ndarray:
+        """``R_q`` for every candidate; returns an aligned float array."""
+        return np.array([self.single(space, q) for q in questions])
+
+    # ------------------------------------------------------------------
+
+    def codes_matrix(
+        self, space: OrderingSpace, questions: Sequence[Question]
+    ) -> np.ndarray:
+        """``(L, B)`` stance matrix of every path on every question.
+
+        Policies that evaluate many overlapping question sets (``C-off``,
+        ``A*``, ``Exhaustive``) compute this once and pass column slices to
+        :meth:`set_residual_from_codes`.
+        """
+        if not questions:
+            return np.zeros((space.size, 0), dtype=np.int8)
+        return np.stack(
+            [space.agreement_codes(q.i, q.j) for q in questions], axis=1
+        )
+
+    def question_set(
+        self,
+        space: OrderingSpace,
+        questions: Sequence[Question],
+        pattern_cap: Optional[int] = None,
+    ) -> float:
+        """``R_Q(T)`` for a set of questions via the pattern partition.
+
+        ``pattern_cap`` optionally bounds the number of distinct patterns
+        evaluated (most massive first) and treats the tail as unresolved
+        (contributing the current-space measure) — an upper bound used to
+        keep deep offline searches affordable.
+        """
+        codes = self.codes_matrix(space, questions)
+        return self.set_residual_from_codes(space, codes, pattern_cap)
+
+    def set_residual_from_codes(
+        self,
+        space: OrderingSpace,
+        codes: np.ndarray,
+        pattern_cap: Optional[int] = None,
+    ) -> float:
+        """``R_Q`` given a precomputed ``(L, B)`` stance matrix."""
+        if codes.shape[1] == 0:
+            return self.uncertainty(space)
+        patterns, inverse = np.unique(codes, axis=0, return_inverse=True)
+        masses = np.bincount(inverse, weights=space.probabilities)
+        order = np.argsort(-masses)
+        residual = 0.0
+        evaluated_mass = 0.0
+        for position, pattern_index in enumerate(order):
+            if pattern_cap is not None and position >= pattern_cap:
+                break
+            mass = masses[pattern_index]
+            if mass <= 0.0:
+                continue
+            pattern = patterns[pattern_index]
+            constrained = pattern != 0
+            if not np.any(constrained):
+                # Totally silent pattern: observing "answers" compatible
+                # with it leaves the space untouched.
+                compatible = np.ones(space.size, dtype=bool)
+            else:
+                relevant = codes[:, constrained]
+                target = pattern[constrained]
+                compatible = np.all(
+                    (relevant == 0) | (relevant == target), axis=1
+                )
+            residual += mass * self.uncertainty(space.restrict(compatible))
+            evaluated_mass += mass
+        if evaluated_mass < 1.0 - 1e-12:
+            residual += (1.0 - evaluated_mass) * self.uncertainty(space)
+        return residual
+
+    # ------------------------------------------------------------------
+
+    def apply_answer(
+        self,
+        space: OrderingSpace,
+        question: Question,
+        holds: bool,
+        accuracy: float = 1.0,
+    ) -> OrderingSpace:
+        """Update a space with a received answer (prune or reweight).
+
+        With ``accuracy == 1`` the disagreeing orderings are pruned; a
+        contradictory answer (possible only if the assumed accuracy
+        overstates the worker) leaves the space unchanged rather than
+        emptying it, mirroring a deployment that must stay consistent.
+        """
+        if accuracy >= 1.0:
+            try:
+                return space.condition(question.i, question.j, holds)
+            except DegenerateSpaceError:
+                return space
+        return space.reweight_by_answer(question.i, question.j, holds, accuracy)
+
+
+__all__ = ["ResidualEvaluator"]

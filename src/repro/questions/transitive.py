@@ -1,0 +1,161 @@
+"""Transitive inference over collected reliable answers.
+
+Pairwise ranking answers compose: ``t_a ≺ t_b`` and ``t_b ≺ t_c`` imply
+``t_a ≺ t_c``, so a question whose answer is already implied wastes budget.
+This module maintains the transitive closure of the reliable answers
+received so far (plus the order constraints already implied by
+non-overlapping score pdfs) and lets the session answer such questions for
+free — an optimization the paper's model admits but does not evaluate; the
+``TRANS`` ablation experiment quantifies it.
+
+Only applicable to reliable (accuracy = 1) answers: noisy verdicts do not
+compose transitively without a probabilistic closure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.distributions.base import ScoreDistribution
+from repro.questions.model import Answer, Question
+
+
+class TransitiveClosure:
+    """Incremental transitive closure of "ranks-higher-than" facts.
+
+    ``add(i, j)`` records ``t_i ≺ t_j``; ``implies(i, j)`` answers whether
+    the recorded facts already force an order on the pair.  Insertion
+    keeps the closure updated in O(V²) worst case per edge — fine at the
+    tens-of-tuples scale of crowd-powered queries.
+    """
+
+    def __init__(self, n_tuples: int) -> None:
+        if n_tuples < 1:
+            raise ValueError("need at least one tuple")
+        self.n_tuples = n_tuples
+        #: above[i] = set of tuples known to rank strictly below t_i.
+        self._below: Dict[int, Set[int]] = {i: set() for i in range(n_tuples)}
+        self._above: Dict[int, Set[int]] = {i: set() for i in range(n_tuples)}
+
+    def knows(self, i: int, j: int) -> bool:
+        """True when the relative order of the pair is already determined."""
+        return j in self._below[i] or i in self._below[j]
+
+    def implies(self, i: int, j: int) -> Optional[bool]:
+        """The implied truth of ``t_i ≺ t_j``, or None if undetermined."""
+        if j in self._below[i]:
+            return True
+        if i in self._below[j]:
+            return False
+        return None
+
+    def add(self, i: int, j: int) -> None:
+        """Record ``t_i ≺ t_j`` and propagate transitively.
+
+        Raises :class:`ValueError` on a fact contradicting the closure —
+        the caller is feeding in answers claimed to be reliable, so a
+        cycle means the reliability assumption is broken.
+        """
+        if i == j:
+            raise ValueError("a tuple cannot rank above itself")
+        if i in self._below[j]:
+            raise ValueError(
+                f"t{i} ≺ t{j} contradicts the existing closure"
+            )
+        if j in self._below[i]:
+            return  # already known
+        uppers = self._above[i] | {i}
+        lowers = self._below[j] | {j}
+        for upper in uppers:
+            self._below[upper] |= lowers
+        for lower in lowers:
+            self._above[lower] |= uppers
+
+    def add_answer(self, answer: Answer) -> None:
+        """Record a reliable crowd answer (noisy answers are rejected)."""
+        if answer.accuracy < 1.0:
+            raise ValueError(
+                "transitive closure only composes reliable answers"
+            )
+        q = answer.question
+        if answer.holds:
+            self.add(q.i, q.j)
+        else:
+            self.add(q.j, q.i)
+
+    def seed_from_supports(
+        self, distributions: Sequence[ScoreDistribution]
+    ) -> int:
+        """Pre-load the order already certain from disjoint pdf supports.
+
+        Returns the number of seeded facts.
+        """
+        seeded = 0
+        for i, di in enumerate(distributions):
+            for j in range(i + 1, len(distributions)):
+                dj = distributions[j]
+                if di.lower >= dj.upper and self.implies(i, j) is None:
+                    self.add(i, j)
+                    seeded += 1
+                elif dj.lower >= di.upper and self.implies(j, i) is None:
+                    self.add(j, i)
+                    seeded += 1
+        return seeded
+
+    def known_pairs(self) -> int:
+        """Number of ordered pairs currently determined."""
+        return sum(len(below) for below in self._below.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"TransitiveClosure(tuples={self.n_tuples}, "
+            f"known_pairs={self.known_pairs()})"
+        )
+
+
+class InferenceCache:
+    """Session helper: answer implied questions without paying the crowd.
+
+    Wraps a closure and keeps simple savings accounting; the session (or a
+    policy wrapper) consults :meth:`lookup` before posting a question and
+    records every real answer via :meth:`record`.
+    """
+
+    def __init__(
+        self,
+        n_tuples: int,
+        distributions: Optional[Sequence[ScoreDistribution]] = None,
+    ) -> None:
+        self.closure = TransitiveClosure(n_tuples)
+        self.seeded = (
+            self.closure.seed_from_supports(distributions)
+            if distributions is not None
+            else 0
+        )
+        self.inferred = 0
+        self.asked = 0
+
+    def lookup(self, question: Question) -> Optional[Answer]:
+        """A free answer when the closure already implies one."""
+        implied = self.closure.implies(question.i, question.j)
+        if implied is None:
+            return None
+        self.inferred += 1
+        return Answer(question, implied, accuracy=1.0)
+
+    def record(self, answer: Answer) -> None:
+        """Feed back a real crowd answer (ignores noisy ones)."""
+        self.asked += 1
+        if answer.accuracy >= 1.0:
+            try:
+                self.closure.add_answer(answer)
+            except ValueError:
+                pass  # contradictory reliable answer: do not poison closure
+
+    @property
+    def savings(self) -> int:
+        """Questions answered for free so far."""
+        return self.inferred
+
+
+__all__ = ["TransitiveClosure", "InferenceCache"]

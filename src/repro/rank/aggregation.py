@@ -1,0 +1,304 @@
+"""Rank aggregation over a space of possible orderings.
+
+The *Optimal Rank Aggregation* (ORA) of Soliman et al. (SIGMOD'11) is the
+top-K list minimizing the expected ``K^(p)`` distance to the orderings of
+the space — a median ordering.  Minimizing Kendall-style disagreement is
+NP-hard in general, so this module provides
+
+* an **exact** Held–Karp subset DP (optimal; practical for up to ~13
+  candidate tuples, which covers the paper's K),
+* **Borda** and **Copeland** positional heuristics,
+* a **KwikSort** pivot heuristic (Ailon et al.'s 11/7-style approximation
+  adapted to weighted tournaments), and
+* a **local-search** refinement (adjacent swaps + in/out replacement),
+
+with :func:`optimal_rank_aggregation` choosing automatically.
+
+All methods consume the per-pair stance marginals
+(:func:`repro.rank.kendall.stance_marginals`), so their objective is exactly
+the expected distance :func:`repro.rank.kendall.expected_topk_distance`
+computes — a property the test suite verifies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.rank.kendall import DEFAULT_PENALTY, stance_marginals
+from repro.tpo.space import OrderingSpace
+
+
+class AggregationCosts:
+    """Pairwise cost terms of the expected ``K^(p)`` distance objective.
+
+    For an aggregate list σ and an unordered pair ``{u, v}`` the expected
+    distance contribution depends on σ's stance and, through the union
+    semantics of the distance, on the pair's membership:
+
+    * both in σ, ``u`` above ``v`` → ``within[u, v]`` (disagreeing
+      orderings cost 1, orderings silent on the pair cost the penalty);
+    * ``u`` in σ, ``v`` outside → ``in_out[u, v]`` (only orderings
+      decisively ranking ``v`` above ``u`` cost anything — a silent ω
+      leaves ``v`` outside the union);
+    * both outside σ → ``out_out[u, v]`` (penalty, but only when the
+      ordering contains both tuples).
+    """
+
+    __slots__ = ("within", "in_out", "out_out", "n")
+
+    def __init__(self, space: OrderingSpace, penalty: float = DEFAULT_PENALTY):
+        from repro.rank.kendall import presence_pair_marginals
+
+        p_plus, p_minus, p_zero = stance_marginals(space)
+        self.within = p_minus + penalty * p_zero
+        self.in_out = p_minus
+        self.out_out = penalty * presence_pair_marginals(space)
+        self.n = space.n_tuples
+
+    def total(self, ordering: Sequence[int]) -> float:
+        """Objective value of a top-K list (lower is better)."""
+        ordering = list(ordering)
+        inside = np.zeros(self.n, dtype=bool)
+        inside[ordering] = True
+        cost = 0.0
+        # Ordered pairs inside the list.
+        for a, u in enumerate(ordering):
+            for v in ordering[a + 1 :]:
+                cost += self.within[u, v]
+        # List item above every outside tuple.
+        outside = np.flatnonzero(~inside)
+        if outside.size:
+            cost += float(self.in_out[np.ix_(ordering, outside)].sum())
+        # Both-outside pairs.
+        if outside.size > 1:
+            sub = self.out_out[np.ix_(outside, outside)]
+            cost += 0.5 * float(sub.sum())
+        return cost
+
+
+def _candidates(space: OrderingSpace) -> np.ndarray:
+    """Tuples worth aggregating: those present in at least one ordering."""
+    return space.present_tuples()
+
+
+def borda_aggregation(space: OrderingSpace, k: Optional[int] = None) -> np.ndarray:
+    """Order tuples by expected rank (absent = rank K); take the best K.
+
+    Cheap (O(L·K)) and surprisingly strong on unimodal spaces.
+    """
+    k = space.depth if k is None else k
+    pos = space.positions().astype(float)
+    expected = space.probabilities @ pos
+    candidates = _candidates(space)
+    order = candidates[np.argsort(expected[candidates], kind="stable")]
+    return order[:k].astype(np.int32)
+
+
+def copeland_aggregation(space: OrderingSpace, k: Optional[int] = None) -> np.ndarray:
+    """Order tuples by pairwise-victory count (Copeland rule)."""
+    k = space.depth if k is None else k
+    w = space.pairwise_preference()
+    candidates = _candidates(space)
+    sub = w[np.ix_(candidates, candidates)]
+    victories = (sub > 0.5).sum(axis=1).astype(float)
+    victories += 0.5 * (np.isclose(sub, 0.5).sum(axis=1) - 1)  # ties, minus self
+    order = candidates[np.argsort(-victories, kind="stable")]
+    return order[:k].astype(np.int32)
+
+
+def kwiksort_aggregation(
+    space: OrderingSpace,
+    k: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Randomized pivot ordering by majority preference.
+
+    Deterministic when ``rng`` is None (first element pivots).
+    """
+    k = space.depth if k is None else k
+    w = space.pairwise_preference()
+    candidates = list(_candidates(space))
+
+    def sort(items: List[int]) -> List[int]:
+        if len(items) <= 1:
+            return items
+        pivot_index = 0 if rng is None else int(rng.integers(len(items)))
+        pivot = items[pivot_index]
+        above = [u for u in items if u != pivot and w[u, pivot] > 0.5]
+        below = [u for u in items if u != pivot and w[u, pivot] <= 0.5]
+        return sort(above) + [pivot] + sort(below)
+
+    return np.asarray(sort(candidates)[:k], dtype=np.int32)
+
+
+def local_search(
+    ordering: Sequence[int],
+    costs: AggregationCosts,
+    candidates: Sequence[int],
+    max_rounds: int = 50,
+) -> np.ndarray:
+    """Greedy improvement: adjacent swaps and in/out replacements.
+
+    Runs to a local optimum of the expected-distance objective (or
+    ``max_rounds``, whichever first).
+    """
+    current = list(ordering)
+    best_cost = costs.total(current)
+    pool = [c for c in candidates]
+    for _ in range(max_rounds):
+        improved = False
+        # Adjacent transpositions.
+        for a in range(len(current) - 1):
+            trial = current.copy()
+            trial[a], trial[a + 1] = trial[a + 1], trial[a]
+            trial_cost = costs.total(trial)
+            if trial_cost < best_cost - 1e-12:
+                current, best_cost = trial, trial_cost
+                improved = True
+        # Replace a list member with an outside candidate.
+        outside = [c for c in pool if c not in set(current)]
+        for a in range(len(current)):
+            for candidate in outside:
+                trial = current.copy()
+                trial[a] = candidate
+                trial_cost = costs.total(trial)
+                if trial_cost < best_cost - 1e-12:
+                    current, best_cost = trial, trial_cost
+                    improved = True
+                    outside = [c for c in pool if c not in set(current)]
+                    break
+        if not improved:
+            break
+    return np.asarray(current, dtype=np.int32)
+
+
+def exact_aggregation(
+    space: OrderingSpace,
+    k: Optional[int] = None,
+    penalty: float = DEFAULT_PENALTY,
+) -> np.ndarray:
+    """Optimal top-K aggregation by Held–Karp subset DP.
+
+    State = set of tuples already placed (they occupy the best ranks);
+    appending ``t`` below a set ``S`` adds ``Σ_{s∈S} before[s, t]``.
+    Membership-dependent terms (list-vs-outside, outside-vs-outside) are
+    added per final subset.  Exponential in the candidate count — guarded
+    by :func:`optimal_rank_aggregation`.
+    """
+    k = space.depth if k is None else k
+    costs = AggregationCosts(space, penalty)
+    candidates = list(_candidates(space))
+    m = len(candidates)
+    k = min(k, m)
+    if m > 20:
+        raise ValueError(
+            f"exact aggregation over {m} candidates is intractable; "
+            "use method='auto' or a heuristic"
+        )
+    within = costs.within
+    # f[mask] = (cost, last_item, prev_mask) over candidate-index bitmasks.
+    f: Dict[int, Tuple[float, int, int]] = {0: (0.0, -1, 0)}
+    frontier = [0]
+    for _ in range(k):
+        new_frontier: Dict[int, Tuple[float, int, int]] = {}
+        for mask in frontier:
+            base_cost = f[mask][0]
+            placed = [candidates[b] for b in range(m) if mask & (1 << b)]
+            for b in range(m):
+                bit = 1 << b
+                if mask & bit:
+                    continue
+                t = candidates[b]
+                added = sum(within[s, t] for s in placed)
+                new_mask = mask | bit
+                total = base_cost + added
+                known = new_frontier.get(new_mask)
+                if known is None or total < known[0]:
+                    new_frontier[new_mask] = (total, b, mask)
+        f.update(new_frontier)
+        frontier = list(new_frontier.keys())
+    # Add membership terms and pick the best size-k subset.
+    best_mask, best_total = None, np.inf
+    all_tuples = np.arange(costs.n)
+    for mask in frontier:
+        chosen = [candidates[b] for b in range(m) if mask & (1 << b)]
+        inside = np.zeros(costs.n, dtype=bool)
+        inside[chosen] = True
+        outside = all_tuples[~inside]
+        cross = (
+            float(costs.in_out[np.ix_(chosen, outside)].sum())
+            if outside.size
+            else 0.0
+        )
+        both = (
+            0.5 * float(costs.out_out[np.ix_(outside, outside)].sum())
+            if outside.size > 1
+            else 0.0
+        )
+        total = f[mask][0] + cross + both
+        if total < best_total:
+            best_total, best_mask = total, mask
+    # Reconstruct the ordering.
+    ordering: List[int] = []
+    mask = best_mask
+    while mask:
+        _, b, prev = f[mask]
+        ordering.append(candidates[b])
+        mask = prev
+    ordering.reverse()
+    return np.asarray(ordering, dtype=np.int32)
+
+
+def optimal_rank_aggregation(
+    space: OrderingSpace,
+    k: Optional[int] = None,
+    method: str = "auto",
+    penalty: float = DEFAULT_PENALTY,
+    exact_limit: int = 12,
+) -> np.ndarray:
+    """Compute the ORA of a space of orderings.
+
+    ``method``:
+
+    * ``"auto"`` — exact DP when at most ``exact_limit`` tuples appear in
+      the space, otherwise Borda seeding + local search;
+    * ``"exact"`` / ``"borda"`` / ``"copeland"`` / ``"kwiksort"`` /
+      ``"borda+ls"`` — force a specific algorithm.
+    """
+    k = space.depth if k is None else k
+    if method == "exact":
+        return exact_aggregation(space, k, penalty)
+    if method == "borda":
+        return borda_aggregation(space, k)
+    if method == "copeland":
+        return copeland_aggregation(space, k)
+    if method == "kwiksort":
+        return kwiksort_aggregation(space, k)
+    if method == "borda+ls":
+        costs = AggregationCosts(space, penalty)
+        seed = borda_aggregation(space, k)
+        return local_search(seed, costs, _candidates(space))
+    if method == "auto":
+        candidates = _candidates(space)
+        if len(candidates) <= exact_limit:
+            return exact_aggregation(space, k, penalty)
+        costs = AggregationCosts(space, penalty)
+        seed = borda_aggregation(space, k)
+        return local_search(seed, costs, candidates)
+    raise ValueError(
+        f"unknown aggregation method {method!r}; choose from "
+        "exact, borda, copeland, kwiksort, borda+ls, auto"
+    )
+
+
+__all__ = [
+    "AggregationCosts",
+    "borda_aggregation",
+    "copeland_aggregation",
+    "kwiksort_aggregation",
+    "local_search",
+    "exact_aggregation",
+    "optimal_rank_aggregation",
+]

@@ -1,0 +1,59 @@
+"""Tree-of-possible-orderings substrate (S2 in DESIGN.md).
+
+Builds, extends, prunes, and flattens the TPO ``T_K`` of Soliman & Ilyas
+that the paper's uncertainty-reduction algorithms operate on.
+"""
+
+from repro.tpo.builders import (
+    ENGINES,
+    ExactBuilder,
+    GridBuilder,
+    MonteCarloBuilder,
+    TPOBuilder,
+    TPOSizeError,
+    make_builder,
+)
+from repro.tpo.analysis import (
+    overlap_statistics,
+    profile_space,
+    question_impact_table,
+    tuple_volatility,
+)
+from repro.tpo.node import ROOT_TUPLE, TPONode
+from repro.tpo.semantics import (
+    answer_report,
+    expected_ranks,
+    pt_k,
+    u_kranks,
+    u_topk,
+)
+from repro.tpo.serialize import tree_from_dict, tree_to_dict, tree_to_dot
+from repro.tpo.space import DegenerateSpaceError, OrderingSpace
+from repro.tpo.tree import TPOTree
+
+__all__ = [
+    "TPONode",
+    "ROOT_TUPLE",
+    "TPOTree",
+    "OrderingSpace",
+    "DegenerateSpaceError",
+    "TPOBuilder",
+    "TPOSizeError",
+    "GridBuilder",
+    "ExactBuilder",
+    "MonteCarloBuilder",
+    "make_builder",
+    "ENGINES",
+    "tree_to_dict",
+    "tree_from_dict",
+    "tree_to_dot",
+    "u_topk",
+    "u_kranks",
+    "pt_k",
+    "expected_ranks",
+    "answer_report",
+    "profile_space",
+    "question_impact_table",
+    "tuple_volatility",
+    "overlap_statistics",
+]

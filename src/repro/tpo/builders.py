@@ -1,0 +1,429 @@
+"""TPO construction engines.
+
+All builders implement the same level-by-level recursion for prefix-ranking
+probabilities (Li & Deshpande, PVLDB'10): with independent score variables,
+the event "prefix ``t_1 ≻ … ≻ t_d`` is the top-d ranking" has probability
+
+``Pr = ∫ h_d(x) · Π_{j ∉ prefix} F_j(x) dx``, where
+``h_1 = f_{t_1}`` and ``h_{d+1}(x) = f_{t_{d+1}}(x) · ∫_x^∞ h_d(u) du``.
+
+``h_d`` — the *prefix density* — is stored on each node (``node.state``),
+which is what makes one-level extension (and hence the paper's ``incr``
+algorithm) cheap.
+
+Three interchangeable engines:
+
+* :class:`ExactBuilder` — closed-form piecewise-polynomial integration;
+  exact for the polynomial distribution family, used as ground truth.
+* :class:`GridBuilder` — vectorized midpoint integration on a shared grid;
+  the default workhorse.
+* :class:`MonteCarloBuilder` — empirical tree over joint score samples;
+  used for cross-validation and very large instances.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.distributions.base import ScoreDistribution
+from repro.distributions.grid import Grid
+from repro.distributions.piecewise import PiecewisePolynomial, product
+from repro.distributions.uniform import Uniform
+from repro.tpo.tree import TPOTree
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def _effective(dist: ScoreDistribution) -> ScoreDistribution:
+    """Replace deterministic scores by negligible-width intervals.
+
+    The continuous engines integrate densities; an atom has none, so a
+    point mass is modeled as a uniform of width ``1e-9`` around its value.
+    The substitution changes no ordering probability by more than the
+    engines' own tolerance.
+    """
+    if dist.is_deterministic:
+        value = dist.lower
+        half = 5e-10 * max(1.0, abs(value))
+        return Uniform(value - half, value + half)
+    return dist
+
+
+class TPOSizeError(RuntimeError):
+    """Raised when a TPO would exceed the configured ordering budget.
+
+    Exponentially bushy trees are the motivation for the paper's ``incr``
+    algorithm; this guard turns an out-of-memory crash into an actionable
+    error suggesting a narrower workload, a smaller K, or ``incr``.
+    """
+
+
+class TPOBuilder(abc.ABC):
+    """Common interface of the TPO construction engines.
+
+    ``build`` materializes all K levels; ``extend`` adds exactly one level
+    to a partially built tree (the hook the ``incr`` algorithm uses).
+    """
+
+    #: Children with probability below this are not materialized.
+    min_probability: float
+
+    def __init__(
+        self,
+        min_probability: float = 1e-9,
+        max_orderings: int = 200000,
+    ) -> None:
+        if min_probability < 0:
+            raise ValueError("min_probability must be non-negative")
+        if max_orderings < 1:
+            raise ValueError("max_orderings must be positive")
+        self.min_probability = min_probability
+        self.max_orderings = max_orderings
+
+    def _check_size(self, tree: TPOTree, level_width: int) -> None:
+        """Abort level construction that exceeds ``max_orderings``."""
+        if level_width > self.max_orderings:
+            raise TPOSizeError(
+                f"TPO level {tree.built_depth + 1} holds {level_width} "
+                f"orderings, above the limit of {self.max_orderings}; "
+                "narrow the score pdfs, lower k, or use the incr algorithm"
+            )
+
+    def build(self, distributions: Sequence[ScoreDistribution], k: int) -> TPOTree:
+        """Materialize the full depth-K tree of possible orderings."""
+        tree = self.start(distributions, k)
+        while not tree.is_complete:
+            self.extend(tree)
+        tree.renormalize()
+        return tree
+
+    def start(
+        self, distributions: Sequence[ScoreDistribution], k: int
+    ) -> TPOTree:
+        """Create an empty tree and attach engine state (no levels built)."""
+        tree = TPOTree(distributions, k)
+        self._initialize(tree)
+        return tree
+
+    @abc.abstractmethod
+    def _initialize(self, tree: TPOTree) -> None:
+        """Attach engine-specific caches to a fresh tree."""
+
+    @abc.abstractmethod
+    def extend(self, tree: TPOTree) -> None:
+        """Materialize one more level of ``tree``."""
+
+
+# ----------------------------------------------------------------------
+# Grid engine
+# ----------------------------------------------------------------------
+
+
+class GridBuilder(TPOBuilder):
+    """Numeric TPO construction on a shared integration grid.
+
+    Parameters
+    ----------
+    resolution:
+        Target number of grid cells across the union of supports.
+    min_probability:
+        Branches below this probability are dropped (their total mass is
+        bounded by ``N · min_probability`` per level).
+    """
+
+    def __init__(
+        self,
+        resolution: int = 1024,
+        min_probability: float = 1e-9,
+        max_orderings: int = 200000,
+    ) -> None:
+        super().__init__(min_probability, max_orderings)
+        if resolution < 8:
+            raise ValueError(f"resolution must be >= 8, got {resolution}")
+        self.resolution = resolution
+
+    def _initialize(self, tree: TPOTree) -> None:
+        dists = [_effective(d) for d in tree.distributions]
+        grid = Grid.for_distributions(dists, self.resolution)
+        densities = np.stack([grid.density(d) for d in dists])
+        cdfs = np.stack([grid.cdf(d) for d in dists])
+        tree.engine_cache = _GridCache(grid, densities, cdfs)
+
+    def extend(self, tree: TPOTree) -> None:
+        cache: _GridCache = tree.engine_cache
+        grid = cache.grid
+        depth = tree.built_depth
+        if depth >= tree.k:
+            return
+        n = tree.n_tuples
+        created = 0
+        parents = tree.nodes_at_depth(depth)
+        for node in parents:
+            prefix = node.prefix()
+            remaining = [t for t in range(n) if t not in set(prefix)]
+            if not remaining:
+                continue
+            if node.is_root:
+                tail = np.ones(grid.cell_count)
+            else:
+                tail = grid.upper_tail(node.state)
+            # Exclude-one products of the remaining tuples' CDFs.
+            stacked = cache.cdfs[remaining]
+            exclusive = _exclude_one_products(stacked)
+            candidate_h = cache.densities[remaining] * tail[None, :]
+            probs = (candidate_h * exclusive) @ grid.widths
+            for idx, t in enumerate(remaining):
+                if probs[idx] > self.min_probability:
+                    child = node.add_child(t, float(probs[idx]))
+                    child.state = candidate_h[idx]
+                    created += 1
+            self._check_size(tree, created)
+        # Parent prefix densities are never needed again: free them so the
+        # live state is bounded by one level, not the whole tree.
+        for node in parents:
+            node.state = None
+        tree.built_depth += 1
+
+
+class _GridCache:
+    """Per-tree immutable numeric context for :class:`GridBuilder`."""
+
+    __slots__ = ("grid", "densities", "cdfs")
+
+    def __init__(self, grid: Grid, densities: np.ndarray, cdfs: np.ndarray):
+        self.grid = grid
+        self.densities = densities
+        self.cdfs = cdfs
+
+
+def _exclude_one_products(stacked: np.ndarray) -> np.ndarray:
+    """Row-wise products of all *other* rows: ``out[i] = Π_{j≠i} rows[j]``.
+
+    Computed with prefix/suffix cumulative products in O(m·C); avoids the
+    numerically hazardous divide-by-row alternative (CDFs are 0 on the left
+    of each support).
+    """
+    m = stacked.shape[0]
+    if m == 1:
+        return np.ones_like(stacked)
+    prefix = np.ones_like(stacked)
+    suffix = np.ones_like(stacked)
+    for i in range(1, m):
+        prefix[i] = prefix[i - 1] * stacked[i - 1]
+    for i in range(m - 2, -1, -1):
+        suffix[i] = suffix[i + 1] * stacked[i + 1]
+    return prefix * suffix
+
+
+# ----------------------------------------------------------------------
+# Exact engine
+# ----------------------------------------------------------------------
+
+
+class ExactBuilder(TPOBuilder):
+    """Closed-form TPO construction via piecewise-polynomial calculus.
+
+    Exact for uniform, triangular, histogram, and point-mass scores; smooth
+    distributions are first discretized through their
+    :meth:`~repro.distributions.base.ScoreDistribution.piecewise_pdf`.
+    Intended for small instances (it is the test oracle for the other
+    engines); cost grows with the product polynomial degrees, roughly
+    ``O(nodes · N² · pieces)``.
+    """
+
+    def __init__(
+        self,
+        min_probability: float = 1e-12,
+        resolution: Optional[int] = None,
+        max_orderings: int = 200000,
+    ) -> None:
+        super().__init__(min_probability, max_orderings)
+        self.resolution = resolution
+
+    def _initialize(self, tree: TPOTree) -> None:
+        dists = [_effective(d) for d in tree.distributions]
+        lo = min(d.lower for d in dists)
+        hi = max(d.upper for d in dists)
+        pdfs = [d.piecewise_pdf(self.resolution) for d in dists]
+        cdfs = [
+            p.antiderivative().extend_right_constant(hi).extend_domain(lo, hi)
+            for p in pdfs
+        ]
+        tree.engine_cache = _ExactCache(lo, hi, pdfs, cdfs)
+
+    def extend(self, tree: TPOTree) -> None:
+        cache: _ExactCache = tree.engine_cache
+        depth = tree.built_depth
+        if depth >= tree.k:
+            return
+        n = tree.n_tuples
+        created = 0
+        parents = tree.nodes_at_depth(depth)
+        for node in parents:
+            prefix = set(node.prefix())
+            remaining = [t for t in range(n) if t not in prefix]
+            if not remaining:
+                continue
+            tail = (
+                None
+                if node.is_root
+                else _upper_tail_poly(node.state, cache.lo, cache.hi)
+            )
+            for position, t in enumerate(remaining):
+                others = remaining[:position] + remaining[position + 1 :]
+                h_child = (
+                    cache.pdfs[t] if tail is None else cache.pdfs[t] * tail
+                )
+                if h_child.is_zero():
+                    continue
+                integrand = h_child
+                if others:
+                    integrand = h_child * product(
+                        [cache.cdfs[j] for j in others]
+                    )
+                prob = integrand.definite_integral()
+                if prob > self.min_probability:
+                    child = node.add_child(t, float(prob))
+                    child.state = h_child
+                    created += 1
+            self._check_size(tree, created)
+        for node in parents:
+            node.state = None
+        tree.built_depth += 1
+
+
+class _ExactCache:
+    """Per-tree symbolic context for :class:`ExactBuilder`."""
+
+    __slots__ = ("lo", "hi", "pdfs", "cdfs")
+
+    def __init__(
+        self,
+        lo: float,
+        hi: float,
+        pdfs: List[PiecewisePolynomial],
+        cdfs: List[PiecewisePolynomial],
+    ) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.pdfs = pdfs
+        self.cdfs = cdfs
+
+
+def _upper_tail_poly(
+    h: PiecewisePolynomial, lo: float, hi: float
+) -> PiecewisePolynomial:
+    """``T(x) = ∫_x^∞ h`` as a piecewise polynomial on ``[lo, hi]``."""
+    total = h.definite_integral()
+    antiderivative = (
+        h.antiderivative().extend_right_constant(hi).extend_domain(lo, hi)
+    )
+    return PiecewisePolynomial.constant(total, lo, hi) - antiderivative
+
+
+# ----------------------------------------------------------------------
+# Monte Carlo engine
+# ----------------------------------------------------------------------
+
+
+class MonteCarloBuilder(TPOBuilder):
+    """Empirical TPO over joint samples of the score vector.
+
+    Each node stores the indices of the samples consistent with its prefix,
+    so extension is a group-by over the next rank — the tree converges to
+    the exact one as ``samples → ∞`` at the usual ``O(1/√M)`` rate.
+    """
+
+    def __init__(
+        self,
+        samples: int = 20000,
+        seed: SeedLike = None,
+        min_probability: float = 0.0,
+        max_orderings: int = 200000,
+    ) -> None:
+        super().__init__(min_probability, max_orderings)
+        if samples < 1:
+            raise ValueError(f"samples must be >= 1, got {samples}")
+        self.samples = samples
+        self.seed = seed
+
+    def _initialize(self, tree: TPOTree) -> None:
+        rng = ensure_rng(self.seed)
+        dists = tree.distributions
+        matrix = np.column_stack(
+            [np.atleast_1d(d.sample(rng, self.samples)) for d in dists]
+        )
+        # Random jitter breaks ties between equal samples (e.g. atoms).
+        matrix = matrix + rng.random(matrix.shape) * 1e-12
+        ranks = np.argsort(-matrix, axis=1)[:, : tree.k]
+        tree.engine_cache = _MonteCarloCache(ranks)
+        tree.root.state = np.arange(self.samples)
+
+    def extend(self, tree: TPOTree) -> None:
+        cache: _MonteCarloCache = tree.engine_cache
+        depth = tree.built_depth
+        if depth >= tree.k:
+            return
+        total = cache.ranks.shape[0]
+        for node in tree.nodes_at_depth(depth):
+            sample_ids = node.state
+            if sample_ids is None or sample_ids.size == 0:
+                continue
+            next_tuples = cache.ranks[sample_ids, depth]
+            order = np.argsort(next_tuples, kind="stable")
+            sorted_tuples = next_tuples[order]
+            sorted_ids = sample_ids[order]
+            boundaries = np.flatnonzero(
+                np.diff(sorted_tuples, prepend=sorted_tuples[0] - 1)
+            )
+            boundaries = np.append(boundaries, sorted_tuples.size)
+            for b in range(len(boundaries) - 1):
+                lo, hi = boundaries[b], boundaries[b + 1]
+                t = int(sorted_tuples[lo])
+                prob = (hi - lo) / total
+                if prob > self.min_probability:
+                    child = node.add_child(t, float(prob))
+                    child.state = sorted_ids[lo:hi]
+        tree.built_depth += 1
+
+
+class _MonteCarloCache:
+    """Per-tree sample context for :class:`MonteCarloBuilder`."""
+
+    __slots__ = ("ranks",)
+
+    def __init__(self, ranks: np.ndarray) -> None:
+        self.ranks = ranks
+
+
+# ----------------------------------------------------------------------
+
+ENGINES = {
+    "grid": GridBuilder,
+    "exact": ExactBuilder,
+    "mc": MonteCarloBuilder,
+}
+
+
+def make_builder(engine: str = "grid", **kwargs) -> TPOBuilder:
+    """Factory: ``make_builder("grid", resolution=2048)`` etc."""
+    try:
+        cls = ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "TPOBuilder",
+    "TPOSizeError",
+    "GridBuilder",
+    "ExactBuilder",
+    "MonteCarloBuilder",
+    "make_builder",
+    "ENGINES",
+]

@@ -1,0 +1,105 @@
+"""Classical uncertain top-K query semantics over an ordering space.
+
+The TPO (Soliman & Ilyas, ICDE'09 — reference [4] of the paper) was
+introduced to answer uncertain top-K queries under several *semantics*,
+each collapsing the space of possible orderings into one answer:
+
+* **U-Top-k** — the top-K *vector* with the highest aggregate probability
+  (= the most probable ordering of the space);
+* **U-kRanks** — for each rank position, the tuple most likely to occupy
+  exactly that position (a winner per rank; tuples may repeat);
+* **PT-k** — all tuples whose probability of appearing in the top-K
+  exceeds a threshold;
+* **expected ranks** — tuples ordered by expected rank (absent = K).
+
+The crowdsourcing layer reduces uncertainty; these functions are how a
+client finally *reads* the (possibly still uncertain) result, and they
+make the library a usable uncertain-top-K engine rather than only a
+reproduction harness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.tpo.space import OrderingSpace
+from repro.utils.validation import check_fraction
+
+
+def u_topk(space: OrderingSpace) -> Tuple[np.ndarray, float]:
+    """U-Top-k: the most probable complete top-K vector.
+
+    Returns ``(ordering, probability)``.  Because every path of the space
+    *is* a top-K vector, this is the modal path.
+    """
+    index = int(np.argmax(space.probabilities))
+    return space.paths[index].copy(), float(space.probabilities[index])
+
+
+def u_kranks(space: OrderingSpace) -> List[Tuple[int, float]]:
+    """U-kRanks: per rank, the tuple most likely to hold exactly that rank.
+
+    Returns one ``(tuple_index, probability)`` pair per rank.  Unlike
+    U-Top-k the winners need not form a consistent vector — the classical
+    quirk of this semantics (a tuple can win several ranks).
+    """
+    marginals = space.rank_marginals()
+    winners = []
+    for rank in range(space.depth):
+        tuple_index = int(np.argmax(marginals[:, rank]))
+        winners.append((tuple_index, float(marginals[tuple_index, rank])))
+    return winners
+
+
+def pt_k(space: OrderingSpace, threshold: float = 0.5) -> List[Tuple[int, float]]:
+    """PT-k: tuples whose top-K membership probability clears ``threshold``.
+
+    Returns ``(tuple_index, Pr(in top-K))`` sorted by decreasing
+    probability.  ``threshold = 0`` lists every tuple with any chance.
+    """
+    check_fraction("threshold", threshold)
+    membership = space.rank_marginals().sum(axis=1)
+    rows = [
+        (int(t), float(membership[t]))
+        for t in np.flatnonzero(membership > max(threshold, 1e-15))
+    ]
+    rows.sort(key=lambda row: (-row[1], row[0]))
+    return rows
+
+
+def expected_ranks(space: OrderingSpace) -> List[Tuple[int, float]]:
+    """Tuples by expected rank, counting absence as rank K.
+
+    The cheapest single-ranking readout; coincides with the Borda
+    aggregation seed used by the ORA machinery.
+    """
+    pos = space.positions().astype(float)
+    expectation = space.probabilities @ pos
+    present = space.present_tuples()
+    rows = [(int(t), float(expectation[t])) for t in present]
+    rows.sort(key=lambda row: (row[1], row[0]))
+    return rows
+
+
+def answer_report(space: OrderingSpace, threshold: float = 0.5) -> str:
+    """All four semantics rendered side by side (debug/demo helper)."""
+    vector, probability = u_topk(space)
+    lines = [
+        f"U-Top-{space.depth}: {[int(t) for t in vector]} "
+        f"(p={probability:.4f})",
+        "U-kRanks: "
+        + ", ".join(
+            f"rank{r + 1}=t{t} (p={p:.3f})"
+            for r, (t, p) in enumerate(u_kranks(space))
+        ),
+        f"PT-{space.depth} (>{threshold:g}): "
+        + ", ".join(f"t{t} ({p:.3f})" for t, p in pt_k(space, threshold)),
+        "expected ranks: "
+        + ", ".join(f"t{t}={e:.2f}" for t, e in expected_ranks(space)),
+    ]
+    return "\n".join(lines)
+
+
+__all__ = ["u_topk", "u_kranks", "pt_k", "expected_ranks", "answer_report"]

@@ -1,0 +1,94 @@
+"""TPO serialization: JSON-friendly dicts and Graphviz DOT export.
+
+The dict form round-trips a built tree (structure + probabilities, not the
+engine caches); the DOT form is for eyeballing small trees, mirroring the
+figures of Soliman & Ilyas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.tpo.node import ROOT_TUPLE, TPONode
+from repro.tpo.tree import TPOTree
+
+
+def tree_to_dict(tree: TPOTree) -> Dict:
+    """Serialize structure and probabilities to plain Python data."""
+
+    def node_to_dict(node: TPONode) -> Dict:
+        return {
+            "tuple": node.tuple_index,
+            "p": node.probability,
+            "children": [node_to_dict(c) for c in node.children],
+        }
+
+    return {
+        "k": tree.k,
+        "n_tuples": tree.n_tuples,
+        "built_depth": tree.built_depth,
+        "root": node_to_dict(tree.root),
+    }
+
+
+def tree_from_dict(data: Dict, distributions) -> TPOTree:
+    """Rebuild a tree from :func:`tree_to_dict` output.
+
+    ``distributions`` must be the same family used when serializing (the
+    dict stores only indices).  Engine caches are not restored, so the tree
+    can be inspected and pruned but not extended.
+    """
+    tree = TPOTree(distributions, data["k"])
+    tree.built_depth = data["built_depth"]
+
+    def attach(parent: TPONode, payload: Dict) -> None:
+        child = parent.add_child(payload["tuple"], payload["p"])
+        for grandchild in payload["children"]:
+            attach(child, grandchild)
+
+    root_payload = data["root"]
+    tree.root.probability = root_payload["p"]
+    for child_payload in root_payload["children"]:
+        attach(tree.root, child_payload)
+    return tree
+
+
+def tree_to_dot(
+    tree: TPOTree,
+    labels: List[str] = None,
+    max_nodes: int = 500,
+) -> str:
+    """Graphviz DOT rendering (truncated after ``max_nodes`` nodes)."""
+    lines = [
+        "digraph TPO {",
+        '  node [shape=box, fontsize=10];',
+        '  root [label="⊥", shape=circle];',
+    ]
+    counter = 0
+
+    def name(node: TPONode, index: int) -> str:
+        return "root" if node.is_root else f"n{index}"
+
+    def label(node: TPONode) -> str:
+        if labels and 0 <= node.tuple_index < len(labels):
+            text = labels[node.tuple_index]
+        else:
+            text = f"t{node.tuple_index}"
+        return f"{text}\\np={node.probability:.3f}"
+
+    stack = [(tree.root, "root")]
+    while stack and counter < max_nodes:
+        node, node_name = stack.pop()
+        for child in node.children:
+            counter += 1
+            child_name = f"n{counter}"
+            lines.append(f'  {child_name} [label="{label(child)}"];')
+            lines.append(f"  {node_name} -> {child_name};")
+            stack.append((child, child_name))
+    if stack:
+        lines.append('  truncated [label="…", shape=plaintext];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+__all__ = ["tree_to_dict", "tree_from_dict", "tree_to_dot"]

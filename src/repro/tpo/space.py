@@ -1,0 +1,282 @@
+"""The space of possible orderings as a flat, vectorized leaf table.
+
+Question-selection policies evaluate thousands of hypothetical prunings per
+selected question; walking a pointer-based tree for each would dominate the
+run time.  :class:`OrderingSpace` therefore flattens a TPO into
+
+* ``paths``  — an ``(L, K)`` integer matrix, row = one possible top-K prefix
+  ranking (best rank first), and
+* ``probabilities`` — the ``(L,)`` leaf probability vector,
+
+so that answer agreement, pruning, Bayesian reweighting, and uncertainty
+evaluation are all numpy array operations.  Spaces are immutable: every
+update returns a new space (the arrays are shared where possible).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_fraction
+
+
+class DegenerateSpaceError(ValueError):
+    """Raised when conditioning would leave an empty ordering space."""
+
+
+class OrderingSpace:
+    """A weighted set of possible top-K prefix orderings.
+
+    Parameters
+    ----------
+    paths:
+        ``(L, K)`` array of tuple indices; row = ordering, best rank first.
+    probabilities:
+        ``(L,)`` non-negative weights; normalized on construction.
+    n_tuples:
+        Size of the tuple universe (indices in ``paths`` are < ``n_tuples``).
+    """
+
+    __slots__ = ("paths", "probabilities", "n_tuples", "_positions")
+
+    def __init__(
+        self,
+        paths: np.ndarray,
+        probabilities: np.ndarray,
+        n_tuples: int,
+    ) -> None:
+        paths = np.asarray(paths, dtype=np.int32)
+        if paths.ndim != 2:
+            raise ValueError(f"paths must be 2-D, got shape {paths.shape}")
+        probabilities = np.asarray(probabilities, dtype=float)
+        if probabilities.shape != (paths.shape[0],):
+            raise ValueError(
+                f"probabilities shape {probabilities.shape} does not match "
+                f"{paths.shape[0]} paths"
+            )
+        if paths.shape[0] == 0:
+            raise DegenerateSpaceError("ordering space has no paths")
+        if np.any(probabilities < 0):
+            raise ValueError("probabilities must be non-negative")
+        total = probabilities.sum()
+        if total <= 0:
+            raise DegenerateSpaceError("ordering space has zero total mass")
+        self.paths = paths
+        self.probabilities = probabilities / total
+        self.n_tuples = int(n_tuples)
+        self._positions: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Shape & views
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of possible orderings (leaves)."""
+        return self.paths.shape[0]
+
+    @property
+    def depth(self) -> int:
+        """Prefix length K of every ordering."""
+        return self.paths.shape[1]
+
+    @property
+    def is_certain(self) -> bool:
+        """True when a single ordering remains."""
+        return self.size == 1
+
+    def positions(self) -> np.ndarray:
+        """``(L, N)`` rank of each tuple per path; ``depth`` marks "absent".
+
+        The sentinel equals :attr:`depth`, i.e. absent tuples are treated
+        as ranked strictly below every present tuple — exactly the
+        semantics of a top-K prefix.
+        """
+        if self._positions is None:
+            length, depth = self.paths.shape
+            positions = np.full((length, self.n_tuples), depth, dtype=np.int32)
+            rows = np.repeat(np.arange(length), depth)
+            positions[rows, self.paths.ravel()] = np.tile(
+                np.arange(depth), length
+            )
+            self._positions = positions
+        return self._positions
+
+    def present_tuples(self) -> np.ndarray:
+        """Sorted indices of tuples appearing in at least one ordering."""
+        return np.unique(self.paths)
+
+    # ------------------------------------------------------------------
+    # Question semantics
+    # ------------------------------------------------------------------
+
+    def agreement_codes(self, i: int, j: int) -> np.ndarray:
+        """Per-path stance on the claim ``t_i ≺ t_j`` (ranked higher).
+
+        Returns an ``(L,)`` int8 array: ``+1`` the path implies
+        ``t_i ≺ t_j``; ``-1`` it implies ``t_j ≺ t_i``; ``0`` undetermined
+        (neither tuple in the prefix).
+        """
+        pos = self.positions()
+        pi, pj = pos[:, i], pos[:, j]
+        return np.where(pi < pj, 1, np.where(pj < pi, -1, 0)).astype(np.int8)
+
+    def answer_probability(self, i: int, j: int) -> float:
+        """``Pr(t_i ≺ t_j)`` under the space's own distribution.
+
+        Defined over the decisive paths only and renormalized; if no path
+        is decisive the answer is uninformative and 0.5 is returned.
+        """
+        codes = self.agreement_codes(i, j)
+        yes = float(self.probabilities[codes == 1].sum())
+        no = float(self.probabilities[codes == -1].sum())
+        if yes + no <= 0:
+            return 0.5
+        return yes / (yes + no)
+
+    def condition(self, i: int, j: int, holds: bool) -> "OrderingSpace":
+        """Prune paths disagreeing with the answer to ``t_i ?≺ t_j``.
+
+        ``holds=True`` keeps paths consistent with ``t_i ≺ t_j`` (including
+        undetermined ones) and renormalizes — the paper's pruning step for
+        reliable workers.  Raises :class:`DegenerateSpaceError` when the
+        answer contradicts every remaining ordering.
+        """
+        codes = self.agreement_codes(i, j)
+        forbidden = -1 if holds else 1
+        keep = codes != forbidden
+        if not np.any(keep):
+            raise DegenerateSpaceError(
+                f"answer t{i} {'≺' if holds else '⊀'} t{j} contradicts all orderings"
+            )
+        return self.restrict(keep)
+
+    def reweight_by_answer(
+        self, i: int, j: int, holds: bool, accuracy: float
+    ) -> "OrderingSpace":
+        """Bayesian update for a noisy answer with worker ``accuracy``.
+
+        Paths agreeing with the reported answer are scaled by ``accuracy``,
+        disagreeing ones by ``1 − accuracy``, undetermined ones by ``0.5``
+        (the answer carries no evidence about them); the result is
+        renormalized.  With ``accuracy == 1`` this degenerates to
+        :meth:`condition`.
+        """
+        check_fraction("accuracy", accuracy)
+        codes = self.agreement_codes(i, j)
+        agree_value = 1 if holds else -1
+        weights = np.where(
+            codes == agree_value,
+            accuracy,
+            np.where(codes == 0, 0.5, 1.0 - accuracy),
+        )
+        return self.reweight(weights)
+
+    # ------------------------------------------------------------------
+    # Generic updates
+    # ------------------------------------------------------------------
+
+    def restrict(self, keep: np.ndarray) -> "OrderingSpace":
+        """Sub-space of the paths selected by boolean mask ``keep``."""
+        keep = np.asarray(keep, dtype=bool)
+        if keep.all():
+            return self
+        return OrderingSpace(
+            self.paths[keep], self.probabilities[keep], self.n_tuples
+        )
+
+    def reweight(self, weights: np.ndarray) -> "OrderingSpace":
+        """Multiply path masses by ``weights`` and renormalize."""
+        weights = np.asarray(weights, dtype=float)
+        updated = self.probabilities * weights
+        total = updated.sum()
+        if total <= 0:
+            raise DegenerateSpaceError("reweighting removed all mass")
+        return OrderingSpace(self.paths, updated, self.n_tuples)
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+
+    def prefix_groups(self, depth: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Aggregate path mass by length-``depth`` prefix.
+
+        Returns ``(prefixes, masses)`` where ``prefixes`` is ``(G, depth)``
+        and ``masses`` sums to 1.  Used by the per-level entropy measure.
+        """
+        if not 1 <= depth <= self.depth:
+            raise ValueError(
+                f"depth must lie in [1, {self.depth}], got {depth}"
+            )
+        prefixes, inverse = np.unique(
+            self.paths[:, :depth], axis=0, return_inverse=True
+        )
+        masses = np.bincount(inverse, weights=self.probabilities)
+        return prefixes, masses
+
+    def most_probable_ordering(self) -> np.ndarray:
+        """The single most probable top-K prefix (the paper's MPO)."""
+        return self.paths[int(np.argmax(self.probabilities))].copy()
+
+    def rank_marginals(self) -> np.ndarray:
+        """``(N, K)`` matrix of ``Pr(tuple i occupies rank k)``."""
+        marginals = np.zeros((self.n_tuples, self.depth))
+        for rank in range(self.depth):
+            np.add.at(
+                marginals[:, rank], self.paths[:, rank], self.probabilities
+            )
+        return marginals
+
+    def pairwise_preference(self) -> np.ndarray:
+        """``(N, N)`` matrix ``W[i, j] = Pr(t_i ≺ t_j)`` over the space.
+
+        Undetermined paths split their mass evenly between the two orders,
+        so ``W + Wᵀ = 1`` off the diagonal.  This is the weighted tournament
+        the Optimal Rank Aggregation is computed from.
+        """
+        pos = self.positions().astype(np.int64)
+        n = self.n_tuples
+        w = np.zeros((n, n))
+        p = self.probabilities
+        less = pos[:, :, None] < pos[:, None, :]
+        equal = pos[:, :, None] == pos[:, None, :]
+        w = np.einsum("l,lij->ij", p, less.astype(float))
+        w += 0.5 * np.einsum("l,lij->ij", p, equal.astype(float))
+        np.fill_diagonal(w, 0.0)
+        return w
+
+    def sample_ordering(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw one ordering according to the space's distribution."""
+        index = rng.choice(self.size, p=self.probabilities)
+        return self.paths[index].copy()
+
+    def top_orderings(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``count`` most probable orderings and their masses."""
+        order = np.argsort(self.probabilities)[::-1][:count]
+        return self.paths[order].copy(), self.probabilities[order].copy()
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_orderings(
+        cls,
+        orderings: Iterable[Sequence[int]],
+        probabilities: Sequence[float],
+        n_tuples: int,
+    ) -> "OrderingSpace":
+        """Build a space from explicit orderings (mostly for tests)."""
+        paths = np.asarray(list(orderings), dtype=np.int32)
+        if paths.ndim == 1:
+            paths = paths.reshape(1, -1)
+        return cls(paths, np.asarray(probabilities, dtype=float), n_tuples)
+
+    def __repr__(self) -> str:
+        return (
+            f"OrderingSpace(orderings={self.size}, depth={self.depth}, "
+            f"tuples={self.n_tuples})"
+        )
+
+
+__all__ = ["OrderingSpace", "DegenerateSpaceError"]

@@ -1,0 +1,236 @@
+"""The tree of possible orderings (TPO) ``T_K``.
+
+The tree is the *construction* view of the ordering space: builders grow it
+level by level (which the ``incr`` algorithm exploits), structural pruning
+applies crowd answers to partially built trees, and
+:meth:`TPOTree.to_space` flattens the current leaves into the vectorized
+:class:`~repro.tpo.space.OrderingSpace` that policies and uncertainty
+measures consume.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distributions.base import ScoreDistribution
+from repro.tpo.node import ROOT_TUPLE, TPONode
+from repro.tpo.space import DegenerateSpaceError, OrderingSpace
+
+
+class TPOTree:
+    """A (possibly partially built) tree of possible orderings.
+
+    Parameters
+    ----------
+    distributions:
+        Score distributions of the N tuples; index = tuple identity.
+    k:
+        Target depth (the K of the top-K query).
+    """
+
+    def __init__(
+        self, distributions: Sequence[ScoreDistribution], k: int
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not distributions:
+            raise ValueError("need at least one tuple")
+        self.distributions = list(distributions)
+        self.k = min(k, len(self.distributions))
+        self.root = TPONode(ROOT_TUPLE, 1.0)
+        #: Depth to which the tree has been materialized so far.
+        self.built_depth = 0
+        #: Engine-managed numeric context (set by the builder in use).
+        self.engine_cache = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_tuples(self) -> int:
+        """Universe size N."""
+        return len(self.distributions)
+
+    @property
+    def is_complete(self) -> bool:
+        """True once all K levels are materialized."""
+        return self.built_depth >= self.k
+
+    def iter_nodes(self) -> Iterator[TPONode]:
+        """All nodes except the synthetic root (pre-order)."""
+        for node in self.root.iter_subtree():
+            if not node.is_root:
+                yield node
+
+    def nodes_at_depth(self, depth: int) -> List[TPONode]:
+        """All nodes at exactly ``depth`` (1-based levels)."""
+        current = [self.root]
+        for _ in range(depth):
+            current = [child for node in current for child in node.children]
+        return current
+
+    def leaves(self) -> List[TPONode]:
+        """Deepest materialized nodes (= paths of the current space)."""
+        return self.nodes_at_depth(self.built_depth)
+
+    def node_count(self) -> int:
+        """Number of non-root nodes."""
+        return sum(1 for _ in self.iter_nodes())
+
+    def ordering_count(self) -> int:
+        """Number of possible orderings currently represented."""
+        return len(self.leaves())
+
+    def level_mass(self, depth: int) -> float:
+        """Total probability mass at ``depth`` (≈1 up to numeric error)."""
+        return float(sum(n.probability for n in self.nodes_at_depth(depth)))
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+
+    def to_space(self) -> OrderingSpace:
+        """Flatten current leaves into an :class:`OrderingSpace`."""
+        if self.built_depth == 0:
+            raise ValueError("tree has no materialized levels yet")
+        leaves = self.leaves()
+        paths = np.array([leaf.prefix() for leaf in leaves], dtype=np.int32)
+        probs = np.array([leaf.probability for leaf in leaves], dtype=float)
+        return OrderingSpace(paths, probs, self.n_tuples)
+
+    # ------------------------------------------------------------------
+    # Structural updates (used by the incremental algorithm)
+    # ------------------------------------------------------------------
+
+    def renormalize(self) -> None:
+        """Rescale leaf masses to sum to 1; recompute internal masses."""
+        leaves = self.leaves()
+        total = sum(leaf.probability for leaf in leaves)
+        if total <= 0:
+            raise DegenerateSpaceError("tree has zero mass after pruning")
+        for leaf in leaves:
+            leaf.probability /= total
+        self._recompute_internal()
+
+    def _recompute_internal(self) -> None:
+        """Set every internal node's mass to the sum of its children."""
+
+        def recurse(node: TPONode, depth: int) -> float:
+            if depth == self.built_depth or node.is_leaf:
+                return node.probability
+            node.probability = sum(
+                recurse(child, depth + 1) for child in node.children
+            )
+            return node.probability
+
+        recurse(self.root, 0)
+        self.root.probability = 1.0
+
+    def prune_with_answer(self, i: int, j: int, holds: bool) -> int:
+        """Remove subtrees whose prefix contradicts the answer ``t_i ?≺ t_j``.
+
+        A prefix contradicts ``t_i ≺ t_j`` as soon as ``t_j`` appears while
+        ``t_i`` has not appeared earlier — any completion would rank ``t_j``
+        higher.  Works on partially built trees; remaining mass is
+        renormalized.  Returns the number of removed nodes.
+        """
+        winner, loser = (i, j) if holds else (j, i)
+        removed = 0
+
+        def recurse(node: TPONode, winner_seen: bool) -> int:
+            count = 0
+            for child in list(node.children):
+                if child.tuple_index == loser and not winner_seen:
+                    count += sum(1 for _ in child.iter_subtree())
+                    node.remove_child(child)
+                    continue
+                count += recurse(
+                    child, winner_seen or child.tuple_index == winner
+                )
+            return count
+
+        removed = recurse(self.root, False)
+        if not self.root.children and self.built_depth > 0:
+            raise DegenerateSpaceError(
+                f"answer t{winner} ≺ t{loser} contradicts every ordering"
+            )
+        self.renormalize()
+        return removed
+
+    def reweight_with_answer(
+        self, i: int, j: int, holds: bool, accuracy: float
+    ) -> None:
+        """Noisy-answer Bayesian reweighting on the materialized leaves.
+
+        Mirrors :meth:`OrderingSpace.reweight_by_answer` but acts in place
+        on the tree, so the ``incr`` algorithm can keep extending it.
+        """
+        agree_value = 1 if holds else -1
+        for leaf in self.leaves():
+            prefix = leaf.prefix()
+            code = _prefix_agreement(prefix, i, j)
+            if code == agree_value:
+                weight = accuracy
+            elif code == 0:
+                weight = 0.5
+            else:
+                weight = 1.0 - accuracy
+            leaf.probability *= weight
+        self.renormalize()
+
+    # ------------------------------------------------------------------
+
+    def validate(self, tolerance: float = 1e-6) -> None:
+        """Check structural invariants; raises :class:`AssertionError`.
+
+        Invariants: every materialized level's mass is ~1; children masses
+        never exceed their parent's (up to tolerance); no tuple repeats
+        along a path.
+        """
+        for depth in range(1, self.built_depth + 1):
+            mass = self.level_mass(depth)
+            assert abs(mass - 1.0) <= tolerance, (
+                f"level {depth} mass {mass} differs from 1"
+            )
+        for node in self.iter_nodes():
+            if node.children:
+                child_mass = sum(c.probability for c in node.children)
+                assert child_mass <= node.probability + tolerance, (
+                    f"children mass {child_mass} exceeds parent "
+                    f"{node.probability}"
+                )
+            prefix = node.prefix()
+            assert len(set(prefix)) == len(prefix), (
+                f"path {prefix} repeats a tuple"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"TPOTree(n={self.n_tuples}, k={self.k}, "
+            f"built={self.built_depth}, orderings={self.ordering_count()})"
+        )
+
+
+def _prefix_agreement(prefix: Tuple[int, ...], i: int, j: int) -> int:
+    """+1 / −1 / 0 stance of a prefix on ``t_i ≺ t_j`` (cf. OrderingSpace)."""
+    try:
+        pi = prefix.index(i)
+    except ValueError:
+        pi = None
+    try:
+        pj = prefix.index(j)
+    except ValueError:
+        pj = None
+    if pi is None and pj is None:
+        return 0
+    if pj is None:
+        return 1
+    if pi is None:
+        return -1
+    return 1 if pi < pj else -1
+
+
+__all__ = ["TPOTree"]

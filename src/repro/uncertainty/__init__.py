@@ -1,0 +1,28 @@
+"""TPO uncertainty measures (substrate S3 in DESIGN.md)."""
+
+from repro.uncertainty.base import UncertaintyMeasure
+from repro.uncertainty.entropy import (
+    EntropyMeasure,
+    WeightedEntropyMeasure,
+    linear_level_weights,
+    shannon_entropy,
+)
+from repro.uncertainty.registry import (
+    available_measures,
+    get_measure,
+    register_measure,
+)
+from repro.uncertainty.representative import MPOUncertainty, ORAUncertainty
+
+__all__ = [
+    "UncertaintyMeasure",
+    "EntropyMeasure",
+    "WeightedEntropyMeasure",
+    "ORAUncertainty",
+    "MPOUncertainty",
+    "shannon_entropy",
+    "linear_level_weights",
+    "get_measure",
+    "register_measure",
+    "available_measures",
+]

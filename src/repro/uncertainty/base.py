@@ -1,0 +1,39 @@
+"""Interface for TPO uncertainty measures.
+
+The paper proposes four measures of how uncertain a tree of possible
+orderings is (§II): entropy, weighted per-level entropy, and expected
+distance to a representative ordering (ORA or MPO).  All of them are
+functions of the flattened ordering space, so a measure here is simply a
+callable ``space → float`` with two contractual properties the test suite
+enforces:
+
+* **certainty ⇒ zero** — a space with one ordering measures 0;
+* **non-negativity** — values are ≥ 0.
+
+Measures are *not* required to be comparable across different spaces (they
+quantify residual uncertainty of one query), and the question-selection
+machinery never compares values across budgets or datasets.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.tpo.space import OrderingSpace
+
+
+class UncertaintyMeasure(abc.ABC):
+    """A functional quantifying the uncertainty of an ordering space."""
+
+    #: Short identifier used in experiment configs and reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def __call__(self, space: OrderingSpace) -> float:
+        """Evaluate the measure; must be ≥ 0 and 0 for a singleton space."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+__all__ = ["UncertaintyMeasure"]

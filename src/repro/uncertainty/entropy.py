@@ -1,0 +1,112 @@
+"""Entropy-based uncertainty measures (``U_H`` and ``U_Hw``).
+
+``U_H`` is the state-of-the-art baseline the paper compares against: the
+Shannon entropy of the leaf (ordering) probabilities.  ``U_Hw`` additionally
+looks at the *structure* of the tree by combining the entropies of the
+prefix distributions at every level ``1..K`` — two spaces with identical
+leaf entropy but different agreement on the first ranks are told apart.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.tpo.space import OrderingSpace
+from repro.uncertainty.base import UncertaintyMeasure
+
+
+def shannon_entropy(masses: np.ndarray, base: float = 2.0) -> float:
+    """Entropy of a probability vector, ignoring zero entries."""
+    masses = np.asarray(masses, dtype=float)
+    positive = masses[masses > 0]
+    if positive.size <= 1:
+        return 0.0
+    return float(-np.sum(positive * np.log(positive)) / np.log(base))
+
+
+class EntropyMeasure(UncertaintyMeasure):
+    """``U_H``: Shannon entropy of the ordering probabilities.
+
+    Depends only on the leaf probability vector — the tree structure is
+    invisible to it, which is exactly the weakness the paper's structural
+    measures address.
+    """
+
+    name = "H"
+
+    def __init__(self, base: float = 2.0) -> None:
+        if base <= 1.0:
+            raise ValueError(f"entropy base must exceed 1, got {base}")
+        self.base = base
+
+    def __call__(self, space: OrderingSpace) -> float:
+        return shannon_entropy(space.probabilities, self.base)
+
+
+WeightsLike = Union[None, Sequence[float], Callable[[int], np.ndarray]]
+
+
+def linear_level_weights(depth: int) -> np.ndarray:
+    """Default ``U_Hw`` weights: ``w_k ∝ K − k + 1`` (top ranks dominate).
+
+    The extended abstract fixes only that ``U_Hw`` is "a weighted
+    combination of entropy values at the first K levels"; linearly
+    decreasing weights encode the natural reading that uncertainty about
+    rank 1 hurts a top-K answer more than uncertainty about rank K
+    (documented design choice, overridable).
+    """
+    raw = np.arange(depth, 0, -1, dtype=float)
+    return raw / raw.sum()
+
+
+class WeightedEntropyMeasure(UncertaintyMeasure):
+    """``U_Hw``: weighted combination of per-level prefix entropies.
+
+    ``U_Hw(T_K) = Σ_{k=1..K} w_k · H(level-k prefix distribution)``.
+    """
+
+    name = "Hw"
+
+    def __init__(self, weights: WeightsLike = None, base: float = 2.0) -> None:
+        if base <= 1.0:
+            raise ValueError(f"entropy base must exceed 1, got {base}")
+        self.base = base
+        self._weights = weights
+
+    def level_weights(self, depth: int) -> np.ndarray:
+        """Resolve the weight vector for a K-level space (sums to 1)."""
+        if self._weights is None:
+            return linear_level_weights(depth)
+        if callable(self._weights):
+            weights = np.asarray(self._weights(depth), dtype=float)
+        else:
+            weights = np.asarray(self._weights, dtype=float)
+            if weights.size < depth:
+                raise ValueError(
+                    f"need at least {depth} level weights, got {weights.size}"
+                )
+            weights = weights[:depth]
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("level weights must have positive sum")
+        return weights / total
+
+    def __call__(self, space: OrderingSpace) -> float:
+        weights = self.level_weights(space.depth)
+        value = 0.0
+        for level in range(1, space.depth + 1):
+            if weights[level - 1] == 0.0:
+                continue
+            _, masses = space.prefix_groups(level)
+            value += weights[level - 1] * shannon_entropy(masses, self.base)
+        return value
+
+
+__all__ = [
+    "shannon_entropy",
+    "linear_level_weights",
+    "EntropyMeasure",
+    "WeightedEntropyMeasure",
+]

@@ -1,0 +1,52 @@
+"""Name-based lookup of uncertainty measures.
+
+Experiment configurations refer to measures by the paper's names
+(``"H"``, ``"Hw"``, ``"ORA"``, ``"MPO"``); this registry resolves them and
+lets downstream users plug in custom measures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.uncertainty.base import UncertaintyMeasure
+from repro.uncertainty.entropy import EntropyMeasure, WeightedEntropyMeasure
+from repro.uncertainty.representative import MPOUncertainty, ORAUncertainty
+
+_FACTORIES: Dict[str, Callable[[], UncertaintyMeasure]] = {
+    "H": EntropyMeasure,
+    "Hw": WeightedEntropyMeasure,
+    "ORA": ORAUncertainty,
+    "MPO": MPOUncertainty,
+}
+
+
+def get_measure(name: str, **kwargs) -> UncertaintyMeasure:
+    """Instantiate a measure by paper name (case-sensitive).
+
+    Extra keyword arguments are forwarded to the measure constructor,
+    e.g. ``get_measure("ORA", method="exact")``.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown uncertainty measure {name!r}; "
+            f"available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def register_measure(
+    name: str, factory: Callable[[], UncertaintyMeasure]
+) -> None:
+    """Register a custom measure under ``name`` (overwrites existing)."""
+    _FACTORIES[name] = factory
+
+
+def available_measures() -> list:
+    """Sorted names of all registered measures."""
+    return sorted(_FACTORIES)
+
+
+__all__ = ["get_measure", "register_measure", "available_measures"]

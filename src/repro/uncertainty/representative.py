@@ -1,0 +1,73 @@
+"""Representative-ordering uncertainty measures (``U_ORA`` and ``U_MPO``).
+
+Both quantify uncertainty as the probability-weighted distance between the
+orderings of the space and one representative:
+
+* ``U_ORA`` — the Optimal Rank Aggregation, the median ordering minimizing
+  exactly this expected distance (Soliman et al., SIGMOD'11);
+* ``U_MPO`` — the Most Probable Ordering, i.e. the modal leaf.
+
+By construction ``U_ORA(T) ≤ U_MPO(T)`` when the ORA is computed exactly —
+a relation the property tests check on small instances.
+"""
+
+from __future__ import annotations
+
+from repro.rank.aggregation import optimal_rank_aggregation
+from repro.rank.kendall import DEFAULT_PENALTY, expected_topk_distance
+from repro.tpo.space import OrderingSpace
+from repro.uncertainty.base import UncertaintyMeasure
+
+
+class ORAUncertainty(UncertaintyMeasure):
+    """``U_ORA``: expected normalized top-K distance to the ORA.
+
+    Parameters
+    ----------
+    method:
+        Aggregation algorithm (see
+        :func:`repro.rank.aggregation.optimal_rank_aggregation`).  The
+        default ``"borda"`` keeps the measure cheap enough to sit inside
+        question-selection loops; use ``"auto"``/``"exact"`` when fidelity
+        matters more than speed.
+    penalty:
+        Fagin neutral-pair penalty of the underlying distance.
+    """
+
+    name = "ORA"
+
+    def __init__(
+        self, method: str = "borda", penalty: float = DEFAULT_PENALTY
+    ) -> None:
+        self.method = method
+        self.penalty = penalty
+
+    def __call__(self, space: OrderingSpace) -> float:
+        if space.is_certain:
+            return 0.0
+        reference = optimal_rank_aggregation(
+            space, k=space.depth, method=self.method, penalty=self.penalty
+        )
+        return expected_topk_distance(
+            space, reference, penalty=self.penalty, normalized=True
+        )
+
+
+class MPOUncertainty(UncertaintyMeasure):
+    """``U_MPO``: expected normalized top-K distance to the modal ordering."""
+
+    name = "MPO"
+
+    def __init__(self, penalty: float = DEFAULT_PENALTY) -> None:
+        self.penalty = penalty
+
+    def __call__(self, space: OrderingSpace) -> float:
+        if space.is_certain:
+            return 0.0
+        reference = space.most_probable_ordering()
+        return expected_topk_distance(
+            space, reference, penalty=self.penalty, normalized=True
+        )
+
+
+__all__ = ["ORAUncertainty", "MPOUncertainty"]

@@ -1,0 +1,19 @@
+"""Shared utilities: random-number handling, timing, validation helpers."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "timed",
+    "check_fraction",
+    "check_positive",
+    "check_probability_vector",
+]

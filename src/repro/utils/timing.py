@@ -1,0 +1,65 @@
+"""Lightweight CPU-time measurement used by the experiment harness.
+
+The paper's Figure 1(b) reports CPU seconds per algorithm; we measure
+``time.process_time`` (CPU, not wall clock) so that the reported numbers are
+insensitive to machine load, mirroring what the authors report.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named CPU-time spans.
+
+    Example::
+
+        watch = Stopwatch()
+        with watch.span("select"):
+            policy.select(...)
+        watch.total("select")  # seconds
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Context manager measuring one CPU-time span under ``name``."""
+        start = time.process_time()
+        try:
+            yield
+        finally:
+            elapsed = time.process_time() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Total CPU seconds accumulated under ``name`` (0.0 if unused)."""
+        return self.totals.get(name, 0.0)
+
+    def grand_total(self) -> float:
+        """Sum of all spans."""
+        return sum(self.totals.values())
+
+    def reset(self) -> None:
+        """Drop all accumulated spans."""
+        self.totals.clear()
+        self.counts.clear()
+
+
+def timed(fn: Callable[..., T], *args, **kwargs) -> Tuple[T, float]:
+    """Run ``fn`` and return ``(result, cpu_seconds)``."""
+    start = time.process_time()
+    result = fn(*args, **kwargs)
+    return result, time.process_time() - start
+
+
+__all__ = ["Stopwatch", "timed"]

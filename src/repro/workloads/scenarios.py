@@ -1,0 +1,113 @@
+"""Realistic scenario generators built on the uncertain-relational layer.
+
+These produce full :class:`~repro.db.table.UncertainTable` instances for
+the example applications: the kinds of workloads the paper's introduction
+motivates (noisy sensing infrastructures and imprecise human contributions
+on social media).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.db.table import UncertainTable
+from repro.distributions.gaussian import TruncatedGaussian
+from repro.distributions.histogram import Histogram
+from repro.distributions.uniform import Uniform
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def sensor_network(
+    n_sensors: int = 15,
+    readings_per_sensor: int = 5,
+    noise_sigma: float = 0.8,
+    temperature_span: float = 12.0,
+    base_temperature: float = 18.0,
+    rng: SeedLike = None,
+) -> UncertainTable:
+    """Temperature sensors with per-sensor Gaussian measurement noise.
+
+    Each sensor's true temperature is fixed; the table stores the score as
+    the posterior over repeated noisy readings — a Gaussian with standard
+    error ``noise_sigma / √readings``.  "Which sensors are hottest?" is
+    then an uncertain top-K query.
+    """
+    generator = ensure_rng(rng)
+    table = UncertainTable("sensors")
+    for index in range(n_sensors):
+        true_temp = base_temperature + generator.random() * temperature_span
+        readings = true_temp + generator.normal(
+            0.0, noise_sigma, size=readings_per_sensor
+        )
+        posterior_mu = float(np.mean(readings))
+        posterior_sigma = noise_sigma / np.sqrt(readings_per_sensor)
+        table.insert(
+            f"sensor-{index:02d}",
+            zone=f"zone-{index % 4}",
+            readings=readings_per_sensor,
+            temperature=TruncatedGaussian(posterior_mu, posterior_sigma),
+            true_temperature=true_temp,
+        )
+    return table
+
+
+def photo_contest(
+    n_photos: int = 12,
+    votes_per_photo: int = 8,
+    quality_span: float = 4.0,
+    vote_noise: float = 1.2,
+    rng: SeedLike = None,
+) -> UncertainTable:
+    """Photos rated 1–5 by a handful of users; scores are vote histograms.
+
+    With few votes per photo the empirical rating distributions overlap
+    heavily — the canonical "imprecise human contributions" scenario.
+    """
+    generator = ensure_rng(rng)
+    table = UncertainTable("photos")
+    for index in range(n_photos):
+        quality = 1.0 + generator.random() * quality_span
+        votes = np.clip(
+            quality + generator.normal(0.0, vote_noise, size=votes_per_photo),
+            1.0,
+            5.0,
+        )
+        table.insert(
+            f"photo-{index:02d}",
+            author=f"user-{generator.integers(100, 999)}",
+            votes=votes_per_photo,
+            rating=Histogram.from_samples(votes, bins=8),
+            true_quality=quality,
+        )
+    return table
+
+
+def restaurant_guide(
+    n_restaurants: int = 14,
+    rng: SeedLike = None,
+) -> UncertainTable:
+    """Restaurants with certain price and uncertain quality/distance.
+
+    Exercises multi-attribute scoring: quality is an interval from review
+    excerpts, distance a certain number, price a certain number — a
+    :class:`~repro.db.scoring.LinearScore` combines them.
+    """
+    generator = ensure_rng(rng)
+    table = UncertainTable("restaurants")
+    cuisines = ["italian", "japanese", "mexican", "indian", "french"]
+    for index in range(n_restaurants):
+        quality_center = 2.5 + generator.random() * 2.0
+        spread = 0.3 + generator.random() * 0.7
+        table.insert(
+            f"restaurant-{index:02d}",
+            cuisine=cuisines[int(generator.integers(len(cuisines)))],
+            quality=Uniform(quality_center - spread, quality_center + spread),
+            price=float(np.round(10 + generator.random() * 40, 2)),
+            distance_km=float(np.round(0.2 + generator.random() * 5.0, 2)),
+        )
+    return table
+
+
+__all__ = ["sensor_network", "photo_contest", "restaurant_guide"]

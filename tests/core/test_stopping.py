@@ -1,0 +1,87 @@
+"""Tests for the value-of-information stopping wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Top1OnlinePolicy,
+    UncertaintyReductionSession,
+    ValueOfInformationStopper,
+    make_policy,
+)
+from repro.crowd import GroundTruth, SimulatedCrowd
+from repro.distributions import Uniform
+from repro.questions import ResidualEvaluator, informative_questions
+from repro.tpo import GridBuilder
+from repro.uncertainty import EntropyMeasure
+
+
+@pytest.fixture
+def instance():
+    rng = np.random.default_rng(6)
+    dists = [Uniform(c, c + 0.3) for c in rng.random(9)]
+    truth = GroundTruth.sample(dists, rng=2)
+    return dists, truth
+
+
+def make_session(dists, truth, seed=0):
+    crowd = SimulatedCrowd(truth, rng=np.random.default_rng(seed))
+    return UncertaintyReductionSession(
+        dists, 4, crowd,
+        builder=GridBuilder(resolution=500),
+        rng=np.random.default_rng(seed + 1),
+    )
+
+
+class TestWrapperMechanics:
+    def test_name_and_pool_follow_inner(self):
+        wrapped = ValueOfInformationStopper(Top1OnlinePolicy(), 0.1)
+        assert "T1-on" in wrapped.name
+        assert wrapped.pool == Top1OnlinePolicy.pool
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            ValueOfInformationStopper(Top1OnlinePolicy(), 0.0)
+
+    def test_huge_threshold_stops_immediately(self, instance, small_space):
+        dists, truth = instance
+        wrapped = ValueOfInformationStopper(Top1OnlinePolicy(), 1e6)
+        evaluator = ResidualEvaluator(EntropyMeasure())
+        candidates = informative_questions(small_space)
+        rng = np.random.default_rng(0)
+        assert wrapped.next_question(
+            small_space, candidates, 5, evaluator, rng
+        ) is None
+        assert wrapped.stopped_economically
+
+    def test_tiny_threshold_is_transparent(self, small_space):
+        wrapped = ValueOfInformationStopper(Top1OnlinePolicy(), 1e-9)
+        inner = Top1OnlinePolicy()
+        evaluator = ResidualEvaluator(EntropyMeasure())
+        candidates = informative_questions(small_space)
+        rng = np.random.default_rng(0)
+        assert wrapped.next_question(
+            small_space, candidates, 5, evaluator, rng
+        ) == inner.next_question(small_space, candidates, 5, evaluator, rng)
+
+
+class TestWrapperInSessions:
+    def test_saves_questions_with_bounded_quality_loss(self, instance):
+        dists, truth = instance
+        budget = 30
+        plain = make_session(dists, truth).run(make_policy("T1-on"), budget)
+        frugal = make_session(dists, truth).run(
+            ValueOfInformationStopper(Top1OnlinePolicy(), 0.3), budget
+        )
+        assert frugal.questions_asked <= plain.questions_asked
+        # Stopping early may leave residual distance, but bounded.
+        assert frugal.distance_to_truth <= plain.distance_to_truth + 0.15
+
+    def test_zero_uncertainty_stops_anyway(self, instance):
+        dists, truth = instance
+        session = make_session(dists, truth)
+        result = session.run(
+            ValueOfInformationStopper(Top1OnlinePolicy(), 1e-6), 200
+        )
+        # Terminates (either certain or nothing worth asking).
+        assert result.questions_asked < 200

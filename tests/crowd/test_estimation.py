@@ -1,0 +1,105 @@
+"""Tests for EM worker-accuracy estimation."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import GroundTruth
+from repro.crowd.estimation import (
+    LabeledVote,
+    estimate_worker_accuracies,
+    simulate_vote_log,
+)
+from repro.questions import Question
+
+
+@pytest.fixture
+def truth():
+    rng = np.random.default_rng(0)
+    return GroundTruth(rng.random(16))
+
+
+@pytest.fixture
+def questions():
+    return [Question(i, j) for i in range(16) for j in range(i + 1, 16)]
+
+
+class TestEstimation:
+    def test_recovers_heterogeneous_accuracies(self, truth, questions):
+        """120 questions identify each worker's band (±0.15 — the
+        statistical limit at this sample size, not an algorithm slack)."""
+        rng = np.random.default_rng(1)
+        true_accuracies = {"good": 0.95, "mid": 0.8, "bad": 0.6}
+        votes = simulate_vote_log(truth, questions, true_accuracies, rng)
+        result = estimate_worker_accuracies(votes)
+        for worker, accuracy in true_accuracies.items():
+            assert result.accuracies[worker] == pytest.approx(
+                accuracy, abs=0.15
+            )
+        # The weak worker is always separated from the strong ones.
+        assert result.accuracies["bad"] < result.accuracies["good"]
+        assert result.accuracies["bad"] < result.accuracies["mid"]
+
+    def test_consensus_tracks_majority_quality(self, truth, questions):
+        rng = np.random.default_rng(2)
+        votes = simulate_vote_log(
+            truth, questions, {"a": 0.75, "b": 0.75, "c": 0.75}, rng
+        )
+        result = estimate_worker_accuracies(votes)
+        consensus = result.consensus()
+        correct = sum(
+            1 for q, verdict in consensus.items() if verdict == truth.holds(q)
+        )
+        consensus_accuracy = correct / len(consensus)
+        assert consensus_accuracy >= 0.75  # no worse than one worker
+
+    def test_ordering_of_workers_is_right(self, truth, questions):
+        """A large (0.9 vs 0.55) gap is identified on every seed."""
+        for seed in range(3):
+            rng = np.random.default_rng(seed + 3)
+            votes = simulate_vote_log(
+                truth,
+                questions,
+                {"strong": 0.9, "weak": 0.55, "anchor": 0.75},
+                rng,
+            )
+            result = estimate_worker_accuracies(votes)
+            assert (
+                result.accuracies["strong"] > result.accuracies["weak"]
+            )
+
+    def test_converges(self, truth, questions):
+        rng = np.random.default_rng(4)
+        votes = simulate_vote_log(truth, questions, {"a": 0.9, "b": 0.8}, rng)
+        result = estimate_worker_accuracies(votes)
+        assert result.converged
+        assert result.iterations <= 100
+
+    def test_posterior_probabilities_in_range(self, truth, questions):
+        rng = np.random.default_rng(5)
+        votes = simulate_vote_log(truth, questions[:20], {"a": 0.85}, rng)
+        result = estimate_worker_accuracies(votes)
+        for p in result.posteriors.values():
+            assert 0.0 <= p <= 1.0
+
+    def test_empty_votes_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_worker_accuracies([])
+
+    def test_single_vote_respects_prior(self):
+        votes = [LabeledVote(Question(0, 1), "solo", True)]
+        result = estimate_worker_accuracies(votes, prior_accuracy=0.7)
+        # One vote cannot move far from the prior.
+        assert result.accuracies["solo"] == pytest.approx(0.7, abs=0.15)
+
+    def test_prior_validation(self):
+        votes = [LabeledVote(Question(0, 1), "w", True)]
+        with pytest.raises(ValueError):
+            estimate_worker_accuracies(votes, prior_accuracy=1.5)
+
+    def test_simulate_vote_log_shape(self, truth):
+        rng = np.random.default_rng(6)
+        questions = [Question(0, 1), Question(1, 2)]
+        votes = simulate_vote_log(truth, questions, {"a": 1.0, "b": 1.0}, rng)
+        assert len(votes) == 4
+        for vote in votes:
+            assert vote.holds == truth.holds(vote.question)

@@ -1,0 +1,124 @@
+"""Tests for the top-K query API and CSV I/O."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import GroundTruth, SimulatedCrowd
+from repro.core import make_policy
+from repro.db import (
+    AttributeScore,
+    UncertainTable,
+    crowdsourced_topk,
+    read_table,
+    topk,
+    write_table,
+)
+from repro.distributions import TruncatedGaussian, Uniform
+
+
+@pytest.fixture
+def table():
+    t = UncertainTable("scores")
+    rng = np.random.default_rng(8)
+    for index in range(7):
+        c = rng.random()
+        t.insert(f"row-{index}", score=Uniform(c, c + 0.4))
+    return t
+
+
+class TestTopK:
+    def test_returns_consistent_result(self, table):
+        result = topk(table, 3, attribute="score")
+        assert result.k == 3
+        assert result.space.depth == 3
+        assert result.uncertainty >= 0.0
+        assert len(result.ranked_keys()) == 3
+        assert all(key.startswith("row-") for key in result.ranked_keys())
+
+    def test_questions_are_relevant_pairs(self, table):
+        result = topk(table, 3, attribute="score")
+        for question in result.questions:
+            di = result.distributions[question.i]
+            dj = result.distributions[question.j]
+            assert di.overlaps(dj)
+
+    def test_engine_selection(self, table):
+        grid = topk(table, 2, attribute="score", engine="grid")
+        mc = topk(table, 2, attribute="score", engine="mc", samples=20000, seed=1)
+        assert mc.space.depth == grid.space.depth
+
+    def test_describe_mentions_table(self, table):
+        text = topk(table, 2, attribute="score").describe()
+        assert "scores" in text
+        assert "orderings" in text
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            topk(UncertainTable(), 3, attribute="score")
+
+    def test_scoring_function_path(self, table):
+        result = topk(table, 2, scoring=AttributeScore("score"))
+        assert result.k == 2
+
+
+class TestCrowdsourcedTopK:
+    def test_end_to_end(self, table):
+        dists = table.score_distributions(attribute="score")
+        truth = GroundTruth.sample(dists, rng=4)
+        crowd = SimulatedCrowd(truth, rng=np.random.default_rng(0))
+        result = crowdsourced_topk(
+            table,
+            3,
+            budget=6,
+            policy=make_policy("T1-on"),
+            crowd=crowd,
+            attribute="score",
+            rng=1,
+        )
+        assert result.distance_to_truth <= result.initial_distance + 1e-9
+        assert result.questions_asked <= 6
+
+
+class TestCsvIO:
+    def test_roundtrip_uniform_and_gaussian(self, tmp_path):
+        table = UncertainTable("t")
+        table.insert("x", score=Uniform(0.1, 0.7), temp=TruncatedGaussian(20, 2))
+        table.insert("y", score=Uniform(0.2, 0.9), temp=TruncatedGaussian(25, 1))
+        path = tmp_path / "t.csv"
+        write_table(table, path, ["score", "temp"])
+        loaded = read_table(path)
+        assert len(loaded) == 2
+        score = loaded.by_key("x").attribute_distribution("score")
+        assert isinstance(score, Uniform)
+        assert score.support == pytest.approx((0.1, 0.7))
+        temp = loaded.by_key("y").attribute_distribution("temp")
+        assert isinstance(temp, TruncatedGaussian)
+        assert temp.mu == pytest.approx(25)
+
+    def test_read_parses_samples_and_plain_columns(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        path.write_text(
+            "key,rating_samples,price,city\n"
+            'a,"1;2;2;3",12.5,milan\n'
+            'b,"4;5;4",8.0,rome\n'
+        )
+        table = read_table(path)
+        rating = table.by_key("a").attribute_distribution("rating")
+        assert rating.lower >= 1.0
+        assert table.by_key("b").attributes["price"] == 8.0
+        assert table.by_key("a").attributes["city"] == "milan"
+
+    def test_read_requires_key_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("name,score\na,1\n")
+        with pytest.raises(ValueError):
+            read_table(path)
+
+    def test_queryable_after_roundtrip(self, tmp_path):
+        table = UncertainTable("t")
+        for index in range(5):
+            table.insert(f"r{index}", score=Uniform(index * 0.1, index * 0.1 + 0.3))
+        path = tmp_path / "q.csv"
+        write_table(table, path, ["score"])
+        result = topk(read_table(path), 2, attribute="score")
+        assert result.space.size >= 1

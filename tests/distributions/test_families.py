@@ -1,0 +1,252 @@
+"""Per-family tests for the concrete score distributions."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Histogram,
+    PointMass,
+    Triangular,
+    TruncatedGaussian,
+    TruncatedPareto,
+    Uniform,
+)
+from repro.distributions.affine import AffineDistribution
+
+ALL_FAMILIES = [
+    Uniform(0.2, 0.9),
+    Triangular(0.0, 0.3, 1.0),
+    TruncatedGaussian(0.5, 0.12),
+    TruncatedPareto(1.0, 1.8, 8.0),
+    Histogram([0.0, 0.3, 0.6, 1.0], [0.2, 0.5, 0.3]),
+    AffineDistribution(Uniform(0.0, 1.0), 2.0, -0.5),
+    AffineDistribution(Triangular(0.0, 0.4, 1.0), -1.0, 1.0),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_FAMILIES, ids=lambda d: repr(d))
+class TestCommonContract:
+    def test_support_is_ordered(self, dist):
+        assert dist.lower < dist.upper
+
+    def test_pdf_nonnegative_and_zero_outside(self, dist):
+        xs = np.linspace(dist.lower - 1, dist.upper + 1, 301)
+        pdf = np.asarray(dist.pdf(xs))
+        assert np.all(pdf >= -1e-12)
+        assert np.all(pdf[xs < dist.lower] == 0)
+        assert np.all(pdf[xs > dist.upper] == 0)
+
+    def test_cdf_monotone_and_bounded(self, dist):
+        xs = np.linspace(dist.lower - 0.5, dist.upper + 0.5, 301)
+        cdf = np.asarray(dist.cdf(xs))
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[0] == pytest.approx(0.0, abs=1e-9)
+        assert cdf[-1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_quantile_inverts_cdf(self, dist):
+        ps = np.linspace(0.05, 0.95, 19)
+        xs = np.asarray(dist.quantile(ps))
+        back = np.asarray(dist.cdf(xs))
+        np.testing.assert_allclose(back, ps, atol=5e-3)
+
+    def test_pdf_integrates_to_one(self, dist):
+        xs = np.linspace(dist.lower, dist.upper, 20001)
+        mass = np.trapezoid(np.asarray(dist.pdf(xs)), xs)
+        assert mass == pytest.approx(1.0, abs=2e-3)
+
+    def test_mean_and_variance_match_sampling(self, dist):
+        rng = np.random.default_rng(0)
+        samples = np.asarray(dist.sample(rng, 200000))
+        assert dist.mean() == pytest.approx(samples.mean(), abs=0.02 * dist.width() + 1e-3)
+        assert dist.variance() == pytest.approx(samples.var(), rel=0.15, abs=1e-4)
+
+    def test_samples_stay_in_support(self, dist):
+        rng = np.random.default_rng(1)
+        samples = np.asarray(dist.sample(rng, 5000))
+        assert samples.min() >= dist.lower - 1e-9
+        assert samples.max() <= dist.upper + 1e-9
+
+    def test_piecewise_pdf_matches_analytic(self, dist):
+        pw = dist.piecewise_pdf()
+        assert pw.definite_integral() == pytest.approx(1.0, abs=1e-6)
+        # Compare CDFs (robust to histogram discretization of smooth pdfs).
+        anti = pw.antiderivative()
+        xs = np.linspace(dist.lower + 1e-9, dist.upper - 1e-9, 57)
+        np.testing.assert_allclose(
+            anti(xs), np.asarray(dist.cdf(xs)), atol=2e-2
+        )
+
+    def test_prob_greater_agrees_with_monte_carlo(self, dist):
+        other = Uniform(dist.lower, dist.upper)
+        p = dist.prob_greater(other)
+        rng = np.random.default_rng(2)
+        xs = np.asarray(dist.sample(rng, 150000))
+        ys = np.asarray(other.sample(rng, 150000))
+        assert p == pytest.approx(float(np.mean(xs > ys)), abs=0.01)
+
+
+class TestUniform:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Uniform(1.0, 1.0)
+        with pytest.raises(ValueError):
+            Uniform(np.inf, 2.0)
+
+    def test_closed_form_moments(self):
+        u = Uniform(2.0, 6.0)
+        assert u.mean() == pytest.approx(4.0)
+        assert u.variance() == pytest.approx(16.0 / 12.0)
+
+    def test_prob_greater_disjoint(self):
+        assert Uniform(2, 3).prob_greater(Uniform(0, 1)) == 1.0
+        assert Uniform(0, 1).prob_greater(Uniform(2, 3)) == 0.0
+
+    def test_prob_greater_identical_is_half(self):
+        u = Uniform(0, 1)
+        assert u.prob_greater(Uniform(0, 1)) == pytest.approx(0.5)
+
+    def test_prob_greater_nested(self):
+        # Closed form cross-check computed by hand:
+        # X~U(0,2), Y~U(0.5,1): Pr(X>Y) = 1 - E[X<Y]... use MC tolerance.
+        p = Uniform(0, 2).prob_greater(Uniform(0.5, 1.0))
+        rng = np.random.default_rng(3)
+        mc = np.mean(rng.uniform(0, 2, 200000) > rng.uniform(0.5, 1, 200000))
+        assert p == pytest.approx(mc, abs=0.005)
+
+
+class TestTriangular:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Triangular(0, 2, 1)
+        with pytest.raises(ValueError):
+            Triangular(1, 1, 1)
+
+    def test_degenerate_modes(self):
+        left = Triangular(0, 0, 1)   # pure falling ramp
+        right = Triangular(0, 1, 1)  # pure rising ramp
+        assert left.pdf(np.array([0.0]))[0] == pytest.approx(2.0)
+        assert right.piecewise_pdf().definite_integral() == pytest.approx(1.0)
+
+    def test_mode_property(self):
+        assert Triangular(0, 0.25, 1).mode == 0.25
+
+
+class TestGaussian:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TruncatedGaussian(0, 0)
+        with pytest.raises(ValueError):
+            TruncatedGaussian(0, 1, lower=2, upper=1)
+
+    def test_default_truncation_at_four_sigma(self):
+        g = TruncatedGaussian(10.0, 2.0)
+        assert g.lower == pytest.approx(2.0)
+        assert g.upper == pytest.approx(18.0)
+
+    def test_symmetric_truncation_keeps_mean(self):
+        g = TruncatedGaussian(0.5, 0.1)
+        assert g.mean() == pytest.approx(0.5, abs=1e-12)
+        assert g.variance() < 0.1**2  # truncation shrinks variance
+
+    def test_asymmetric_truncation_shifts_mean(self):
+        g = TruncatedGaussian(0.0, 1.0, lower=0.0, upper=4.0)
+        assert g.mean() > 0.5
+
+
+class TestPareto:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TruncatedPareto(0, 1, 2)
+        with pytest.raises(ValueError):
+            TruncatedPareto(1, -1, 2)
+        with pytest.raises(ValueError):
+            TruncatedPareto(1, 1, 0.5)
+
+    def test_special_shape_one_mean(self):
+        p = TruncatedPareto(1.0, 1.0, 10.0)
+        rng = np.random.default_rng(4)
+        assert p.mean() == pytest.approx(
+            np.asarray(p.sample(rng, 300000)).mean(), rel=0.02
+        )
+
+
+class TestHistogram:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram([0, 1], [1, 2])
+        with pytest.raises(ValueError):
+            Histogram([1, 0], [1])
+        with pytest.raises(ValueError):
+            Histogram([0, 1], [-1])
+        with pytest.raises(ValueError):
+            Histogram([0, 1], [0])
+
+    def test_normalizes_masses(self):
+        h = Histogram([0, 1, 2], [2, 2])
+        np.testing.assert_allclose(h.masses, [0.5, 0.5])
+
+    def test_from_samples_roundtrip(self):
+        rng = np.random.default_rng(5)
+        samples = rng.normal(5.0, 1.0, 50000)
+        h = Histogram.from_samples(samples, bins=64)
+        assert h.mean() == pytest.approx(5.0, abs=0.05)
+
+    def test_from_samples_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Histogram.from_samples([])
+
+    def test_discretize_preserves_cdf(self):
+        g = TruncatedGaussian(0.0, 1.0)
+        h = Histogram.discretize(g, bins=128)
+        xs = np.linspace(-3, 3, 31)
+        np.testing.assert_allclose(h.cdf(xs), g.cdf(xs), atol=0.02)
+
+
+class TestPointMass:
+    def test_deterministic_flag(self):
+        assert PointMass(1.0).is_deterministic
+        assert not Uniform(0, 1).is_deterministic
+
+    def test_comparisons(self):
+        p = PointMass(0.5)
+        assert p.prob_greater(PointMass(0.2)) == 1.0
+        assert p.prob_greater(PointMass(0.8)) == 0.0
+        assert p.prob_greater(PointMass(0.5)) == 0.5
+        assert p.prob_greater(Uniform(0, 1)) == pytest.approx(0.5)
+        assert Uniform(0, 1).prob_greater(p) == pytest.approx(0.5)
+
+    def test_overlap_semantics(self):
+        p = PointMass(0.5)
+        assert p.overlaps(Uniform(0, 1))
+        assert not p.overlaps(Uniform(0.6, 1))
+        assert not p.overlaps(PointMass(0.5))
+
+    def test_sampling_is_constant(self):
+        p = PointMass(2.5)
+        assert p.sample() == 2.5
+        np.testing.assert_allclose(p.sample(size=4), [2.5] * 4)
+
+
+class TestAffine:
+    def test_rejects_zero_scale(self):
+        with pytest.raises(ValueError):
+            AffineDistribution(Uniform(0, 1), 0.0)
+
+    def test_positive_scale_moments(self):
+        base = Uniform(0, 1)
+        t = AffineDistribution(base, 3.0, 1.0)
+        assert t.mean() == pytest.approx(2.5)
+        assert t.variance() == pytest.approx(9.0 / 12.0)
+        assert t.support == (1.0, 4.0)
+
+    def test_negative_scale_flips_support(self):
+        t = AffineDistribution(Uniform(0, 1), -2.0, 0.0)
+        assert t.support == (-2.0, 0.0)
+        assert t.mean() == pytest.approx(-1.0)
+
+    def test_negative_scale_cdf_consistency(self):
+        base = Triangular(0, 0.3, 1)
+        t = AffineDistribution(base, -1.0, 2.0)
+        xs = np.linspace(t.lower + 1e-9, t.upper - 1e-9, 41)
+        anti = t.piecewise_pdf().antiderivative()
+        np.testing.assert_allclose(anti(xs), np.asarray(t.cdf(xs)), atol=1e-6)

@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) for the distribution substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Triangular, TruncatedGaussian, Uniform
+from repro.distributions.base import ScoreDistribution
+from repro.distributions.piecewise import PiecewisePolynomial
+
+finite = st.floats(
+    min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+)
+width = st.floats(min_value=1e-3, max_value=10, allow_nan=False)
+
+
+@st.composite
+def uniforms(draw):
+    lo = draw(finite)
+    return Uniform(lo, lo + draw(width))
+
+
+@st.composite
+def triangulars(draw):
+    lo = draw(finite)
+    w = draw(width)
+    mode = lo + draw(st.floats(min_value=0, max_value=1)) * w
+    return Triangular(lo, mode, lo + w)
+
+
+@st.composite
+def gaussians(draw):
+    return TruncatedGaussian(
+        draw(finite), draw(st.floats(min_value=1e-2, max_value=5))
+    )
+
+
+any_distribution = st.one_of(uniforms(), triangulars(), gaussians())
+
+
+@given(any_distribution)
+@settings(max_examples=60, deadline=None)
+def test_cdf_is_monotone_and_normalized(dist):
+    xs = np.linspace(dist.lower, dist.upper, 101)
+    cdf = np.asarray(dist.cdf(xs))
+    assert np.all(np.diff(cdf) >= -1e-9)
+    assert abs(float(cdf[-1]) - 1.0) < 1e-6
+    assert float(cdf[0]) < 1e-6 + 1e-9
+
+
+@given(any_distribution, st.floats(min_value=0.01, max_value=0.99))
+@settings(max_examples=60, deadline=None)
+def test_quantile_is_cdf_inverse(dist, p):
+    x = float(np.asarray(dist.quantile(np.array([p])))[0])
+    assert dist.lower - 1e-9 <= x <= dist.upper + 1e-9
+    assert abs(float(np.asarray(dist.cdf(np.array([x])))[0]) - p) < 2e-2
+
+
+@given(uniforms(), uniforms())
+@settings(max_examples=60, deadline=None)
+def test_prob_greater_is_complementary(x, y):
+    p_xy = x.prob_greater(y)
+    p_yx = y.prob_greater(x)
+    assert 0.0 <= p_xy <= 1.0
+    assert abs(p_xy + p_yx - 1.0) < 1e-9
+
+
+@given(uniforms(), uniforms())
+@settings(max_examples=40, deadline=None)
+def test_closed_form_matches_piecewise_machinery(x, y):
+    closed = x.prob_greater(y)
+    generic = ScoreDistribution.prob_greater(x, y)
+    assert abs(closed - generic) < 1e-9
+
+
+@given(any_distribution)
+@settings(max_examples=40, deadline=None)
+def test_piecewise_pdf_total_mass(dist):
+    assert abs(dist.piecewise_pdf().definite_integral() - 1.0) < 1e-6
+
+
+@given(
+    st.lists(
+        st.tuples(finite, st.floats(min_value=0.1, max_value=5)),
+        min_size=1,
+        max_size=4,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_piecewise_sum_linearity(pieces):
+    """Integral of a sum equals the sum of integrals."""
+    functions = [
+        PiecewisePolynomial.constant(1.0, lo, lo + w) for lo, w in pieces
+    ]
+    total = functions[0]
+    for f in functions[1:]:
+        total = total + f
+    expected = sum(f.definite_integral() for f in functions)
+    assert abs(total.definite_integral() - expected) < 1e-7
+
+
+@given(uniforms(), st.floats(min_value=0.05, max_value=0.95))
+@settings(max_examples=40, deadline=None)
+def test_sampling_matches_cdf(dist, p):
+    """Empirical CDF at the p-quantile is close to p."""
+    rng = np.random.default_rng(0)
+    samples = np.asarray(dist.sample(rng, 4000))
+    x = float(np.asarray(dist.quantile(np.array([p])))[0])
+    empirical = float(np.mean(samples <= x))
+    assert abs(empirical - p) < 0.05

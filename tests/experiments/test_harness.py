@@ -1,0 +1,117 @@
+"""Tests for the experiment harness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import (
+    ExperimentConfig,
+    ResultTable,
+    format_series,
+    run_cell,
+)
+
+
+class TestExperimentConfig:
+    def test_workload_is_rep_stable_and_policy_independent(self):
+        config = ExperimentConfig(n=6, k=3, repetitions=2)
+        one = config.workload_for(0)
+        two = config.workload_for(0)
+        other_rep = config.workload_for(1)
+        assert [d.support for d in one] == [d.support for d in two]
+        assert [d.support for d in one] != [d.support for d in other_rep]
+
+    def test_truth_is_rep_stable(self):
+        config = ExperimentConfig(n=6, k=3)
+        dists = config.workload_for(0)
+        a = config.truth_for(0, dists)
+        b = config.truth_for(0, dists)
+        np.testing.assert_array_equal(a.ordering, b.ordering)
+
+
+class TestRunCell:
+    def test_produces_result(self):
+        config = ExperimentConfig(
+            n=7, k=3, workload_params={"width": 0.25}, repetitions=1
+        )
+        result = run_cell(config, "T1-on", 4, 0)
+        assert result.policy == "T1-on"
+        assert result.questions_asked <= 4
+
+    def test_policies_face_same_instance(self):
+        config = ExperimentConfig(
+            n=7, k=3, workload_params={"width": 0.25}, repetitions=1
+        )
+        a = run_cell(config, "naive", 2, 0)
+        b = run_cell(config, "T1-on", 2, 0)
+        # Paired design ⇒ identical initial uncertainty/distance.
+        assert a.initial_uncertainty == pytest.approx(b.initial_uncertainty)
+        assert a.initial_distance == pytest.approx(b.initial_distance)
+
+    def test_noisy_config(self):
+        config = ExperimentConfig(
+            n=6, k=3, worker_accuracy=0.8, repetitions=1
+        )
+        result = run_cell(config, "T1-on", 3, 0)
+        assert result.answers[0].accuracy < 1.0
+
+
+class TestResultTable:
+    def test_aggregate_mean_and_std(self):
+        table = ResultTable()
+        table.add(policy="x", budget=5, distance=0.2)
+        table.add(policy="x", budget=5, distance=0.4)
+        table.add(policy="y", budget=5, distance=0.1)
+        agg = table.aggregate(["policy", "budget"], ["distance"])
+        rows = {r["policy"]: r for r in agg.rows}
+        assert rows["x"]["distance"] == pytest.approx(0.3)
+        assert rows["x"]["reps"] == 2
+        assert rows["x"]["distance_std"] == pytest.approx(0.1)
+        assert rows["y"]["distance_std"] == 0.0
+
+    def test_aggregate_ignores_nan(self):
+        table = ResultTable()
+        table.add(policy="x", distance=float("nan"))
+        table.add(policy="x", distance=0.5)
+        agg = table.aggregate(["policy"], ["distance"])
+        assert agg.rows[0]["distance"] == pytest.approx(0.5)
+
+    def test_pivot_sorted_series(self):
+        table = ResultTable()
+        table.add(policy="a", budget=10, distance=0.1)
+        table.add(policy="a", budget=5, distance=0.3)
+        series = table.pivot("policy", "budget", "distance")
+        assert series["a"] == [(5, 0.3), (10, 0.1)]
+
+    def test_csv_roundtrip(self, tmp_path):
+        table = ResultTable()
+        table.add(policy="a", budget=1, distance=0.5)
+        path = tmp_path / "out.csv"
+        table.to_csv(path)
+        text = path.read_text()
+        assert "policy,budget,distance" in text
+        assert "a,1,0.5" in text
+
+    def test_format_alignment(self):
+        table = ResultTable()
+        table.add(policy="longname", value=1.23456)
+        text = table.format()
+        assert "policy" in text and "longname" in text
+
+    def test_format_series_grid(self):
+        series = {"algo": [(0, 0.5), (5, 0.25)]}
+        text = format_series(series)
+        assert "B=0" in text and "B=5" in text
+        assert "0.2500" in text
+
+    def test_add_result_projection(self):
+        config = ExperimentConfig(
+            n=6, k=3, workload_params={"width": 0.25}, repetitions=1
+        )
+        result = run_cell(config, "naive", 2, 0)
+        table = ResultTable()
+        table.add_result(result, rep=0)
+        row = table.rows[0]
+        assert row["policy"] == "naive"
+        assert "cpu" in row and "distance" in row

@@ -1,0 +1,41 @@
+"""Tests for the consolidated report writer."""
+
+import pytest
+
+from repro.experiments.report import run_report
+
+
+class TestRunReport:
+    def test_single_experiment_document(self, tmp_path):
+        output = tmp_path / "report.md"
+        csv_dir = tmp_path / "csv"
+        document = run_report(
+            ["ASTAR"], fast=True, output=str(output), csv_dir=str(csv_dir)
+        )
+        assert "# Reproduction report" in document
+        assert "## ASTAR" in document
+        assert output.exists()
+        assert (csv_dir / "astar.csv").exists()
+        assert output.read_text() == document
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_report(["WAT"])
+
+    def test_ids_case_insensitive(self):
+        document = run_report(["astar"], fast=True)
+        assert "## ASTAR" in document
+
+
+class TestCliIntegration:
+    def test_cli_writes_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        output = tmp_path / "out.md"
+        code = main(
+            ["experiment", "ASTAR", "--output", str(output)]
+        )
+        assert code == 0
+        assert output.exists()
+        assert "ASTAR" in output.read_text()
+        assert "report written" in capsys.readouterr().out

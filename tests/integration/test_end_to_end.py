@@ -1,0 +1,150 @@
+"""Integration tests across all substrates.
+
+These are the paper's claims as executable statements on small instances:
+pruning converges to the real ordering, proposed policies beat baselines,
+noisy crowds still help, and all engines tell the same story.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GroundTruth,
+    IncrementalAlgorithm,
+    SimulatedCrowd,
+    UncertaintyReductionSession,
+    Uniform,
+    make_policy,
+)
+from repro.tpo import ExactBuilder, GridBuilder, MonteCarloBuilder
+from repro.uncertainty import get_measure
+
+
+def build_instance(n=10, k=5, width=0.25, seed=0):
+    rng = np.random.default_rng(seed)
+    dists = [Uniform(c, c + width) for c in rng.random(n)]
+    truth = GroundTruth.sample(dists, rng=rng)
+    return dists, truth
+
+
+def run(dists, truth, policy_name, budget, k=5, accuracy=1.0, seed=1, **kw):
+    crowd = SimulatedCrowd(
+        truth, worker_accuracy=accuracy, rng=np.random.default_rng(seed)
+    )
+    session = UncertaintyReductionSession(
+        dists, k, crowd,
+        builder=GridBuilder(resolution=500),
+        rng=np.random.default_rng(seed + 1),
+    )
+    return session.run(make_policy(policy_name, **kw), budget)
+
+
+class TestConvergence:
+    def test_unbounded_budget_always_finds_truth(self):
+        for seed in range(4):
+            dists, truth = build_instance(seed=seed)
+            result = run(dists, truth, "T1-on", budget=200, seed=seed)
+            assert result.final_space.is_certain
+            np.testing.assert_array_equal(
+                result.final_space.paths[0], truth.top_k(5)
+            )
+
+    def test_more_budget_is_no_worse_for_t1(self):
+        dists, truth = build_instance(seed=7)
+        distances = [
+            run(dists, truth, "T1-on", budget=b, seed=3).distance_to_truth
+            for b in (0, 4, 8, 16)
+        ]
+        # Reliable answers only remove wrong orderings: monotone decay.
+        for earlier, later in zip(distances, distances[1:]):
+            assert later <= earlier + 1e-9
+
+
+class TestPaperOrdering:
+    def test_proposed_beats_random_on_average(self):
+        gaps = []
+        for seed in range(5):
+            dists, truth = build_instance(seed=seed)
+            smart = run(dists, truth, "T1-on", budget=6, seed=seed)
+            dumb = run(dists, truth, "random", budget=6, seed=seed)
+            gaps.append(
+                dumb.distance_to_truth - smart.distance_to_truth
+            )
+        assert np.mean(gaps) > 0
+
+    def test_incr_is_close_to_t1_but_cheaper_to_build(self):
+        dists, truth = build_instance(n=12, k=6, seed=2)
+        t1 = run(dists, truth, "T1-on", budget=8, k=6, seed=2)
+        incr = run(dists, truth, "incr", budget=8, k=6, seed=2, round_size=4)
+        # Quality may lag slightly; catastrophic gaps mean a bug.
+        assert incr.distance_to_truth <= t1.distance_to_truth + 0.25
+
+
+class TestNoisyCrowd:
+    def test_majority_voting_beats_single_noisy_worker(self):
+        deltas = []
+        for seed in range(5):
+            dists, truth = build_instance(seed=seed + 20)
+            single = SimulatedCrowd(
+                truth, worker_accuracy=0.7,
+                rng=np.random.default_rng(seed),
+            )
+            voted = SimulatedCrowd(
+                truth, worker_accuracy=0.7, replication=5,
+                rng=np.random.default_rng(seed),
+            )
+            results = []
+            for crowd in (single, voted):
+                session = UncertaintyReductionSession(
+                    dists, 5, crowd,
+                    builder=GridBuilder(resolution=400),
+                    rng=np.random.default_rng(seed),
+                )
+                results.append(
+                    session.run(make_policy("T1-on"), 8).distance_to_truth
+                )
+            deltas.append(results[0] - results[1])
+        assert np.mean(deltas) >= -0.02  # voting at least as good
+
+
+class TestEngineConsistency:
+    def test_session_outcomes_agree_across_engines(self):
+        dists, truth = build_instance(n=8, k=4, seed=5)
+        outcomes = {}
+        for name, builder in {
+            "grid": GridBuilder(resolution=1500),
+            "exact": ExactBuilder(),
+            "mc": MonteCarloBuilder(samples=300000, seed=0),
+        }.items():
+            crowd = SimulatedCrowd(truth, rng=np.random.default_rng(1))
+            session = UncertaintyReductionSession(
+                dists, 4, crowd, builder=builder,
+                rng=np.random.default_rng(2),
+            )
+            outcomes[name] = session.run(make_policy("T1-on"), 30)
+        # With enough budget every engine isolates the same ordering.
+        for result in outcomes.values():
+            assert result.final_space.is_certain
+        np.testing.assert_array_equal(
+            outcomes["grid"].final_space.paths[0],
+            outcomes["exact"].final_space.paths[0],
+        )
+        np.testing.assert_array_equal(
+            outcomes["grid"].final_space.paths[0],
+            outcomes["mc"].final_space.paths[0],
+        )
+
+
+class TestMeasuresInSessions:
+    @pytest.mark.parametrize("measure_name", ["H", "Hw", "ORA", "MPO"])
+    def test_every_measure_drives_a_session(self, measure_name):
+        dists, truth = build_instance(n=8, k=4, seed=9)
+        crowd = SimulatedCrowd(truth, rng=np.random.default_rng(0))
+        session = UncertaintyReductionSession(
+            dists, 4, crowd,
+            builder=GridBuilder(resolution=400),
+            measure=get_measure(measure_name),
+            rng=np.random.default_rng(1),
+        )
+        result = session.run(make_policy("T1-on"), 6)
+        assert result.distance_to_truth <= result.initial_distance + 1e-9

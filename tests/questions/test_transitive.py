@@ -1,0 +1,147 @@
+"""Tests for transitive answer inference."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import GroundTruth, SimulatedCrowd
+from repro.core import UncertaintyReductionSession, make_policy
+from repro.distributions import Uniform
+from repro.questions import Answer, InferenceCache, Question, TransitiveClosure
+from repro.tpo import GridBuilder
+
+
+class TestClosure:
+    def test_direct_fact(self):
+        closure = TransitiveClosure(4)
+        closure.add(0, 1)
+        assert closure.implies(0, 1) is True
+        assert closure.implies(1, 0) is False
+        assert closure.implies(0, 2) is None
+        assert closure.knows(0, 1)
+        assert not closure.knows(2, 3)
+
+    def test_transitive_chain(self):
+        closure = TransitiveClosure(5)
+        closure.add(0, 1)
+        closure.add(1, 2)
+        closure.add(2, 3)
+        assert closure.implies(0, 3) is True
+        assert closure.implies(3, 0) is False
+        assert closure.known_pairs() == 6  # full chain closure on 4 nodes
+
+    def test_propagates_through_existing_structure(self):
+        closure = TransitiveClosure(6)
+        closure.add(0, 1)
+        closure.add(2, 3)
+        closure.add(1, 2)  # links the two chains
+        assert closure.implies(0, 3) is True
+
+    def test_contradiction_rejected(self):
+        closure = TransitiveClosure(3)
+        closure.add(0, 1)
+        closure.add(1, 2)
+        with pytest.raises(ValueError):
+            closure.add(2, 0)
+
+    def test_duplicate_fact_is_noop(self):
+        closure = TransitiveClosure(3)
+        closure.add(0, 1)
+        closure.add(0, 1)
+        assert closure.known_pairs() == 1
+
+    def test_self_fact_rejected(self):
+        with pytest.raises(ValueError):
+            TransitiveClosure(3).add(1, 1)
+
+    def test_add_answer_respects_direction(self):
+        closure = TransitiveClosure(3)
+        closure.add_answer(Answer(Question(0, 1), holds=False))
+        assert closure.implies(1, 0) is True
+
+    def test_noisy_answer_rejected(self):
+        closure = TransitiveClosure(3)
+        with pytest.raises(ValueError):
+            closure.add_answer(Answer(Question(0, 1), True, accuracy=0.8))
+
+    def test_seed_from_supports(self):
+        dists = [Uniform(0, 1), Uniform(2, 3), Uniform(2.5, 3.5)]
+        closure = TransitiveClosure(3)
+        seeded = closure.seed_from_supports(dists)
+        assert seeded == 2  # t1 > t0 and t2 > t0 certain; t1/t2 overlap
+        assert closure.implies(1, 0) is True
+        assert closure.implies(2, 0) is True
+        assert closure.implies(1, 2) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransitiveClosure(0)
+
+
+class TestInferenceCache:
+    def test_lookup_and_record_cycle(self):
+        cache = InferenceCache(4)
+        assert cache.lookup(Question(0, 1)) is None
+        cache.record(Answer(Question(0, 1), True))
+        cache.record(Answer(Question(1, 2), True))
+        free = cache.lookup(Question(0, 2))
+        assert free is not None and free.holds is True
+        assert cache.savings == 1
+        assert cache.asked == 2
+
+    def test_seeding_counts(self):
+        dists = [Uniform(0, 1), Uniform(5, 6)]
+        cache = InferenceCache(2, dists)
+        assert cache.seeded == 1
+        assert cache.lookup(Question(0, 1)).holds is False  # t1 above t0
+
+
+class TestSessionIntegration:
+    @pytest.fixture
+    def setup(self):
+        rng = np.random.default_rng(4)
+        dists = [Uniform(c, c + 0.35) for c in rng.random(10)]
+        truth = GroundTruth.sample(dists, rng=1)
+        return dists, truth
+
+    def _run(self, dists, truth, inference, policy="naive", budget=12):
+        crowd = SimulatedCrowd(truth, rng=np.random.default_rng(7))
+        session = UncertaintyReductionSession(
+            dists, 5, crowd,
+            builder=GridBuilder(resolution=500),
+            rng=np.random.default_rng(8),
+            use_transitive_inference=inference,
+        )
+        return session.run(make_policy(policy), budget)
+
+    def test_closure_never_pays_for_implied_questions(self, setup):
+        dists, truth = setup
+        result = self._run(dists, truth, inference=True)
+        assert result.inferred_answers >= 0
+        assert result.questions_asked <= 12
+
+    def test_closure_does_not_hurt_quality(self, setup):
+        dists, truth = setup
+        without = self._run(dists, truth, inference=False)
+        with_closure = self._run(dists, truth, inference=True)
+        assert with_closure.distance_to_truth <= (
+            without.distance_to_truth + 0.05
+        )
+
+    def test_closure_disabled_reports_zero(self, setup):
+        dists, truth = setup
+        result = self._run(dists, truth, inference=False)
+        assert result.inferred_answers == 0
+
+    def test_closure_ignored_for_noisy_crowds(self, setup):
+        dists, truth = setup
+        crowd = SimulatedCrowd(
+            truth, worker_accuracy=0.8, rng=np.random.default_rng(7)
+        )
+        session = UncertaintyReductionSession(
+            dists, 5, crowd,
+            builder=GridBuilder(resolution=500),
+            rng=np.random.default_rng(8),
+            use_transitive_inference=True,
+        )
+        result = session.run(make_policy("T1-on"), 5)
+        assert result.inferred_answers == 0

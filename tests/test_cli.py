@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_demo_runs_and_prints_summary(self, capsys):
+        code = main(
+            ["demo", "--n", "8", "--k", "4", "--budget", "5", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "true top-4" in out
+        assert "T1-on" in out
+        assert "most probable top-4" in out
+
+    def test_demo_other_policy(self, capsys):
+        code = main(
+            ["demo", "--policy", "naive", "--n", "8", "--k", "3",
+             "--budget", "3"]
+        )
+        assert code == 0
+        assert "naive" in capsys.readouterr().out
+
+    def test_demo_noisy(self, capsys):
+        code = main(
+            ["demo", "--n", "7", "--k", "3", "--budget", "3",
+             "--accuracy", "0.8"]
+        )
+        assert code == 0
+        assert "accuracy=0.8" in capsys.readouterr().out
+
+    def test_demo_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--policy", "clairvoyant"])
+
+
+class TestInspect:
+    def test_inspect_prints_profile(self, capsys):
+        code = main(["inspect", "--n", "8", "--k", "4", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "overlap_fraction" in out
+        assert "orderings:" in out
+        assert "best questions to ask" in out
+
+    def test_inspect_other_workload(self, capsys):
+        code = main(["inspect", "--workload", "gaussian", "--n", "6",
+                     "--k", "3"])
+        assert code == 0
+
+
+class TestExperiment:
+    def test_unknown_experiment_id(self, capsys):
+        code = main(["experiment", "NOPE"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_astar_fast(self, capsys):
+        code = main(["experiment", "ASTAR"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ASTAR" in out
+        assert "A*-off" in out
+
+    def test_id_is_case_insensitive(self, capsys):
+        code = main(["experiment", "astar"])
+        assert code == 0
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

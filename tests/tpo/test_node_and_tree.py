@@ -1,0 +1,126 @@
+"""Tests for TPO nodes and tree structure."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Uniform
+from repro.tpo import GridBuilder, TPONode, TPOTree
+from repro.tpo.node import ROOT_TUPLE
+from repro.tpo.space import DegenerateSpaceError
+
+
+class TestNode:
+    def test_prefix_and_depth(self):
+        root = TPONode(ROOT_TUPLE, 1.0)
+        a = root.add_child(3, 0.6)
+        b = a.add_child(1, 0.4)
+        assert root.is_root and root.depth == 0
+        assert b.prefix() == (3, 1)
+        assert b.depth == 2
+        assert a.children == [b]
+
+    def test_remove_child(self):
+        root = TPONode(ROOT_TUPLE, 1.0)
+        child = root.add_child(0, 1.0)
+        root.remove_child(child)
+        assert root.is_leaf
+        assert child.parent is None
+
+    def test_iter_subtree_preorder(self):
+        root = TPONode(ROOT_TUPLE, 1.0)
+        a = root.add_child(0, 0.5)
+        b = root.add_child(1, 0.5)
+        a.add_child(2, 0.5)
+        visited = [n.tuple_index for n in root.iter_subtree()]
+        assert visited == [ROOT_TUPLE, 0, 2, 1]
+
+    def test_clear_state(self):
+        root = TPONode(ROOT_TUPLE, 1.0)
+        child = root.add_child(0, 1.0)
+        child.state = np.ones(3)
+        root.clear_state()
+        assert child.state is None
+
+
+@pytest.fixture
+def built_tree(overlapping_uniforms):
+    return GridBuilder(resolution=400).build(overlapping_uniforms, 3)
+
+
+class TestTree:
+    def test_validation_of_arguments(self, overlapping_uniforms):
+        with pytest.raises(ValueError):
+            TPOTree(overlapping_uniforms, 0)
+        with pytest.raises(ValueError):
+            TPOTree([], 2)
+
+    def test_k_clamped_to_n(self):
+        tree = TPOTree([Uniform(0, 1), Uniform(0.5, 1.5)], 10)
+        assert tree.k == 2
+
+    def test_level_masses_are_one(self, built_tree):
+        for depth in range(1, built_tree.k + 1):
+            assert built_tree.level_mass(depth) == pytest.approx(1.0, abs=1e-6)
+
+    def test_structural_invariants(self, built_tree):
+        built_tree.validate()
+
+    def test_node_and_ordering_counts(self, built_tree):
+        assert built_tree.ordering_count() == len(built_tree.leaves())
+        assert built_tree.node_count() >= built_tree.ordering_count()
+
+    def test_to_space_matches_leaves(self, built_tree):
+        space = built_tree.to_space()
+        assert space.size == built_tree.ordering_count()
+        assert space.depth == built_tree.k
+        assert space.probabilities.sum() == pytest.approx(1.0)
+
+    def test_to_space_requires_built_levels(self, overlapping_uniforms):
+        with pytest.raises(ValueError):
+            TPOTree(overlapping_uniforms, 2).to_space()
+
+    def test_prune_with_answer_removes_disagreeing(self, built_tree):
+        space_before = built_tree.to_space()
+        codes = space_before.agreement_codes(0, 1)
+        if not (codes == -1).any():
+            pytest.skip("instance has no disagreeing path for this pair")
+        removed = built_tree.prune_with_answer(0, 1, True)
+        assert removed > 0
+        space_after = built_tree.to_space()
+        assert (space_after.agreement_codes(0, 1) != -1).all()
+        assert space_after.probabilities.sum() == pytest.approx(1.0)
+
+    def test_prune_contradiction_raises(self, overlapping_uniforms):
+        # t4 (top interval) surely beats t0; claiming the opposite on a
+        # decided pair kills every ordering.
+        tree = GridBuilder(resolution=400).build(overlapping_uniforms, 3)
+        space = tree.to_space()
+        codes = space.agreement_codes(0, 4)
+        if (codes == 1).any():
+            pytest.skip("pair not fully decided in this instance")
+        with pytest.raises(DegenerateSpaceError):
+            tree.prune_with_answer(0, 4, True)
+
+    def test_prune_works_on_partial_trees(self, overlapping_uniforms):
+        builder = GridBuilder(resolution=400)
+        tree = builder.start(overlapping_uniforms, 3)
+        builder.extend(tree)
+        builder.extend(tree)  # depth 2 of 3
+        assert not tree.is_complete
+        tree.prune_with_answer(1, 0, True)
+        tree.validate()
+        space = tree.to_space()
+        assert (space.agreement_codes(1, 0) != -1).all()
+
+    def test_reweight_with_answer_keeps_all_paths(self, built_tree):
+        before = built_tree.ordering_count()
+        built_tree.reweight_with_answer(0, 1, True, accuracy=0.8)
+        assert built_tree.ordering_count() == before
+        assert built_tree.level_mass(built_tree.k) == pytest.approx(1.0)
+
+    def test_reweight_shifts_mass_toward_agreement(self, built_tree):
+        space_before = built_tree.to_space()
+        p_before = space_before.answer_probability(0, 1)
+        built_tree.reweight_with_answer(0, 1, True, accuracy=0.9)
+        p_after = built_tree.to_space().answer_probability(0, 1)
+        assert p_after >= p_before

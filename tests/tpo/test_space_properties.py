@@ -1,0 +1,107 @@
+"""Property-based tests for ordering-space invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tpo.space import DegenerateSpaceError, OrderingSpace
+
+
+@st.composite
+def spaces(draw):
+    """Random weighted top-K prefix spaces over a small universe."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    k = draw(st.integers(min_value=1, max_value=n))
+    count = draw(st.integers(min_value=1, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    paths = np.array([rng.permutation(n)[:k] for _ in range(count)])
+    paths = np.unique(paths, axis=0)
+    probs = rng.random(paths.shape[0]) + 1e-3
+    return OrderingSpace(paths, probs, n)
+
+
+@given(spaces())
+@settings(max_examples=80, deadline=None)
+def test_probabilities_normalized(space):
+    assert abs(space.probabilities.sum() - 1.0) < 1e-9
+    assert (space.probabilities >= 0).all()
+
+
+@given(spaces())
+@settings(max_examples=80, deadline=None)
+def test_positions_consistent_with_paths(space):
+    pos = space.positions()
+    for row, path in enumerate(space.paths):
+        for rank, tuple_index in enumerate(path):
+            assert pos[row, tuple_index] == rank
+    # Absent tuples carry the sentinel.
+    assert (pos <= space.depth).all()
+
+
+@given(spaces(), st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=5))
+@settings(max_examples=80, deadline=None)
+def test_agreement_codes_antisymmetric(space, i, j):
+    i %= space.n_tuples
+    j %= space.n_tuples
+    if i == j:
+        return
+    codes_ij = space.agreement_codes(i, j)
+    codes_ji = space.agreement_codes(j, i)
+    np.testing.assert_array_equal(codes_ij, -codes_ji)
+
+
+@given(spaces(), st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=5))
+@settings(max_examples=80, deadline=None)
+def test_conditioning_never_increases_support(space, i, j):
+    i %= space.n_tuples
+    j %= space.n_tuples
+    if i == j:
+        return
+    for holds in (True, False):
+        try:
+            conditioned = space.condition(i, j, holds)
+        except DegenerateSpaceError:
+            continue
+        assert conditioned.size <= space.size
+        assert abs(conditioned.probabilities.sum() - 1.0) < 1e-9
+        forbidden = -1 if holds else 1
+        assert (conditioned.agreement_codes(i, j) != forbidden).all()
+
+
+@given(spaces(), st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_yes_and_no_masses_cover_space(space, i, j):
+    """Every path survives at least one of the two answers."""
+    i %= space.n_tuples
+    j %= space.n_tuples
+    if i == j:
+        return
+    codes = space.agreement_codes(i, j)
+    surviving_yes = codes != -1
+    surviving_no = codes != 1
+    assert (surviving_yes | surviving_no).all()
+
+
+@given(spaces())
+@settings(max_examples=60, deadline=None)
+def test_prefix_groups_masses_sum_to_one(space):
+    for depth in range(1, space.depth + 1):
+        _, masses = space.prefix_groups(depth)
+        assert abs(masses.sum() - 1.0) < 1e-9
+
+
+@given(spaces())
+@settings(max_examples=60, deadline=None)
+def test_pairwise_preference_complementary(space):
+    w = space.pairwise_preference()
+    off = ~np.eye(space.n_tuples, dtype=bool)
+    np.testing.assert_allclose((w + w.T)[off], 1.0, atol=1e-9)
+
+
+@given(spaces())
+@settings(max_examples=60, deadline=None)
+def test_rank_marginals_are_distributions(space):
+    marginals = space.rank_marginals()
+    np.testing.assert_allclose(marginals.sum(axis=0), 1.0, atol=1e-9)
+    assert (marginals >= -1e-12).all()

@@ -1,0 +1,67 @@
+"""Tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    choice_without_replacement,
+    derive_seed,
+    ensure_rng,
+    spawn_rngs,
+)
+
+
+def test_ensure_rng_from_int_is_deterministic():
+    a = ensure_rng(7).random(4)
+    b = ensure_rng(7).random(4)
+    assert np.allclose(a, b)
+
+
+def test_ensure_rng_passthrough():
+    generator = np.random.default_rng(1)
+    assert ensure_rng(generator) is generator
+
+
+def test_ensure_rng_none_gives_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_spawn_rngs_are_independent_and_reproducible():
+    streams_a = spawn_rngs(3, 4)
+    streams_b = spawn_rngs(3, 4)
+    assert len(streams_a) == 4
+    for left, right in zip(streams_a, streams_b):
+        assert np.allclose(left.random(3), right.random(3))
+    # Distinct children differ.
+    fresh = spawn_rngs(3, 2)
+    assert not np.allclose(fresh[0].random(5), fresh[1].random(5))
+
+
+def test_spawn_rngs_rejects_negative_count():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+
+
+def test_derive_seed_depends_on_labels():
+    assert derive_seed(1, "a") != derive_seed(1, "b")
+    assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+    assert derive_seed(1, "a", 2) != derive_seed(2, "a", 2)
+
+
+def test_derive_seed_is_non_negative():
+    for labels in [("x",), ("y", 3), (0,)]:
+        assert derive_seed(123, *labels) >= 0
+
+
+def test_choice_without_replacement_subset():
+    rng = np.random.default_rng(0)
+    picked = choice_without_replacement(rng, range(10), 4)
+    assert len(picked) == 4
+    assert len(set(picked)) == 4
+    assert all(0 <= x < 10 for x in picked)
+
+
+def test_choice_without_replacement_exhausts_pool():
+    rng = np.random.default_rng(0)
+    picked = choice_without_replacement(rng, [1, 2, 3], 10)
+    assert sorted(picked) == [1, 2, 3]

@@ -1,0 +1,58 @@
+"""Tests for argument validators."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_index,
+    check_positive,
+    check_probability_vector,
+)
+
+
+def test_check_positive_accepts_and_rejects():
+    assert check_positive("x", 1.5) == 1.5
+    with pytest.raises(ValueError, match="x"):
+        check_positive("x", 0)
+    with pytest.raises(ValueError):
+        check_positive("x", -1)
+
+
+def test_check_positive_allow_zero():
+    assert check_positive("x", 0, allow_zero=True) == 0
+    with pytest.raises(ValueError):
+        check_positive("x", -0.1, allow_zero=True)
+
+
+def test_check_fraction_bounds():
+    assert check_fraction("p", 0.0) == 0.0
+    assert check_fraction("p", 1.0) == 1.0
+    with pytest.raises(ValueError):
+        check_fraction("p", 1.01)
+    with pytest.raises(ValueError):
+        check_fraction("p", -0.01)
+
+
+def test_check_probability_vector_valid():
+    out = check_probability_vector("p", [0.2, 0.3, 0.5])
+    assert np.allclose(out.sum(), 1.0)
+
+
+def test_check_probability_vector_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        check_probability_vector("p", [0.5, 0.6])
+    with pytest.raises(ValueError):
+        check_probability_vector("p", [-0.5, 1.5])
+    with pytest.raises(ValueError):
+        check_probability_vector("p", [])
+    with pytest.raises(ValueError):
+        check_probability_vector("p", [[0.5], [0.5]])
+
+
+def test_check_index():
+    assert check_index("i", 2, 5) == 2
+    with pytest.raises(ValueError):
+        check_index("i", 5, 5)
+    with pytest.raises(ValueError):
+        check_index("i", -1, 5)
