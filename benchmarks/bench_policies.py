@@ -1,0 +1,174 @@
+"""Selection-step benchmark: batched vs scalar residual evaluation.
+
+Times the two hot selection steps of the question-selection policies on the
+paper-scale ``N=30, K=5`` instance:
+
+* **T1-on / TB-off step** — score every candidate question by its expected
+  residual uncertainty ``R_q`` (``rank_singles`` scalar oracle vs
+  ``rank_singles_batch``);
+* **C-off step** — greedy joint-residual selection of a 5-question batch
+  (per-candidate ``set_residual_from_codes_scalar`` vs the batched
+  ``rank_set_extensions`` path the policy now uses).
+
+Both paths must agree to 1e-9; the batched path must be at least 5× faster
+(the acceptance bar of the batch-engine PR).  Exit status is non-zero when
+either check fails, so CI can gate on it.
+
+Run:   PYTHONPATH=src python benchmarks/bench_policies.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core.policies.conditional import ConditionalPolicy
+from repro.questions.candidates import relevant_questions
+from repro.questions.model import Question
+from repro.questions.residual import ResidualEvaluator
+from repro.tpo.builders import GridBuilder
+from repro.tpo.space import OrderingSpace
+from repro.uncertainty.entropy import EntropyMeasure
+from repro.workloads.synthetic import uniform_intervals
+
+SPEEDUP_FLOOR = 5.0
+PARITY_ATOL = 1e-9
+
+
+def best_of(callable_, repetitions: int) -> float:
+    """Minimum wall-clock of ``repetitions`` runs (noise-robust)."""
+    timings = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        callable_()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def scalar_coff_select(
+    space: OrderingSpace,
+    candidates: List[Question],
+    budget: int,
+    evaluator: ResidualEvaluator,
+) -> List[Question]:
+    """The seed's C-off selection loop over the scalar residual oracle."""
+    codes = np.stack(
+        [space.agreement_codes(q.i, q.j) for q in candidates], axis=1
+    )
+    chosen: List[int] = []
+    available = list(range(len(candidates)))
+    for _ in range(min(budget, len(candidates))):
+        best_column, best_value = None, np.inf
+        for column in available:
+            value = evaluator.set_residual_from_codes_scalar(
+                space, codes[:, chosen + [column]]
+            )
+            if value < best_value - 1e-15:
+                best_value, best_column = value, column
+        if best_column is None:
+            break
+        chosen.append(best_column)
+        available.remove(best_column)
+        if best_value <= 1e-12:
+            break
+    return [candidates[c] for c in chosen]
+
+
+def run(smoke: bool = False) -> int:
+    if smoke:
+        n, k, width, repetitions = 15, 4, 0.25, 1
+    else:
+        n, k, width, repetitions = 30, 5, 0.3, 3
+    distributions = uniform_intervals(n, width=width, rng=2016)
+    space = (
+        GridBuilder(resolution=512, max_orderings=500000)
+        .build(distributions, k)
+        .to_space()
+    )
+    candidates = relevant_questions(space, distributions)
+    evaluator = ResidualEvaluator(EntropyMeasure())
+    print(
+        f"instance: N={n} K={k} width={width} → "
+        f"L={space.size} orderings, B={len(candidates)} candidates"
+    )
+
+    failures = 0
+
+    # ------------------------------------------------------------------
+    # T1-on / TB-off selection step: score all candidates.
+    # ------------------------------------------------------------------
+    scalar_values = evaluator.rank_singles(space, candidates)
+    batch_values = evaluator.rank_singles_batch(space, candidates)
+    max_error = float(np.max(np.abs(scalar_values - batch_values)))
+    scalar_time = best_of(
+        lambda: evaluator.rank_singles(space, candidates), repetitions
+    )
+    batch_time = best_of(
+        lambda: evaluator.rank_singles_batch(space, candidates), repetitions
+    )
+    speedup = scalar_time / batch_time
+    print(
+        f"top-1/TB step : scalar {scalar_time * 1e3:8.2f} ms   "
+        f"batch {batch_time * 1e3:8.2f} ms   "
+        f"speedup {speedup:6.1f}x   max|Δ| {max_error:.2e}"
+    )
+    if max_error > PARITY_ATOL:
+        print(f"  FAIL: parity error exceeds {PARITY_ATOL}")
+        failures += 1
+    if not smoke and speedup < SPEEDUP_FLOOR:
+        print(f"  FAIL: speedup below the {SPEEDUP_FLOOR}x floor")
+        failures += 1
+
+    # ------------------------------------------------------------------
+    # C-off selection step: pick a K-question batch greedily.
+    # ------------------------------------------------------------------
+    policy = ConditionalPolicy()
+    rng = np.random.default_rng(0)
+    scalar_batch = scalar_coff_select(space, candidates, k, evaluator)
+    batched_batch = policy.select(space, candidates, k, evaluator, rng)
+    scalar_time = best_of(
+        lambda: scalar_coff_select(space, candidates, k, evaluator),
+        repetitions,
+    )
+    batch_time = best_of(
+        lambda: policy.select(space, candidates, k, evaluator, rng),
+        repetitions,
+    )
+    speedup = scalar_time / batch_time
+    agree = scalar_batch == batched_batch
+    print(
+        f"C-off step    : scalar {scalar_time * 1e3:8.2f} ms   "
+        f"batch {batch_time * 1e3:8.2f} ms   "
+        f"speedup {speedup:6.1f}x   same batch: {agree}"
+    )
+    if not agree:
+        print("  FAIL: batched C-off picked a different question batch")
+        failures += 1
+    if not smoke and speedup < SPEEDUP_FLOOR:
+        print(f"  FAIL: speedup below the {SPEEDUP_FLOOR}x floor")
+        failures += 1
+
+    print("PASS" if failures == 0 else f"{failures} check(s) FAILED")
+    return failures
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small instance, single repetition, no speedup floor (CI)",
+    )
+    args = parser.parse_args()
+    sys.exit(1 if run(smoke=args.smoke) else 0)
+
+
+if __name__ == "__main__":
+    main()

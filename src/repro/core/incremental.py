@@ -19,7 +19,7 @@ with the other algorithms.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List
 
 import numpy as np
 
@@ -66,6 +66,7 @@ class IncrementalAlgorithm(Policy):
         evaluator = session.evaluator
         watch = session.watch
         answers: List[Answer] = []
+        counted_contradictions: set = set()
         with watch.span("build"):
             tree = builder.start(session.distributions, session.k)
             builder.extend(tree)
@@ -81,7 +82,9 @@ class IncrementalAlgorithm(Policy):
                 and not tree.is_complete
             ):
                 with watch.span("build"):
-                    self._extend_with_constraints(builder, tree, answers)
+                    self._extend_with_constraints(
+                        builder, tree, answers, evaluator, counted_contradictions
+                    )
                 space = self._current_space(tree, answers)
                 with watch.span("select"):
                     candidates = informative_questions(space)
@@ -89,7 +92,7 @@ class IncrementalAlgorithm(Policy):
                 break
             round_budget = min(self.round_size, budget - asked, len(candidates))
             with watch.span("select"):
-                residuals = evaluator.rank_singles(space, candidates)
+                residuals = evaluator.rank_singles_batch(space, candidates)
                 order = np.argsort(residuals, kind="stable")[:round_budget]
                 chosen = [candidates[int(c)] for c in order]
             for question in chosen:
@@ -97,36 +100,69 @@ class IncrementalAlgorithm(Policy):
                 answers.append(answer)
                 asked += 1
                 with watch.span("update"):
-                    self._apply_answer(tree, answer)
+                    self._apply_answer(
+                        tree, answer, evaluator, counted_contradictions
+                    )
             if tree.is_complete and self._current_space(tree, answers).is_certain:
                 break
         # Complete the tree so the final space is a genuine T_K.
         while not tree.is_complete:
             with watch.span("build"):
-                self._extend_with_constraints(builder, tree, answers)
+                self._extend_with_constraints(
+                    builder, tree, answers, evaluator, counted_contradictions
+                )
         return self._current_space(tree, answers), answers
 
     # ------------------------------------------------------------------
 
-    def _apply_answer(self, tree: TPOTree, answer: Answer) -> None:
+    def _count_contradiction(self, evaluator, counted, answer: Answer) -> None:
+        """Count a swallowed contradiction once per answer per run.
+
+        The replay loop re-applies every answer after each extension, so
+        an answer that stays contradictory would otherwise be counted at
+        every level; keying on the answer's identity keeps
+        ``SessionResult.contradictions`` comparable to the other policies.
+        """
+        if evaluator is not None and id(answer) not in counted:
+            counted.add(id(answer))
+            evaluator.contradictions += 1
+
+    def _apply_answer(
+        self,
+        tree: TPOTree,
+        answer: Answer,
+        evaluator,
+        counted: set,
+    ) -> None:
         """Prune (reliable) or reweight (noisy) the partial tree."""
         q = answer.question
         if answer.accuracy >= 1.0:
             try:
                 tree.prune_with_answer(q.i, q.j, answer.holds)
             except DegenerateSpaceError:
-                pass  # contradictory answer: keep the tree consistent
+                # Contradictory answer: keep the tree consistent, but
+                # count it so SessionResult.contradictions reports incr
+                # runs the same way as the other policies.
+                self._count_contradiction(evaluator, counted, answer)
         # Noisy answers are replayed on the flattened space instead (the
         # per-leaf weights would be double-counted across extensions).
 
     def _extend_with_constraints(
-        self, builder, tree: TPOTree, answers: List[Answer]
+        self,
+        builder,
+        tree: TPOTree,
+        answers: List[Answer],
+        evaluator,
+        counted: set,
     ) -> None:
         """Add one level, then re-apply all reliable answers.
 
         New nodes may contradict earlier answers (the pruned pair can
         reappear deeper in the tree), so pruning must be replayed after
-        every extension — it is idempotent.
+        every extension — it is idempotent.  An answer that only *becomes*
+        contradictory here (deeper levels plus other prunings can leave it
+        no consistent ordering) is still a swallowed contradiction and is
+        counted, once, like a first-application one.
         """
         builder.extend(tree)
         for answer in answers:
@@ -135,7 +171,7 @@ class IncrementalAlgorithm(Policy):
                 try:
                     tree.prune_with_answer(q.i, q.j, answer.holds)
                 except DegenerateSpaceError:
-                    pass
+                    self._count_contradiction(evaluator, counted, answer)
         tree.renormalize()
 
     def _current_space(

@@ -86,7 +86,7 @@ class AStarOfflinePolicy(OfflinePolicy):
         base_uncertainty = evaluator.uncertainty(space)
         if base_uncertainty <= 0.0:
             return []
-        singles = evaluator.rank_singles(space, candidates)
+        singles = evaluator.rank_singles_batch(space, candidates)
         order = np.argsort(singles, kind="stable")
         if self.candidate_cap is not None:
             order = order[: max(self.candidate_cap, budget)]
@@ -125,18 +125,23 @@ class AStarOfflinePolicy(OfflinePolicy):
             # Keep enough candidates after `child` to still reach budget:
             # child <= n_candidates - (budget - |columns|).
             last_child = n_candidates - budget + len(columns)
-            for child in range(start, last_child + 1):
+            children = list(range(start, last_child + 1))
+            if not children:
+                continue
+            # All children extend the same column set — price them in one
+            # batched call instead of one pattern partition per child.
+            child_residuals = evaluator.rank_set_extensions(
+                space, codes, list(columns), children, self.pattern_cap
+            )
+            for child, child_residual in zip(children, child_residuals):
                 new_columns = columns + (child,)
-                child_residual = evaluator.set_residual_from_codes(
-                    space, codes[:, list(new_columns)], self.pattern_cap
-                )
                 heapq.heappush(
                     heap,
                     (
-                        bound(child_residual, len(new_columns)),
+                        bound(float(child_residual), len(new_columns)),
                         next(counter),
                         new_columns,
-                        child_residual,
+                        float(child_residual),
                     ),
                 )
         self.last_expansions = expansions
@@ -156,13 +161,10 @@ class AStarOfflinePolicy(OfflinePolicy):
         """Fill a partial set greedily once the expansion cap is hit."""
         available = [c for c in range(codes.shape[1]) if c not in set(partial)]
         while len(partial) < budget and available:
-            best_column, best_value = None, np.inf
-            for column in available:
-                value = evaluator.set_residual_from_codes(
-                    space, codes[:, partial + [column]], self.pattern_cap
-                )
-                if value < best_value:
-                    best_value, best_column = value, column
+            values = evaluator.rank_set_extensions(
+                space, codes, partial, available, self.pattern_cap
+            )
+            best_column = available[int(np.argmin(values))]
             partial.append(best_column)
             available.remove(best_column)
         return partial

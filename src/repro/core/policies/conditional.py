@@ -51,14 +51,16 @@ class ConditionalPolicy(OfflinePolicy):
         chosen_columns: List[int] = []
         available = list(range(len(candidates)))
         for _ in range(min(budget, len(candidates))):
+            # All extensions of the chosen set are priced in one batched
+            # call; the selection loop below keeps the original
+            # first-winner-within-tolerance tie-breaking.
+            values = evaluator.rank_set_extensions(
+                space, codes, chosen_columns, available, self.pattern_cap
+            )
             best_column, best_value = None, np.inf
-            for column in available:
-                trial = codes[:, chosen_columns + [column]]
-                value = evaluator.set_residual_from_codes(
-                    space, trial, self.pattern_cap
-                )
-                if value < best_value - 1e-15:
-                    best_value, best_column = value, column
+            for index, column in enumerate(available):
+                if values[index] < best_value - 1e-15:
+                    best_value, best_column = float(values[index]), column
             if best_column is None:
                 break
             chosen_columns.append(best_column)

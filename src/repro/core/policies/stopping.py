@@ -61,7 +61,9 @@ class ValueOfInformationStopper(OnlinePolicy):
         if question is None:
             return None
         current = evaluator.uncertainty(space)
-        residual = evaluator.single(space, question)
+        residual = float(
+            evaluator.rank_singles_batch(space, [question])[0]
+        )
         if current - residual < self.min_reduction:
             self.stopped_economically = True
             return None

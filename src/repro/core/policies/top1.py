@@ -34,7 +34,7 @@ class Top1OnlinePolicy(OnlinePolicy):
     ) -> Optional[Question]:
         if remaining_budget <= 0 or not candidates or space.is_certain:
             return None
-        residuals = evaluator.rank_singles(space, candidates)
+        residuals = evaluator.rank_singles_batch(space, candidates)
         return candidates[int(np.argmin(residuals))]
 
 

@@ -34,7 +34,7 @@ class TopBPolicy(OfflinePolicy):
     ) -> List[Question]:
         if budget <= 0 or not candidates:
             return []
-        residuals = evaluator.rank_singles(space, candidates)
+        residuals = evaluator.rank_singles_batch(space, candidates)
         order = np.argsort(residuals, kind="stable")[:budget]
         return [candidates[int(index)] for index in order]
 

@@ -54,10 +54,17 @@ class SessionResult:
     orderings_final: int
     timings: Dict[str, float] = field(default_factory=dict)
     crowd_cost: float = 0.0
+    #: ``D(ω_r, ·)`` before any question plus after every *charged* answer
+    #: (inferred answers are applied but not recorded), so
+    #: ``len(trajectory) == questions_asked + 1`` whenever tracked.
     trajectory: Optional[List[float]] = None
     #: Questions answered for free by transitive inference (0 unless the
     #: session was built with ``use_transitive_inference=True``).
     inferred_answers: int = 0
+    #: Contradictory reliable answers swallowed during this run (the
+    #: assumed accuracy overstated the crowd; the space was left
+    #: unchanged).  Non-zero means the "reliable" crowd was in fact noisy.
+    contradictions: int = 0
 
     @property
     def cpu_seconds(self) -> float:
@@ -124,6 +131,7 @@ class UncertaintyReductionSession:
         self.use_transitive_inference = use_transitive_inference
         self.watch = Stopwatch()
         self._inference: Optional[InferenceCache] = None
+        self._contradictions_at_start = self.evaluator.contradictions
 
     # ------------------------------------------------------------------
 
@@ -151,6 +159,7 @@ class UncertaintyReductionSession:
             raise ValueError(f"budget must be >= 0, got {budget}")
         self.watch.reset()
         self.crowd.stats.reset()
+        self._contradictions_at_start = self.evaluator.contradictions
         self._inference = None
         if self.use_transitive_inference and self.crowd.is_reliable:
             self._inference = InferenceCache(
@@ -223,7 +232,10 @@ class UncertaintyReductionSession:
                 space = self.evaluator.apply_answer(
                     space, question, answer.holds, answer.accuracy
                 )
-            if trajectory is not None:
+            # Inferred answers are applied but consume no budget, so they
+            # do not get a trajectory point: len(trajectory) must stay
+            # questions_asked + 1.
+            if trajectory is not None and not inferred:
                 trajectory.append(self._distance(space))
         return space
 
@@ -235,9 +247,23 @@ class UncertaintyReductionSession:
         answers: List[Answer],
         trajectory: Optional[List[float]],
     ) -> OrderingSpace:
+        # Livelock guard: an inferred answer consumes no budget, and when
+        # it also fails to shrink/reweight the space the iteration makes no
+        # progress.  Questions known to be fruitless are filtered out of
+        # the candidate pool, so any policy drawing from the pool —
+        # deterministic or stochastic — falls through to a chargeable
+        # question if one remains and returns None once none do.  A small
+        # constant skip bound backstops policies that ignore the pool and
+        # keep re-proposing a fruitless question.
+        fruitless: set = set()
+        consecutive_skips = 0
         while len(answers) < budget:
             with self.watch.span("select"):
                 candidates = self._candidates(space, policy.pool)
+                if fruitless:
+                    candidates = [
+                        q for q in candidates if q not in fruitless
+                    ]
                 question = policy.next_question(
                     space,
                     candidates,
@@ -247,14 +273,25 @@ class UncertaintyReductionSession:
                 )
             if question is None:
                 break  # early termination: uncertainty exhausted
+            if question in fruitless:
+                consecutive_skips += 1
+                if consecutive_skips > 8:
+                    break  # policy keeps proposing a no-progress question
+                continue
             answer, inferred = self._obtain_answer(question)
             if not inferred:
                 answers.append(answer)
             with self.watch.span("update"):
-                space = self.evaluator.apply_answer(
+                updated = self.evaluator.apply_answer(
                     space, question, answer.holds, answer.accuracy
                 )
-            if trajectory is not None:
+            if (not inferred) or (updated is not space):
+                fruitless.clear()
+                consecutive_skips = 0
+            else:
+                fruitless.add(question)
+            space = updated
+            if trajectory is not None and not inferred:
                 trajectory.append(self._distance(space))
         return space
 
@@ -305,6 +342,9 @@ class UncertaintyReductionSession:
             trajectory=trajectory,
             inferred_answers=(
                 self._inference.savings if self._inference is not None else 0
+            ),
+            contradictions=(
+                self.evaluator.contradictions - self._contradictions_at_start
             ),
         )
 

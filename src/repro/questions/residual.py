@@ -12,6 +12,31 @@ pattern-mass-weighted expectation of the measure over the compatible
 sub-spaces (exact whenever all orderings are decisive on all questions,
 e.g. when ``K = N``; the canonical tractable reading otherwise — see
 DESIGN.md §3.3).
+
+Batched evaluation
+------------------
+Selection policies score *every* candidate pair per step, which under the
+scalar path means two throwaway :class:`~repro.tpo.space.OrderingSpace`
+objects per candidate.  The batch engine instead works on *hypothetical
+posteriors*: an answer outcome is just a masked reweighting of the path
+probability vector, so
+
+1. :meth:`ResidualEvaluator.stance_matrix` computes the full ``(L, B)``
+   stance matrix for all candidates in one shot from ``positions()``;
+2. both answer branches of every candidate become rows of one ``(≤2B, L)``
+   weight matrix, priced by a single call to
+   :meth:`~repro.uncertainty.base.UncertaintyMeasure.evaluate_batch`
+   (each measure vectorizes over rows, no intermediate spaces);
+3. :meth:`ResidualEvaluator.rank_singles_batch` combines the branch values
+   into the ``(B,)`` residual vector the policies consume, and
+   :meth:`ResidualEvaluator.set_residual_from_codes` prices all answer
+   patterns of a question set the same way.
+
+The scalar path (:meth:`ResidualEvaluator.single`,
+:meth:`ResidualEvaluator.rank_singles`,
+:meth:`ResidualEvaluator.set_residual_from_codes_scalar`) is retained as
+the test oracle; parity within 1e-9 is enforced by the test suite across
+all registered measures and TPO engines.
 """
 
 from __future__ import annotations
@@ -23,6 +48,16 @@ import numpy as np
 from repro.questions.model import Question
 from repro.tpo.space import DegenerateSpaceError, OrderingSpace
 from repro.uncertainty.base import UncertaintyMeasure
+
+
+def _rows_per_chunk(size: int, cap: int = 4096) -> int:
+    """Hypothetical-posterior rows per batched measure call.
+
+    Bounds the ``rows × L`` float64 temporaries the measures allocate to
+    ~128 MB regardless of ``L``, so the batch engine never exceeds the
+    O(L) working set of the scalar path by more than a constant.
+    """
+    return max(1, min(cap, (1 << 24) // max(size, 1)))
 
 
 class ResidualEvaluator:
@@ -37,7 +72,11 @@ class ResidualEvaluator:
     def __init__(self, measure: UncertaintyMeasure) -> None:
         self.measure = measure
         #: Number of measure evaluations performed (cost accounting).
+        #: Batched calls count one evaluation per hypothetical posterior.
         self.evaluations = 0
+        #: Contradictory reliable answers swallowed by :meth:`apply_answer`
+        #: (the space was left unchanged instead of being emptied).
+        self.contradictions = 0
 
     # ------------------------------------------------------------------
 
@@ -72,8 +111,84 @@ class ResidualEvaluator:
     def rank_singles(
         self, space: OrderingSpace, questions: Sequence[Question]
     ) -> np.ndarray:
-        """``R_q`` for every candidate; returns an aligned float array."""
+        """``R_q`` for every candidate, one at a time (the scalar oracle).
+
+        Kept for verification; policies use the equivalent — and much
+        faster — :meth:`rank_singles_batch`.
+        """
         return np.array([self.single(space, q) for q in questions])
+
+    def rank_singles_batch(
+        self,
+        space: OrderingSpace,
+        questions: Sequence[Question],
+        chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        """``R_q`` for every candidate via the batched measure API.
+
+        Builds the ``(L, B)`` stance matrix in one shot, turns both answer
+        branches of every decisive candidate into rows of a hypothetical
+        posterior weight matrix, and prices all of them with chunked
+        :meth:`~repro.uncertainty.base.UncertaintyMeasure.evaluate_restrictions`
+        calls — no intermediate :class:`OrderingSpace` objects, and all
+        float temporaries bounded to ``chunk × L`` elements (chunk is
+        auto-sized from ``L`` when omitted).  Values match
+        :meth:`rank_singles` to float precision.
+        """
+        count = len(questions)
+        if count == 0:
+            return np.zeros(0)
+        if chunk is None:
+            chunk = _rows_per_chunk(space.size)
+        codes = self.codes_matrix(space, questions)
+        p = space.probabilities
+        yes_stance = codes == 1  # (L, B)
+        no_stance = codes == -1
+        # One float view of the stances yields both masses as matvecs:
+        # p·codes = m_yes − m_no and p·|codes| = m_yes + m_no; converted
+        # in column chunks so the float64 temporaries stay bounded.
+        signed = np.empty(count)
+        decisive = np.empty(count)
+        for start in range(0, count, chunk):
+            block = slice(start, min(start + chunk, count))
+            codes_float = codes[:, block].astype(np.float64)
+            signed[block] = p @ codes_float
+            decisive[block] = p @ np.abs(codes_float)
+        mass_yes = 0.5 * (decisive + signed)
+        mass_no = 0.5 * (decisive - signed)
+        residuals = np.empty(count)
+        silent = decisive <= 0.0
+        if np.any(silent):
+            # Such questions cannot prune anything: residual = current U.
+            residuals[silent] = self.uncertainty(space)
+        active = ~silent
+        yes_branch = active & (mass_yes > 0.0)
+        no_branch = active & (mass_no > 0.0)
+
+        # Surviving-path masks per branch ("yes" keeps codes != -1 etc.),
+        # built chunk by chunk so no (2B, L) matrix ever exists — the
+        # memory bound holds in B as well as L.
+        def evaluate_branch(
+            excluded_stance: np.ndarray, selected: np.ndarray, out: np.ndarray
+        ) -> int:
+            columns = np.flatnonzero(selected)
+            for start in range(0, columns.size, chunk):
+                block = columns[start : start + chunk]
+                rows = ~excluded_stance.T[block]
+                out[block] = self.measure.evaluate_restrictions(space, rows)
+            return columns.size
+
+        u_yes = np.zeros(count)
+        u_no = np.zeros(count)
+        evaluated = evaluate_branch(no_stance, yes_branch, u_yes)
+        evaluated += evaluate_branch(yes_stance, no_branch, u_no)
+        self.evaluations += evaluated
+        p_yes = mass_yes / np.where(active, decisive, 1.0)
+        residuals[active] = (
+            p_yes[active] * u_yes[active]
+            + (1.0 - p_yes[active]) * u_no[active]
+        )
+        return residuals
 
     # ------------------------------------------------------------------
 
@@ -82,15 +197,18 @@ class ResidualEvaluator:
     ) -> np.ndarray:
         """``(L, B)`` stance matrix of every path on every question.
 
-        Policies that evaluate many overlapping question sets (``C-off``,
-        ``A*``, ``Exhaustive``) compute this once and pass column slices to
+        Computed in one vectorized shot from ``space.positions()`` (see
+        :meth:`~repro.tpo.space.OrderingSpace.stance_matrix`) rather than
+        ``B`` separate ``agreement_codes`` calls.  Policies that evaluate
+        many overlapping question sets (``C-off``, ``A*``, ``Exhaustive``)
+        compute this once and pass column slices to
         :meth:`set_residual_from_codes`.
         """
         if not questions:
             return np.zeros((space.size, 0), dtype=np.int8)
-        return np.stack(
-            [space.agreement_codes(q.i, q.j) for q in questions], axis=1
-        )
+        i_indices = np.fromiter((q.i for q in questions), dtype=np.intp)
+        j_indices = np.fromiter((q.j for q in questions), dtype=np.intp)
+        return space.stance_matrix(i_indices, j_indices)
 
     def question_set(
         self,
@@ -114,10 +232,171 @@ class ResidualEvaluator:
         codes: np.ndarray,
         pattern_cap: Optional[int] = None,
     ) -> float:
-        """``R_Q`` given a precomputed ``(L, B)`` stance matrix."""
+        """``R_Q`` given a precomputed ``(L, B)`` stance matrix.
+
+        All (capped) answer patterns become rows of hypothetical posterior
+        weight matrices priced by chunked ``evaluate_restrictions`` calls
+        (chunks sized so memory stays bounded even when every ordering
+        induces its own pattern); values match
+        :meth:`set_residual_from_codes_scalar` to float precision.
+        """
         if codes.shape[1] == 0:
             return self.uncertainty(space)
         patterns, inverse = np.unique(codes, axis=0, return_inverse=True)
+        inverse = inverse.ravel()
+        masses = np.bincount(inverse, weights=space.probabilities)
+        order = np.argsort(-masses)
+        if pattern_cap is not None:
+            order = order[:pattern_cap]
+        order = order[masses[order] > 0.0]
+        if order.size == 0:
+            return self.uncertainty(space)
+        # One compatibility mask per evaluated pattern: a path survives
+        # when, on every question the pattern constrains, it either agrees
+        # or is silent.
+        chunk = _rows_per_chunk(space.size)
+        residual = 0.0
+        for start in range(0, order.size, chunk):
+            block = order[start : start + chunk]
+            rows = np.empty((block.size, space.size), dtype=bool)
+            for row_index, pattern_index in enumerate(block):
+                pattern = patterns[pattern_index]
+                constrained = pattern != 0
+                if not np.any(constrained):
+                    # Totally silent pattern: observing "answers" compatible
+                    # with it leaves the space untouched.
+                    rows[row_index] = True
+                else:
+                    relevant = codes[:, constrained]
+                    target = pattern[constrained]
+                    rows[row_index] = np.all(
+                        (relevant == 0) | (relevant == target), axis=1
+                    )
+            values = self.measure.evaluate_restrictions(space, rows)
+            residual += float(np.dot(masses[block], values))
+        self.evaluations += order.size
+        evaluated_mass = float(masses[order].sum())
+        if evaluated_mass < 1.0 - 1e-12:
+            residual += (1.0 - evaluated_mass) * self.uncertainty(space)
+        return residual
+
+    def rank_set_extensions(
+        self,
+        space: OrderingSpace,
+        codes: np.ndarray,
+        base_columns: Sequence[int],
+        candidate_columns: Sequence[int],
+        pattern_cap: Optional[int] = None,
+    ) -> np.ndarray:
+        """``R_{S ∪ {c}}`` for every candidate column ``c`` at once.
+
+        The greedy set policies (``C-off``, ``A*``) score every remaining
+        candidate as an extension of the same already-chosen set ``S``.
+        Recomputing the answer-pattern partition per candidate makes the
+        ``np.unique`` sort the bottleneck; here the partition of ``S`` is
+        computed once, each extension's patterns are derived by a
+        ``bincount`` over ``3·base_pattern + stance`` ids, and all
+        compatibility masks are assembled vectorized.  Values match
+        per-candidate :meth:`set_residual_from_codes` to float precision,
+        including the tie resolution of a ``pattern_cap`` cut (both paths
+        rank the identical lexicographically-ordered mass array).
+        """
+        base_columns = list(base_columns)
+        candidate_columns = list(candidate_columns)
+        if not candidate_columns:
+            return np.zeros(0)
+        p = space.probabilities
+        size = space.size
+        if base_columns:
+            base_codes = codes[:, base_columns]
+            base_patterns, base_inverse = np.unique(
+                base_codes, axis=0, return_inverse=True
+            )
+            base_inverse = base_inverse.ravel()
+        else:
+            base_patterns = np.zeros((1, 0), dtype=codes.dtype)
+            base_inverse = np.zeros(size, dtype=np.intp)
+        n_base = base_patterns.shape[0]
+        # Compatibility masks of base patterns, built lazily: under a
+        # pattern_cap only the capped patterns of each candidate are ever
+        # touched, so memory stays O(touched · L) rather than
+        # O(n_base · L · |S|) — n_base can approach L on large spaces.
+        compat_cache: dict = {}
+
+        def base_compat_row(pattern_index: int) -> np.ndarray:
+            row = compat_cache.get(pattern_index)
+            if row is None:
+                pattern = base_patterns[pattern_index]
+                # A pattern constrains only the questions it is decisive
+                # on; a path is compatible when it is silent or agrees.
+                constrained = pattern != 0
+                if not np.any(constrained):
+                    row = np.ones(size, dtype=bool)
+                else:
+                    relevant = base_codes[:, constrained]
+                    row = np.all(
+                        (relevant == 0) | (relevant == pattern[constrained]),
+                        axis=1,
+                    )
+                compat_cache[pattern_index] = row
+            return row
+        results = np.empty(len(candidate_columns))
+        current_uncertainty: Optional[float] = None
+        chunk = _rows_per_chunk(size)
+        for out_index, column in enumerate(candidate_columns):
+            stances = codes[:, column]
+            ids = base_inverse * 3 + (stances.astype(np.intp) + 1)
+            # Compress to ids actually realized by some path: ascending id
+            # order equals np.unique's lexicographic pattern order (base
+            # pattern rank, then stance −1 < 0 < +1), so the capped
+            # argsort below sees the *same* mass array as
+            # set_residual_from_codes and resolves mass ties identically.
+            realized = np.flatnonzero(np.bincount(ids, minlength=3 * n_base))
+            masses = np.bincount(ids, weights=p, minlength=3 * n_base)[
+                realized
+            ]
+            order = np.argsort(-masses)
+            if pattern_cap is not None:
+                order = order[:pattern_cap]
+            order = order[masses[order] > 0.0]
+            residual = 0.0
+            for start in range(0, order.size, chunk):
+                block_positions = order[start : start + chunk]
+                block = realized[block_positions]
+                base_index = block // 3
+                stance_index = block % 3  # 0 → −1, 1 → silent, 2 → +1
+                rows = np.empty((block.size, size), dtype=bool)
+                for row_index, pattern_index in enumerate(base_index):
+                    rows[row_index] = base_compat_row(int(pattern_index))
+                decisive = stance_index != 1
+                if np.any(decisive):
+                    targets = (stance_index[decisive] - 1).astype(codes.dtype)
+                    rows[decisive] &= (stances[None, :] == 0) | (
+                        stances[None, :] == targets[:, None]
+                    )
+                values = self.measure.evaluate_restrictions(space, rows)
+                residual += float(np.dot(masses[block_positions], values))
+            self.evaluations += order.size
+            evaluated_mass = float(masses[order].sum())
+            if evaluated_mass < 1.0 - 1e-12:
+                if current_uncertainty is None:
+                    current_uncertainty = self.uncertainty(space)
+                residual += (1.0 - evaluated_mass) * current_uncertainty
+            results[out_index] = residual
+        return results
+
+    def set_residual_from_codes_scalar(
+        self,
+        space: OrderingSpace,
+        codes: np.ndarray,
+        pattern_cap: Optional[int] = None,
+    ) -> float:
+        """Scalar oracle for :meth:`set_residual_from_codes` (one restricted
+        space per answer pattern); retained for tests and benchmarks."""
+        if codes.shape[1] == 0:
+            return self.uncertainty(space)
+        patterns, inverse = np.unique(codes, axis=0, return_inverse=True)
+        inverse = inverse.ravel()
         masses = np.bincount(inverse, weights=space.probabilities)
         order = np.argsort(-masses)
         residual = 0.0
@@ -131,8 +410,6 @@ class ResidualEvaluator:
             pattern = patterns[pattern_index]
             constrained = pattern != 0
             if not np.any(constrained):
-                # Totally silent pattern: observing "answers" compatible
-                # with it leaves the space untouched.
                 compatible = np.ones(space.size, dtype=bool)
             else:
                 relevant = codes[:, constrained]
@@ -161,11 +438,15 @@ class ResidualEvaluator:
         contradictory answer (possible only if the assumed accuracy
         overstates the worker) leaves the space unchanged rather than
         emptying it, mirroring a deployment that must stay consistent.
+        Swallowed contradictions are counted in :attr:`contradictions` so
+        sessions can surface them instead of silently misreporting noisy
+        crowds as clean.
         """
         if accuracy >= 1.0:
             try:
                 return space.condition(question.i, question.j, holds)
             except DegenerateSpaceError:
+                self.contradictions += 1
                 return space
         return space.reweight_by_answer(question.i, question.j, holds, accuracy)
 

@@ -178,14 +178,13 @@ def stance_marginals(space: OrderingSpace) -> tuple:
 
     Returns three ``(N, N)`` arrays ``(P_plus, P_minus, P_zero)`` where
     ``P_plus[i, j] = Pr(ω implies t_i ≺ t_j)`` etc.  Basis for both the
-    expected-distance computation and the ORA objective.
+    expected-distance computation and the ORA objective.  Delegates to
+    :meth:`~repro.tpo.space.OrderingSpace.pairwise_order_masses`, so no
+    ``(L, N, N)`` stance tensor is ever materialized.
     """
-    pos = space.positions().astype(np.int64)
-    p = space.probabilities
-    less = pos[:, :, None] < pos[:, None, :]
-    greater = pos[:, :, None] > pos[:, None, :]
-    p_plus = np.einsum("l,lij->ij", p, less.astype(float))
-    p_minus = np.einsum("l,lij->ij", p, greater.astype(float))
+    less, _ = space.pairwise_order_masses()
+    p_plus = less
+    p_minus = less.T.copy()
     p_zero = np.clip(1.0 - p_plus - p_minus, 0.0, 1.0)
     np.fill_diagonal(p_plus, 0.0)
     np.fill_diagonal(p_minus, 0.0)
@@ -209,6 +208,52 @@ def presence_pair_marginals(space: OrderingSpace) -> np.ndarray:
     return both
 
 
+def topk_distance_profile(
+    space: OrderingSpace,
+    reference: Sequence[int],
+    penalty: float = DEFAULT_PENALTY,
+    normalized: bool = True,
+    chunk: int = 4096,
+) -> np.ndarray:
+    """``K^(p)(ω, reference)`` for every path ω — an ``(L,)`` vector.
+
+    The expected distance of *any* reweighting of the space to a fixed
+    reference is a dot product with this profile, which is what lets the
+    batched ``U_MPO`` / ``U_ORA`` measures price many hypothetical
+    posteriors against one reference without rebuilding spaces.
+    """
+    check_fraction("penalty", penalty)
+    reference = list(reference)
+    n = space.n_tuples
+    depth = max(space.depth, len(reference), 1)
+    pos_ref = _positions(reference, n, depth)
+    present_ref = pos_ref < depth
+    both_in_ref = present_ref[:, None] & present_ref[None, :]
+    stance_ref = np.sign(pos_ref[None, :] - pos_ref[:, None]).astype(np.int8)
+    pos = space.positions().astype(np.int64)
+    profile = np.empty(space.size)
+    upper = np.triu(np.ones((n, n), dtype=bool), k=1)
+    for start in range(0, space.size, chunk):
+        block = slice(start, min(start + chunk, space.size))
+        pb = pos[block]
+        present = pb < space.depth
+        stance = np.sign(pb[:, None, :] - pb[:, :, None]).astype(np.int8)
+        opposite = (stance * stance_ref[None, :, :]) < 0
+        # Fagin case 4, union-restricted (see topk_kendall).
+        both_in_path = present[:, :, None] & present[:, None, :]
+        one_silent = (stance == 0) & both_in_ref[None, :, :]
+        one_silent |= (stance_ref[None, :, :] == 0) & both_in_path
+        profile[block] = (
+            (opposite & upper[None, :, :]).sum(axis=(1, 2)).astype(float)
+            + penalty
+            * (one_silent & upper[None, :, :]).sum(axis=(1, 2)).astype(float)
+        )
+    if not normalized:
+        return profile
+    worst = max_topk_distance(space.depth, len(reference), penalty)
+    return profile / worst if worst > 0 else np.zeros_like(profile)
+
+
 def expected_topk_distance(
     space: OrderingSpace,
     reference: Sequence[int],
@@ -222,37 +267,10 @@ def expected_topk_distance(
     ordering's top-K prefix, and the ``U_ORA`` / ``U_MPO`` uncertainty value
     when it is the aggregated / most probable ordering.
     """
-    check_fraction("penalty", penalty)
-    reference = list(reference)
-    n = space.n_tuples
-    depth = max(space.depth, len(reference), 1)
-    pos_ref = _positions(reference, n, depth)
-    present_ref = pos_ref < depth
-    both_in_ref = present_ref[:, None] & present_ref[None, :]
-    stance_ref = np.sign(pos_ref[None, :] - pos_ref[:, None]).astype(np.int8)
-    pos = space.positions().astype(np.int64)
-    total = 0.0
-    upper = np.triu(np.ones((n, n), dtype=bool), k=1)
-    for start in range(0, space.size, chunk):
-        block = slice(start, min(start + chunk, space.size))
-        pb = pos[block]
-        present = pb < space.depth
-        stance = np.sign(pb[:, None, :] - pb[:, :, None]).astype(np.int8)
-        opposite = (stance * stance_ref[None, :, :]) < 0
-        # Fagin case 4, union-restricted (see topk_kendall).
-        both_in_path = present[:, :, None] & present[:, None, :]
-        one_silent = (stance == 0) & both_in_ref[None, :, :]
-        one_silent |= (stance_ref[None, :, :] == 0) & both_in_path
-        per_path = (
-            (opposite & upper[None, :, :]).sum(axis=(1, 2)).astype(float)
-            + penalty
-            * (one_silent & upper[None, :, :]).sum(axis=(1, 2)).astype(float)
-        )
-        total += float(np.dot(space.probabilities[block], per_path))
-    if not normalized:
-        return total
-    worst = max_topk_distance(space.depth, len(reference), penalty)
-    return total / worst if worst > 0 else 0.0
+    profile = topk_distance_profile(
+        space, reference, penalty=penalty, normalized=normalized, chunk=chunk
+    )
+    return float(np.dot(space.probabilities, profile))
 
 
 __all__ = [
@@ -263,5 +281,6 @@ __all__ = [
     "spearman_footrule",
     "stance_marginals",
     "presence_pair_marginals",
+    "topk_distance_profile",
     "expected_topk_distance",
 ]

@@ -39,7 +39,14 @@ class OrderingSpace:
         Size of the tuple universe (indices in ``paths`` are < ``n_tuples``).
     """
 
-    __slots__ = ("paths", "probabilities", "n_tuples", "_positions")
+    __slots__ = (
+        "paths",
+        "probabilities",
+        "n_tuples",
+        "_positions",
+        "_prefix_index",
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -67,6 +74,8 @@ class OrderingSpace:
         self.probabilities = probabilities / total
         self.n_tuples = int(n_tuples)
         self._positions: Optional[np.ndarray] = None
+        #: depth → (order, starts) segment index of the prefix groups.
+        self._prefix_index: dict = {}
 
     # ------------------------------------------------------------------
     # Shape & views
@@ -121,6 +130,27 @@ class OrderingSpace:
         """
         pos = self.positions()
         pi, pj = pos[:, i], pos[:, j]
+        return np.where(pi < pj, 1, np.where(pj < pi, -1, 0)).astype(np.int8)
+
+    def stance_matrix(
+        self, i_indices: Sequence[int], j_indices: Sequence[int]
+    ) -> np.ndarray:
+        """Stances of every path on ``B`` pairs in one shot.
+
+        Vectorized generalization of :meth:`agreement_codes`: given aligned
+        index vectors ``i_indices``/``j_indices`` of length ``B``, returns
+        the ``(L, B)`` int8 matrix whose column ``b`` equals
+        ``agreement_codes(i_indices[b], j_indices[b])``.  This is the
+        primitive the batched residual evaluator builds on — one
+        :meth:`positions` lookup instead of ``B`` separate calls.
+        """
+        pos = self.positions()
+        i_indices = np.asarray(i_indices, dtype=np.intp)
+        j_indices = np.asarray(j_indices, dtype=np.intp)
+        if i_indices.shape != j_indices.shape or i_indices.ndim != 1:
+            raise ValueError("i_indices and j_indices must be aligned 1-D")
+        pi = pos[:, i_indices]
+        pj = pos[:, j_indices]
         return np.where(pi < pj, 1, np.where(pj < pi, -1, 0)).astype(np.int8)
 
     def answer_probability(self, i: int, j: int) -> float:
@@ -216,6 +246,33 @@ class OrderingSpace:
         masses = np.bincount(inverse, weights=self.probabilities)
         return prefixes, masses
 
+    def prefix_group_index(self, depth: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached segment index of the length-``depth`` prefix groups.
+
+        Returns ``(order, starts)`` such that ``values[order]`` sorted by
+        group can be segment-summed with ``np.add.reduceat(…, starts)``.
+        Depends only on the immutable path table, so batched evaluators
+        that regroup many hypothetical posteriors per space (e.g. the
+        weighted-entropy measure) compute it once per depth.
+        """
+        cached = self._prefix_index.get(depth)
+        if cached is None:
+            if not 1 <= depth <= self.depth:
+                raise ValueError(
+                    f"depth must lie in [1, {self.depth}], got {depth}"
+                )
+            _, inverse = np.unique(
+                self.paths[:, :depth], axis=0, return_inverse=True
+            )
+            inverse = inverse.ravel()
+            order = np.argsort(inverse, kind="stable")
+            starts = np.flatnonzero(
+                np.diff(inverse[order], prepend=inverse[order[0]] - 1)
+            )
+            cached = (order, starts)
+            self._prefix_index[depth] = cached
+        return cached
+
     def most_probable_ordering(self) -> np.ndarray:
         """The single most probable top-K prefix (the paper's MPO)."""
         return self.paths[int(np.argmax(self.probabilities))].copy()
@@ -229,21 +286,57 @@ class OrderingSpace:
             )
         return marginals
 
+    def pairwise_order_masses(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-pair order and co-absence masses, accumulated over ranks.
+
+        Returns two ``(N, N)`` arrays ``(less, both_absent)`` where
+        ``less[i, j] = Pr(pos(t_i) < pos(t_j))`` (strictly ranked higher,
+        counting "present beats absent") and ``both_absent[i, j]`` is the
+        mass of paths containing neither tuple — the only way two distinct
+        tuples share a position under the top-K prefix semantics.
+
+        Accumulates rank-pair counts with ``bincount`` over the ``(L, K)``
+        path table, so peak memory is ``O(L·N + N²)`` rather than the
+        ``O(L·N²)`` of a dense per-path stance tensor — the blow-up that
+        made the ORA objective unusable at large ``L``.
+        """
+        n = self.n_tuples
+        p = self.probabilities
+        paths = self.paths.astype(np.int64)
+        flat_bins = n * n
+        strict = np.zeros(flat_bins)
+        present_mass = np.zeros(n)
+        for r in range(self.depth):
+            present_mass += np.bincount(paths[:, r], weights=p, minlength=n)
+            for s in range(r + 1, self.depth):
+                strict += np.bincount(
+                    paths[:, r] * n + paths[:, s], weights=p, minlength=flat_bins
+                )
+        strict = strict.reshape(n, n)
+        # The below-rank counts are exactly the transpose of the above-rank
+        # counts, so co-presence needs no second bincount pass.
+        both_present = strict + strict.T
+        # present-i over absent-j, by inclusion–exclusion over presence.
+        less = strict + present_mass[:, None] - both_present
+        both_absent = (
+            1.0 - present_mass[:, None] - present_mass[None, :] + both_present
+        )
+        np.clip(less, 0.0, 1.0, out=less)
+        np.clip(both_absent, 0.0, 1.0, out=both_absent)
+        np.fill_diagonal(less, 0.0)
+        np.fill_diagonal(both_absent, 0.0)
+        return less, both_absent
+
     def pairwise_preference(self) -> np.ndarray:
         """``(N, N)`` matrix ``W[i, j] = Pr(t_i ≺ t_j)`` over the space.
 
         Undetermined paths split their mass evenly between the two orders,
         so ``W + Wᵀ = 1`` off the diagonal.  This is the weighted tournament
-        the Optimal Rank Aggregation is computed from.
+        the Optimal Rank Aggregation is computed from.  Computed via
+        :meth:`pairwise_order_masses` (no ``(L, N, N)`` intermediate).
         """
-        pos = self.positions().astype(np.int64)
-        n = self.n_tuples
-        w = np.zeros((n, n))
-        p = self.probabilities
-        less = pos[:, :, None] < pos[:, None, :]
-        equal = pos[:, :, None] == pos[:, None, :]
-        w = np.einsum("l,lij->ij", p, less.astype(float))
-        w += 0.5 * np.einsum("l,lij->ij", p, equal.astype(float))
+        less, both_absent = self.pairwise_order_masses()
+        w = less + 0.5 * both_absent
         np.fill_diagonal(w, 0.0)
         return w
 

@@ -136,9 +136,33 @@ class TPOTree:
         ``t_i`` has not appeared earlier — any completion would rank ``t_j``
         higher.  Works on partially built trees; remaining mass is
         renormalized.  Returns the number of removed nodes.
+
+        Atomic: a contradictory answer raises *before* any node is
+        removed, so callers that swallow the error keep a usable tree (a
+        half-pruned zero-mass tree used to crash the ``incr`` replay
+        loop much later, in an unguarded ``renormalize``).
         """
         winner, loser = (i, j) if holds else (j, i)
-        removed = 0
+
+        def surviving_mass(node: TPONode, winner_seen: bool, depth: int) -> float:
+            if depth == self.built_depth:
+                return node.probability
+            total = 0.0
+            for child in node.children:
+                if child.tuple_index == loser and not winner_seen:
+                    continue
+                total += surviving_mass(
+                    child, winner_seen or child.tuple_index == winner, depth + 1
+                )
+            return total
+
+        if (
+            self.built_depth > 0
+            and surviving_mass(self.root, False, 0) <= 0.0
+        ):
+            raise DegenerateSpaceError(
+                f"answer t{winner} ≺ t{loser} contradicts every ordering"
+            )
 
         def recurse(node: TPONode, winner_seen: bool) -> int:
             count = 0
@@ -153,10 +177,6 @@ class TPOTree:
             return count
 
         removed = recurse(self.root, False)
-        if not self.root.children and self.built_depth > 0:
-            raise DegenerateSpaceError(
-                f"answer t{winner} ≺ t{loser} contradicts every ordering"
-            )
         self.renormalize()
         return removed
 

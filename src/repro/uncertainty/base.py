@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
+
 from repro.tpo.space import OrderingSpace
 
 
@@ -31,6 +33,72 @@ class UncertaintyMeasure(abc.ABC):
     @abc.abstractmethod
     def __call__(self, space: OrderingSpace) -> float:
         """Evaluate the measure; must be ≥ 0 and 0 for a singleton space."""
+
+    # ------------------------------------------------------------------
+    # Batched evaluation over hypothetical posteriors
+    # ------------------------------------------------------------------
+
+    def evaluate_batch(
+        self, space: OrderingSpace, weights: np.ndarray
+    ) -> np.ndarray:
+        """Evaluate the measure on many hypothetical posteriors at once.
+
+        ``weights`` is a ``(B, L)`` matrix of non-negative path masses over
+        ``space.paths``; each row describes one hypothetical posterior
+        (e.g. the space after pruning with one possible answer).  Rows need
+        not be normalized, but every row must carry positive total mass.
+        A zero entry means the path is excluded — semantically identical to
+        ``space.restrict`` followed by renormalization.
+
+        Returns the ``(B,)`` vector of measure values.  Subclasses override
+        this with vectorized implementations that never materialize an
+        intermediate :class:`OrderingSpace`; this base fallback keeps
+        arbitrary user measures correct by evaluating row-by-row on
+        restricted spaces (the scalar oracle the parity tests compare
+        against).
+        """
+        weights = self._check_weights(space, weights)
+        values = np.empty(weights.shape[0])
+        for row_index, row in enumerate(weights):
+            keep = row > 0.0
+            restricted = OrderingSpace(
+                space.paths[keep], row[keep], space.n_tuples
+            )
+            values[row_index] = self(restricted)
+        return values
+
+    def evaluate_restrictions(
+        self, space: OrderingSpace, masks: np.ndarray
+    ) -> np.ndarray:
+        """Evaluate the measure after many hypothetical *prunings* at once.
+
+        ``masks`` is a ``(B, L)`` boolean matrix; row ``r`` describes the
+        sub-space keeping exactly the paths where ``masks[r]`` is True
+        (with their original relative probabilities).  Semantically this is
+        ``evaluate_batch(space, masks * space.probabilities)`` — the form
+        every answer-conditioned residual takes — but knowing the rows are
+        maskings of one shared vector lets measures precompute per-path
+        statistics once and reduce each row to dot products (see
+        :class:`~repro.uncertainty.entropy.EntropyMeasure`).
+        """
+        masks = np.asarray(masks)
+        return self.evaluate_batch(
+            space, masks * space.probabilities[None, :]
+        )
+
+    @staticmethod
+    def _check_weights(space: OrderingSpace, weights: np.ndarray) -> np.ndarray:
+        """Validate a hypothetical-posterior matrix (shared by overrides)."""
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 2 or weights.shape[1] != space.size:
+            raise ValueError(
+                f"weights must be (B, {space.size}), got {weights.shape}"
+            )
+        if np.any(weights < 0.0):
+            raise ValueError("hypothetical posterior weights must be >= 0")
+        if weights.shape[0] and np.any(weights.sum(axis=1) <= 0.0):
+            raise ValueError("every weights row needs positive total mass")
+        return weights
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

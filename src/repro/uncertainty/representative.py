@@ -13,10 +13,65 @@ a relation the property tests check on small instances.
 
 from __future__ import annotations
 
-from repro.rank.aggregation import optimal_rank_aggregation
-from repro.rank.kendall import DEFAULT_PENALTY, expected_topk_distance
+import weakref
+
+import numpy as np
+
+from repro.rank.aggregation import borda_aggregation, optimal_rank_aggregation
+from repro.rank.kendall import (
+    DEFAULT_PENALTY,
+    expected_topk_distance,
+    topk_distance_profile,
+)
 from repro.tpo.space import OrderingSpace
 from repro.uncertainty.base import UncertaintyMeasure
+
+
+#: Per-space distance-profile caches; weak keys tie each cache's lifetime
+#: to its space, the FIFO limit bounds memory at ~limit·L floats per space.
+_PROFILE_CACHES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_PROFILE_CACHE_LIMIT = 128
+
+
+def _profile_dot(
+    space: OrderingSpace,
+    weights: np.ndarray,
+    references: np.ndarray,
+    penalty: float,
+) -> np.ndarray:
+    """Expected normalized distance of each weights row to its reference.
+
+    ``references`` is ``(B, K)``; rows sharing a reference share one
+    distance profile.  Profiles are cached per space (weakly keyed, so
+    they die with it) because one greedy selection step makes many
+    separate calls against the same space with largely identical
+    references; the per-space cache is FIFO-bounded so a deep search
+    generating many distinct references cannot pin O(L) memory per
+    reference indefinitely.
+    """
+    totals = weights.sum(axis=1)
+    values = np.empty(weights.shape[0])
+    profiles = _PROFILE_CACHES.get(space)
+    if profiles is None:
+        profiles = {}
+        _PROFILE_CACHES[space] = profiles
+    for row_index in range(weights.shape[0]):
+        key = (references[row_index].tobytes(), penalty)
+        profile = profiles.get(key)
+        if profile is None:
+            profile = topk_distance_profile(
+                space,
+                references[row_index],
+                penalty=penalty,
+                normalized=True,
+            )
+            if len(profiles) >= _PROFILE_CACHE_LIMIT:
+                profiles.pop(next(iter(profiles)))
+            profiles[key] = profile
+        values[row_index] = (
+            np.dot(weights[row_index], profile) / totals[row_index]
+        )
+    return values
 
 
 class ORAUncertainty(UncertaintyMeasure):
@@ -52,6 +107,88 @@ class ORAUncertainty(UncertaintyMeasure):
             space, reference, penalty=self.penalty, normalized=True
         )
 
+    def evaluate_batch(
+        self, space: OrderingSpace, weights: np.ndarray
+    ) -> np.ndarray:
+        """Batched ``U_ORA`` for the Borda aggregation method.
+
+        Borda only needs each hypothetical's expected tuple positions —
+        one matmul for the whole batch; the expected distance to each
+        aggregate is a profile dot product.  Non-Borda methods fall back
+        to the generic per-row oracle (their aggregations are not
+        expressible as a reweighting of shared statistics).
+        """
+        if self.method != "borda":
+            return super().evaluate_batch(space, weights)
+        weights = self._check_weights(space, weights)
+        return self._borda_values(space, weights, support=weights > 0.0)
+
+    def evaluate_restrictions(
+        self, space: OrderingSpace, masks: np.ndarray
+    ) -> np.ndarray:
+        """Pruning hypotheticals keep the mask as the survivor set.
+
+        Presence must come from the *mask*, not from ``weights > 0``: a
+        kept zero-probability path still contributes its tuples to the
+        Borda candidate set, exactly as ``space.restrict(mask)`` retains
+        the path — deriving support from the weights would silently drop
+        such tuples and break scalar parity.
+        """
+        if self.method != "borda":
+            return super().evaluate_restrictions(space, masks)
+        masks = np.asarray(masks, dtype=bool)
+        weights = self._check_weights(
+            space, masks * space.probabilities[None, :]
+        )
+        return self._borda_values(space, weights, support=masks)
+
+    def _borda_values(
+        self, space: OrderingSpace, weights: np.ndarray, support: np.ndarray
+    ) -> np.ndarray:
+        """Shared Borda pricing given per-row survivor sets ``support``."""
+        if weights.shape[0] == 0:
+            return np.zeros(0)
+        depth = space.depth
+        pos = space.positions().astype(float)
+        totals = weights.sum(axis=1, keepdims=True)
+        expected = (weights / totals) @ pos
+        # A tuple is present in a hypothetical space iff some surviving
+        # path contains it; absent tuples sort last (Borda ignores them).
+        present = support.astype(float) @ (pos < depth).astype(float) > 0.0
+        masked = np.where(present, expected, np.inf)
+        # Stable argsort ties on ascending tuple index — exactly the order
+        # borda_aggregation produces from its sorted candidate list.
+        order = np.argsort(masked, axis=1, kind="stable")
+        references = order[:, :depth].astype(np.int32)
+        # Exact or last-ulp ties among the expected positions that decide
+        # the reference (the first K and the K-boundary) are fp-association
+        # sensitive: the vectorized sums may round differently than the
+        # scalar oracle's compacted sums and flip the stable sort.  Those
+        # rows re-derive their reference through the scalar Borda path so
+        # the documented batch/scalar parity holds even on tied spaces
+        # (e.g. uniform path masses from the Monte Carlo engine).
+        boundary = np.take_along_axis(masked, order[:, : depth + 1], axis=1)
+        tied = np.any(np.diff(boundary, axis=1) <= 1e-9, axis=1)
+        for row_index in np.flatnonzero(tied):
+            row = weights[row_index]
+            keep = support[row_index]
+            if np.array_equal(row[keep], space.probabilities[keep]):
+                # Pure masking (an answer-conditioned pruning): restrict()
+                # — not a fresh OrderingSpace — so an all-true mask returns
+                # the space itself without renormalizing, exactly like the
+                # scalar residual oracle; rebuilding would divide by a
+                # ≈1.0 sum and perturb tied positions at the last ulp.
+                restricted = space.restrict(keep)
+            else:
+                # Genuinely reweighted posterior: the reference must be
+                # aggregated under the row's own masses, matching the
+                # base-class row-by-row oracle.
+                restricted = OrderingSpace(
+                    space.paths[keep], row[keep], space.n_tuples
+                )
+            references[row_index] = borda_aggregation(restricted, depth)
+        return _profile_dot(space, weights, references, self.penalty)
+
 
 class MPOUncertainty(UncertaintyMeasure):
     """``U_MPO``: expected normalized top-K distance to the modal ordering."""
@@ -68,6 +205,22 @@ class MPOUncertainty(UncertaintyMeasure):
         return expected_topk_distance(
             space, reference, penalty=self.penalty, normalized=True
         )
+
+    def evaluate_batch(
+        self, space: OrderingSpace, weights: np.ndarray
+    ) -> np.ndarray:
+        """Batched ``U_MPO``: modal path per row, shared distance profiles.
+
+        Hypothetical posteriors are reweightings of one path table, so the
+        modal ordering is an argmax per row and rows sharing a mode share
+        one distance profile.
+        """
+        weights = self._check_weights(space, weights)
+        if weights.shape[0] == 0:
+            return np.zeros(0)
+        modal = np.argmax(weights, axis=1)
+        references = space.paths[modal]
+        return _profile_dot(space, weights, references, self.penalty)
 
 
 __all__ = ["ORAUncertainty", "MPOUncertainty"]

@@ -1,0 +1,267 @@
+"""Batch-vs-scalar parity of the residual-evaluation engine.
+
+The batched path (`rank_singles_batch`, batched `set_residual_from_codes`,
+`UncertaintyMeasure.evaluate_batch`) must reproduce the scalar oracle
+(`single`/`rank_singles`/`set_residual_from_codes_scalar`) to 1e-9 across
+every registered uncertainty measure and every TPO construction engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributions.uniform import Uniform
+from repro.questions.candidates import all_pair_questions
+from repro.questions.residual import ResidualEvaluator
+from repro.tpo.builders import make_builder
+from repro.tpo.space import OrderingSpace
+from repro.uncertainty.base import UncertaintyMeasure
+from repro.uncertainty.registry import available_measures, get_measure
+
+ENGINE_PARAMS = {
+    "grid": {"resolution": 64},
+    "exact": {},
+    "mc": {"samples": 4000, "seed": 7},
+}
+
+
+def engine_space(engine: str) -> OrderingSpace:
+    """A small but non-trivial top-3 space built by the given engine."""
+    rng = np.random.default_rng(11)
+    distributions = [Uniform(c, c + 0.45) for c in rng.random(6)]
+    builder = make_builder(engine, **ENGINE_PARAMS[engine])
+    return builder.build(distributions, 3).to_space()
+
+
+def random_space(seed: int) -> OrderingSpace:
+    """A random weighted prefix space (exercises silent/settled pairs)."""
+    rng = np.random.default_rng(seed)
+    n, k = 7, 3
+    paths = np.unique(
+        np.array([rng.permutation(n)[:k] for _ in range(25)]), axis=0
+    )
+    return OrderingSpace(paths, rng.random(paths.shape[0]) + 1e-3, n)
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINE_PARAMS))
+@pytest.mark.parametrize("name", available_measures())
+def test_rank_singles_batch_matches_scalar_across_engines(engine, name):
+    space = engine_space(engine)
+    evaluator = ResidualEvaluator(get_measure(name))
+    questions = all_pair_questions(space)
+    np.testing.assert_allclose(
+        evaluator.rank_singles_batch(space, questions),
+        evaluator.rank_singles(space, questions),
+        rtol=0.0,
+        atol=1e-9,
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("name", available_measures())
+def test_rank_singles_batch_matches_scalar_on_random_spaces(seed, name):
+    space = random_space(seed)
+    evaluator = ResidualEvaluator(get_measure(name))
+    questions = all_pair_questions(space)
+    np.testing.assert_allclose(
+        evaluator.rank_singles_batch(space, questions),
+        evaluator.rank_singles(space, questions),
+        rtol=0.0,
+        atol=1e-9,
+    )
+
+
+@pytest.mark.parametrize("pattern_cap", [None, 3])
+@pytest.mark.parametrize("name", available_measures())
+def test_set_residual_batch_matches_scalar(name, pattern_cap):
+    space = engine_space("grid")
+    evaluator = ResidualEvaluator(get_measure(name))
+    questions = all_pair_questions(space)[:5]
+    codes = evaluator.codes_matrix(space, questions)
+    batched = evaluator.set_residual_from_codes(space, codes, pattern_cap)
+    scalar = evaluator.set_residual_from_codes_scalar(
+        space, codes, pattern_cap
+    )
+    assert abs(batched - scalar) < 1e-9
+
+
+@pytest.mark.parametrize("name", available_measures())
+def test_rank_singles_batch_matches_scalar_on_tied_masses(name):
+    """Uniform path masses (the Monte Carlo engine's natural output) tie
+    expected Borda positions exactly — the batch path must still agree
+    with the scalar oracle (regression: fp-association tie flips)."""
+    rng = np.random.default_rng(17)
+    n, k = 5, 3
+    paths = np.unique(
+        np.array([rng.permutation(n)[:k] for _ in range(20)]), axis=0
+    )
+    space = OrderingSpace(paths, np.ones(paths.shape[0]), n)
+    evaluator = ResidualEvaluator(get_measure(name))
+    questions = all_pair_questions(space)
+    np.testing.assert_allclose(
+        evaluator.rank_singles_batch(space, questions),
+        evaluator.rank_singles(space, questions),
+        rtol=0.0,
+        atol=1e-9,
+    )
+
+
+@pytest.mark.parametrize("name", available_measures())
+def test_rank_singles_batch_matches_scalar_with_zero_probability_paths(name):
+    """Zero-mass paths stay in the space under restrict(); the batch path
+    must keep their tuples in aggregation candidate sets too (regression:
+    ORA presence was derived from weights > 0)."""
+    rng = np.random.default_rng(31)
+    for trial in range(4):
+        n, k = 6, 3
+        paths = np.unique(
+            np.array([rng.permutation(n)[:k] for _ in range(18)]), axis=0
+        )
+        probs = rng.random(paths.shape[0]) + 1e-3
+        probs[rng.integers(0, paths.shape[0], 5)] = 0.0  # dead paths
+        space = OrderingSpace(paths, probs, n)
+        evaluator = ResidualEvaluator(get_measure(name))
+        questions = all_pair_questions(space)
+        np.testing.assert_allclose(
+            evaluator.rank_singles_batch(space, questions),
+            evaluator.rank_singles(space, questions),
+            rtol=0.0,
+            atol=1e-9,
+        )
+
+
+@pytest.mark.parametrize("name", available_measures())
+@pytest.mark.parametrize("pattern_cap", [2, 3, 5])
+def test_rank_set_extensions_cap_tie_parity(name, pattern_cap):
+    """Capped pattern cuts must resolve mass ties exactly like
+    set_residual_from_codes — uniform masses make every pattern tie."""
+    rng = np.random.default_rng(37)
+    paths = np.unique(
+        np.array([rng.permutation(6)[:3] for _ in range(20)]), axis=0
+    )
+    space = OrderingSpace(paths, np.ones(paths.shape[0]), 6)
+    evaluator = ResidualEvaluator(get_measure(name))
+    questions = all_pair_questions(space)[:6]
+    codes = evaluator.codes_matrix(space, questions)
+    for base in ([], [0], [1, 4]):
+        candidates = [c for c in range(len(questions)) if c not in base]
+        batched = evaluator.rank_set_extensions(
+            space, codes, base, candidates, pattern_cap
+        )
+        sibling = np.array(
+            [
+                evaluator.set_residual_from_codes(
+                    space, codes[:, base + [c]], pattern_cap
+                )
+                for c in candidates
+            ]
+        )
+        np.testing.assert_allclose(batched, sibling, rtol=0.0, atol=1e-9)
+
+
+@pytest.mark.parametrize("name", available_measures())
+def test_rank_set_extensions_matches_per_candidate_scalar(name):
+    space = engine_space("grid")
+    evaluator = ResidualEvaluator(get_measure(name))
+    questions = all_pair_questions(space)[:8]
+    codes = evaluator.codes_matrix(space, questions)
+    for base in ([], [0], [2, 5]):
+        candidates = [c for c in range(len(questions)) if c not in base]
+        batched = evaluator.rank_set_extensions(space, codes, base, candidates)
+        scalar = np.array(
+            [
+                evaluator.set_residual_from_codes_scalar(
+                    space, codes[:, base + [c]]
+                )
+                for c in candidates
+            ]
+        )
+        np.testing.assert_allclose(batched, scalar, rtol=0.0, atol=1e-9)
+
+
+@pytest.mark.parametrize("name", available_measures())
+def test_evaluate_batch_matches_base_oracle_on_reweighted_rows(name):
+    """The batch API accepts arbitrary posterior weight rows, not just
+    prunings of the prior — values must match the base-class row-by-row
+    oracle even when reweighted rows tie (regression: the ORA tie
+    fallback once aggregated under the prior's masses instead)."""
+    rng = np.random.default_rng(23)
+    for trial in range(6):
+        space = random_space(trial)
+        measure = get_measure(name)
+        rows = rng.random((8, space.size)) + 1e-6
+        rows[:, rng.integers(0, space.size, 3)] = 0.0  # some pruned paths
+        # Force exact expected-position ties in half the rows.
+        rows[::2] = np.round(rows[::2] * 4) / 4 + 0.25
+        oracle = UncertaintyMeasure.evaluate_batch(measure, space, rows)
+        np.testing.assert_allclose(
+            measure.evaluate_batch(space, rows), oracle, rtol=0.0, atol=1e-9
+        )
+
+
+class _LeafCountMeasure(UncertaintyMeasure):
+    """Custom measure without a batch override → exercises the fallback."""
+
+    name = "leafcount"
+
+    def __call__(self, space: OrderingSpace) -> float:
+        return float(np.log2(space.size)) if space.size > 1 else 0.0
+
+
+def test_generic_fallback_keeps_custom_measures_correct():
+    space = random_space(5)
+    evaluator = ResidualEvaluator(_LeafCountMeasure())
+    questions = all_pair_questions(space)
+    np.testing.assert_allclose(
+        evaluator.rank_singles_batch(space, questions),
+        evaluator.rank_singles(space, questions),
+        rtol=0.0,
+        atol=1e-12,
+    )
+
+
+def test_evaluate_batch_rejects_bad_weights():
+    space = random_space(6)
+    measure = get_measure("H")
+    with pytest.raises(ValueError):
+        measure.evaluate_batch(space, np.ones(space.size))  # 1-D
+    with pytest.raises(ValueError):
+        measure.evaluate_batch(space, np.ones((2, space.size + 1)))
+    with pytest.raises(ValueError):
+        measure.evaluate_batch(space, -np.ones((1, space.size)))
+    with pytest.raises(ValueError):
+        measure.evaluate_batch(space, np.zeros((1, space.size)))
+
+
+@pytest.mark.parametrize("name", available_measures())
+def test_rank_singles_batch_chunked_matches_unchunked(name):
+    """Tiny chunks (forcing many evaluate_restrictions calls and chunked
+    mass matvecs) must not change values."""
+    space = random_space(9)
+    evaluator = ResidualEvaluator(get_measure(name))
+    questions = all_pair_questions(space)
+    np.testing.assert_allclose(
+        evaluator.rank_singles_batch(space, questions, chunk=3),
+        evaluator.rank_singles(space, questions),
+        rtol=0.0,
+        atol=1e-9,
+    )
+
+
+def test_batch_counts_evaluations():
+    space = random_space(7)
+    evaluator = ResidualEvaluator(get_measure("H"))
+    before = evaluator.evaluations
+    evaluator.rank_singles_batch(space, all_pair_questions(space))
+    assert evaluator.evaluations > before
+
+
+def test_codes_matrix_is_one_shot_stance_matrix():
+    space = random_space(8)
+    evaluator = ResidualEvaluator(get_measure("H"))
+    questions = all_pair_questions(space)
+    codes = evaluator.codes_matrix(space, questions)
+    assert codes.shape == (space.size, len(questions))
+    for column, question in enumerate(questions):
+        np.testing.assert_array_equal(
+            codes[:, column], space.agreement_codes(question.i, question.j)
+        )

@@ -61,10 +61,16 @@ def test_grid_and_mc_agree_on_top1_mass(dists, k):
 @given(uniform_workloads())
 @settings(max_examples=20, deadline=None)
 def test_deeper_trees_refine_shallower(dists):
-    """Level-k prefix masses of T_{k+1} match the level-k tree."""
-    builder = GridBuilder(resolution=400)
+    """Level-k prefix masses of T_{k+1} match the level-k tree.
+
+    Resolution 1600 keeps the midpoint-rule error of the narrowest
+    admissible interval (width 0.05) well inside the 1e-4 tolerance;
+    at 400 hypothesis can find workloads whose integration error alone
+    exceeds it (e.g. width-0.125 pdfs far from the overlap cluster).
+    """
+    builder = GridBuilder(resolution=1600)
     shallow = builder.build(dists, 1).to_space()
-    deep = GridBuilder(resolution=400).build(dists, min(2, len(dists))).to_space()
+    deep = builder.build(dists, min(2, len(dists))).to_space()
     shallow_masses = {
         int(p[0]): m for p, m in zip(*shallow.prefix_groups(1))
     }
