@@ -12,18 +12,21 @@ paper-scale ``N=30, K=5`` instance:
 
 Both paths must agree to 1e-9; the batched path must be at least 5× faster
 (the acceptance bar of the batch-engine PR).  Exit status is non-zero when
-either check fails, so CI can gate on it.
+either check fails, so CI can gate on it; ``--json PATH`` additionally
+writes the measurements as a machine-readable artifact
+(``BENCH_policies.json`` in CI) for regression tracking across runs.
 
-Run:   PYTHONPATH=src python benchmarks/bench_policies.py [--smoke]
+Run:   PYTHONPATH=src python benchmarks/bench_policies.py [--smoke] [--json PATH]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
-from typing import List
+from typing import List, Optional
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
@@ -81,7 +84,7 @@ def scalar_coff_select(
     return [candidates[c] for c in chosen]
 
 
-def run(smoke: bool = False) -> int:
+def run(smoke: bool = False, json_path: Optional[str] = None) -> int:
     if smoke:
         n, k, width, repetitions = 15, 4, 0.25, 1
     else:
@@ -100,6 +103,7 @@ def run(smoke: bool = False) -> int:
     )
 
     failures = 0
+    checks: List[dict] = []
 
     # ------------------------------------------------------------------
     # T1-on / TB-off selection step: score all candidates.
@@ -125,6 +129,16 @@ def run(smoke: bool = False) -> int:
     if not smoke and speedup < SPEEDUP_FLOOR:
         print(f"  FAIL: speedup below the {SPEEDUP_FLOOR}x floor")
         failures += 1
+    checks.append(
+        {
+            "name": "rank_singles",
+            "scalar_ms": scalar_time * 1e3,
+            "batch_ms": batch_time * 1e3,
+            "speedup": speedup,
+            "max_error": max_error,
+            "gated": not smoke,
+        }
+    )
 
     # ------------------------------------------------------------------
     # C-off selection step: pick a K-question batch greedily.
@@ -154,6 +168,28 @@ def run(smoke: bool = False) -> int:
     if not smoke and speedup < SPEEDUP_FLOOR:
         print(f"  FAIL: speedup below the {SPEEDUP_FLOOR}x floor")
         failures += 1
+    checks.append(
+        {
+            "name": "coff_select",
+            "scalar_ms": scalar_time * 1e3,
+            "batch_ms": batch_time * 1e3,
+            "speedup": speedup,
+            "same_batch": agree,
+            "gated": not smoke,
+        }
+    )
+
+    if json_path is not None:
+        artifact = {
+            "benchmark": "bench_policies",
+            "instance": {"n": n, "k": k, "width": width, "smoke": smoke},
+            "speedup_floor": SPEEDUP_FLOOR,
+            "parity_atol": PARITY_ATOL,
+            "checks": checks,
+            "failures": failures,
+        }
+        Path(json_path).write_text(json.dumps(artifact, indent=2) + "\n")
+        print(f"wrote {json_path}")
 
     print("PASS" if failures == 0 else f"{failures} check(s) FAILED")
     return failures
@@ -166,8 +202,14 @@ def main() -> None:
         action="store_true",
         help="small instance, single repetition, no speedup floor (CI)",
     )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write measurements as a JSON artifact (e.g. BENCH_policies.json)",
+    )
     args = parser.parse_args()
-    sys.exit(1 if run(smoke=args.smoke) else 0)
+    sys.exit(1 if run(smoke=args.smoke, json_path=args.json) else 0)
 
 
 if __name__ == "__main__":

@@ -1,9 +1,12 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows without writing Python:
+Four subcommands cover the common workflows without writing Python:
 
 * ``experiment`` — run any reproduction experiment and print its report
   (``python -m repro experiment FIG1A --full``);
+* ``run-grid`` — the same experiments through the parallel, resumable grid
+  runner (``python -m repro run-grid FIG1A --workers 4 --store out.jsonl
+  --resume``);
 * ``demo`` — one crowd-powered top-K session on a synthetic workload with
   a chosen policy, printing the question/answer trace;
 * ``inspect`` — uncertainty diagnostics for a synthetic workload (how many
@@ -64,6 +67,53 @@ def _build_parser() -> argparse.ArgumentParser:
         help="dump raw per-experiment CSV records into this directory",
     )
 
+    run_grid = sub.add_parser(
+        "run-grid",
+        help="run experiment grids in parallel with a resumable store",
+    )
+    run_grid.add_argument(
+        "ids",
+        nargs="+",
+        help="experiment ids from DESIGN.md §5 (e.g. FIG1A) or 'all'",
+    )
+    run_grid.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="pool workers; 0 or 1 runs serially in-process",
+    )
+    run_grid.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-sized grid instead of the fast profile",
+    )
+    run_grid.add_argument(
+        "--store",
+        default=None,
+        help="JSON-lines result store (appended to as cells finish)",
+    )
+    run_grid.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already present in --store",
+    )
+    run_grid.add_argument(
+        "--policies",
+        default=None,
+        help="comma-separated policy filter (e.g. T1-on,naive)",
+    )
+    run_grid.add_argument(
+        "--budgets",
+        default=None,
+        help="comma-separated budget filter (e.g. 0,5)",
+    )
+    run_grid.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_cells",
+        help="print the cell ids and parameters without running anything",
+    )
+
     demo = sub.add_parser("demo", help="run one crowd-powered session")
     demo.add_argument("--policy", default="T1-on", choices=sorted(POLICIES))
     demo.add_argument("--n", type=int, default=12, help="number of tuples")
@@ -121,6 +171,78 @@ def _command_experiment(args) -> int:
     return 0
 
 
+def _command_run_grid(args) -> int:
+    from repro.experiments import EXPERIMENTS
+    from repro.experiments.grid import canonical_json
+    from repro.experiments.runner import run_grid
+    from repro.experiments.store import ResultStore
+
+    wanted = [name.upper() for name in args.ids]
+    if "ALL" in wanted:
+        wanted = sorted(EXPERIMENTS)
+    unknown = [name for name in wanted if name not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment ids {unknown}; "
+            f"available: {', '.join(sorted(EXPERIMENTS))} or all",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and args.store is None:
+        print("--resume requires --store", file=sys.stderr)
+        return 2
+    store = ResultStore(args.store) if args.store is not None else None
+    policies = (
+        [p.strip() for p in args.policies.split(",")]
+        if args.policies
+        else None
+    )
+    try:
+        budgets = (
+            [int(b) for b in args.budgets.split(",")]
+            if args.budgets
+            else None
+        )
+    except ValueError:
+        print(
+            f"--budgets must be comma-separated integers, "
+            f"got {args.budgets!r}",
+            file=sys.stderr,
+        )
+        return 2
+    for name in wanted:
+        module = EXPERIMENTS[name]
+        grid = module.grid(fast=not args.full).filter(
+            policies=policies, budgets=budgets
+        )
+        if len(grid) == 0:
+            print(
+                f"{name}: no cells match the given filters; skipping",
+                file=sys.stderr,
+            )
+            continue
+        if args.list_cells:
+            print(f"{name}: {len(grid)} cells")
+            for cell in grid:
+                print(f"  {cell.cell_id}  {canonical_json(cell.params)}")
+            continue
+
+        def progress(done, total, cell):
+            print(f"  [{done}/{total}] {cell.experiment} {cell.cell_id}")
+
+        report = run_grid(
+            grid,
+            workers=args.workers,
+            store=store,
+            resume=args.resume,
+            progress=progress,
+        )
+        print(report.summary())
+        print(module.report(report.table))
+        print()
+    return 0
+
+
 def _command_demo(args) -> int:
     rng = np.random.default_rng(args.seed)
     scores = make_workload("uniform", args.n, rng=rng, width=args.width)
@@ -163,6 +285,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "experiment":
         return _command_experiment(args)
+    if args.command == "run-grid":
+        return _command_run_grid(args)
     if args.command == "demo":
         return _command_demo(args)
     if args.command == "inspect":

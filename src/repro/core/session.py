@@ -13,8 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.core.incremental import IncrementalAlgorithm
 from repro.core.policies.base import (
     POOL_ALL,
@@ -52,6 +50,13 @@ class SessionResult:
     initial_distance: float
     orderings_initial: int
     orderings_final: int
+    #: CPU seconds per session phase.  Exactly three keys may appear —
+    #: ``"build"`` (TPO construction, including ``incr``'s level-by-level
+    #: extensions), ``"select"`` (policy question scoring), and
+    #: ``"update"`` (posterior pruning/reweighting after answers) — and a
+    #: key is present only once its phase has run at least once (e.g. a
+    #: zero-budget offline run never records ``"update"``).
+    #: :attr:`cpu_seconds` is their sum.
     timings: Dict[str, float] = field(default_factory=dict)
     crowd_cost: float = 0.0
     #: ``D(ω_r, ·)`` before any question plus after every *charged* answer

@@ -8,7 +8,7 @@ reliability value the Bayesian TPO update needs.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.utils.validation import check_fraction
 

@@ -16,8 +16,8 @@ via ``assumed_accuracy``, closing the loop the paper leaves to future work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 import numpy as np
 

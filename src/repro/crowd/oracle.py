@@ -8,7 +8,7 @@ given) that realization; workers consult it, and the final quality metric
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

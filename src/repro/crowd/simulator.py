@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.crowd.aggregation import majority_accuracy, weighted_vote
 from repro.crowd.oracle import GroundTruth
 from repro.crowd.worker import NoisyWorker, PerfectWorker, Worker

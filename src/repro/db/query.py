@@ -14,8 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-import numpy as np
-
 from repro.core.policies.base import Policy
 from repro.core.session import SessionResult, UncertaintyReductionSession
 from repro.crowd.simulator import SimulatedCrowd

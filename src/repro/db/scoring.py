@@ -13,7 +13,7 @@ When the attributes are uncertain, ``s(t)`` is a derived random variable:
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

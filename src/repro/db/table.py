@@ -10,7 +10,7 @@ uncertain attributes from which a scoring function derives one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.distributions.base import ScoreDistribution
 from repro.distributions.point import PointMass

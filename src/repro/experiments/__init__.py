@@ -1,8 +1,11 @@
 """Experiment harness and per-figure reproduction modules (S10).
 
 Each module maps to one experiment id of DESIGN.md §5 / EXPERIMENTS.md and
-exposes ``run(fast=True) -> ResultTable``, ``report(table) -> str`` and a
-printing ``main``.
+exposes ``grid(fast) -> ExperimentGrid`` (the declared cell grid),
+``run(fast=True, workers=0, store=None, resume=False) -> ResultTable``,
+``report(table) -> str`` and a printing ``main``.  Execution — serial or
+process-pool fan-out with a durable, resumable JSON-lines store — lives in
+:mod:`repro.experiments.runner` / :mod:`repro.experiments.store`.
 """
 
 from repro.experiments import (
@@ -16,12 +19,15 @@ from repro.experiments import (
     scalability,
     transitive_ablation,
 )
+from repro.experiments.grid import ExperimentGrid, GridCell
 from repro.experiments.harness import (
     ExperimentConfig,
     ResultTable,
     format_series,
     run_cell,
 )
+from repro.experiments.runner import GridRunReport, run_grid
+from repro.experiments.store import ResultStore
 
 #: Experiment id → module, mirroring DESIGN.md §5.
 EXPERIMENTS = {
@@ -38,9 +44,14 @@ EXPERIMENTS = {
 
 __all__ = [
     "ExperimentConfig",
+    "ExperimentGrid",
+    "GridCell",
+    "GridRunReport",
+    "ResultStore",
     "ResultTable",
     "format_series",
     "run_cell",
+    "run_grid",
     "EXPERIMENTS",
     "fig1a",
     "fig1b",

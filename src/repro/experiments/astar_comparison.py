@@ -11,7 +11,13 @@ more orders of magnitude above ``T1-on``/``TB-off``.
 
 from __future__ import annotations
 
-from repro.experiments.harness import ExperimentConfig, ResultTable, run_cell
+from repro.experiments.grid import ExperimentGrid
+from repro.experiments.harness import (
+    ExperimentConfig,
+    ResultTable,
+    config_cells,
+)
+from repro.experiments.runner import make_run
 
 POLICIES = {
     "A*-off": {"max_expansions": 3000},
@@ -32,17 +38,17 @@ FULL_CONFIG = ExperimentConfig(
 FULL_BUDGETS = [2, 4, 6]
 
 
-def run(fast: bool = True) -> ResultTable:
-    """Run the five proposed algorithms on small instances."""
+def grid(fast: bool = True) -> ExperimentGrid:
+    """Declare the ASTAR grid: five policies × budgets × repetitions."""
     config = FAST_CONFIG if fast else FULL_CONFIG
     budgets = FAST_BUDGETS if fast else FULL_BUDGETS
-    table = ResultTable()
-    for policy_name, params in POLICIES.items():
-        for budget in budgets:
-            for rep in range(config.repetitions):
-                result = run_cell(config, policy_name, budget, rep, params)
-                table.add_result(result, rep=rep)
-    return table
+    return ExperimentGrid(
+        "ASTAR", config_cells("ASTAR", config, POLICIES, budgets)
+    )
+
+
+#: Module entry point — `Run the five proposed algorithms on small instances.`
+run = make_run(grid)
 
 
 def report(table: ResultTable) -> str:

@@ -14,12 +14,14 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.experiments.grid import ExperimentGrid
 from repro.experiments.harness import (
     ExperimentConfig,
     ResultTable,
+    config_cells,
     format_series,
-    run_cell,
 )
+from repro.experiments.runner import make_run
 
 #: Workload families and their generator parameters.
 WORKLOADS: Dict[str, Dict] = {
@@ -38,11 +40,11 @@ FULL_N, FULL_K, FULL_REPS = 15, 8, 3
 FULL_BUDGETS = [0, 5, 10, 20]
 
 
-def run(fast: bool = True) -> ResultTable:
-    """Run both policies over all four score-distribution families."""
+def grid(fast: bool = True) -> ExperimentGrid:
+    """Declare the DIST grid: policies × budgets per workload family."""
     n, k, reps = (FAST_N, FAST_K, FAST_REPS) if fast else (FULL_N, FULL_K, FULL_REPS)
     budgets = FAST_BUDGETS if fast else FULL_BUDGETS
-    table = ResultTable()
+    cells = []
     for workload, params in WORKLOADS.items():
         config = ExperimentConfig(
             n=n,
@@ -52,18 +54,23 @@ def run(fast: bool = True) -> ResultTable:
             repetitions=reps,
         )
         for policy_name, policy_params in POLICIES.items():
-            for budget in budgets:
-                for rep in range(reps):
-                    result = run_cell(
-                        config, policy_name, budget, rep, policy_params
-                    )
-                    table.add_result(
-                        result,
-                        rep=rep,
-                        workload=workload,
-                        arm=f"{workload}/{policy_name}",
-                    )
-    return table
+            cells.extend(
+                config_cells(
+                    "DIST",
+                    config,
+                    {policy_name: policy_params},
+                    budgets,
+                    tags={
+                        "workload": workload,
+                        "arm": f"{workload}/{policy_name}",
+                    },
+                )
+            )
+    return ExperimentGrid("DIST", cells)
+
+
+#: Module entry point — `Run both policies over all four score-distribution families.`
+run = make_run(grid)
 
 
 def report(table: ResultTable) -> str:

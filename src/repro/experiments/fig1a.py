@@ -13,12 +13,14 @@ barely moves.
 
 from __future__ import annotations
 
+from repro.experiments.grid import ExperimentGrid
 from repro.experiments.harness import (
     ExperimentConfig,
     ResultTable,
+    config_cells,
     format_series,
-    run_cell,
 )
+from repro.experiments.runner import make_run
 
 #: Algorithms of Figure 1(a), with per-policy constructor arguments.
 POLICIES = {
@@ -41,17 +43,17 @@ FULL_CONFIG = ExperimentConfig(
 FULL_BUDGETS = [0, 5, 10, 20, 30, 40, 50]
 
 
-def run(fast: bool = True) -> ResultTable:
-    """Run the whole grid; returns raw per-repetition records."""
+def grid(fast: bool = True) -> ExperimentGrid:
+    """Declare the FIG1A grid: policies × budgets × repetitions."""
     config = FAST_CONFIG if fast else FULL_CONFIG
     budgets = FAST_BUDGETS if fast else FULL_BUDGETS
-    table = ResultTable()
-    for policy_name, params in POLICIES.items():
-        for budget in budgets:
-            for rep in range(config.repetitions):
-                result = run_cell(config, policy_name, budget, rep, params)
-                table.add_result(result, rep=rep)
-    return table
+    return ExperimentGrid(
+        "FIG1A", config_cells("FIG1A", config, POLICIES, budgets)
+    )
+
+
+#: Module entry point — `Run the whole grid; returns raw per-repetition records.`
+run = make_run(grid)
 
 
 def report(table: ResultTable) -> str:

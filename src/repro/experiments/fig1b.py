@@ -14,12 +14,14 @@ testbed; the ordering and growth trends are the reproduction target.
 
 from __future__ import annotations
 
+from repro.experiments.grid import ExperimentGrid
 from repro.experiments.harness import (
     ExperimentConfig,
     ResultTable,
+    config_cells,
     format_series,
-    run_cell,
 )
+from repro.experiments.runner import make_run
 
 POLICIES = {
     "T1-on": {},
@@ -39,17 +41,17 @@ FULL_CONFIG = ExperimentConfig(
 FULL_BUDGETS = [5, 10, 20, 30, 40, 50]
 
 
-def run(fast: bool = True) -> ResultTable:
-    """Run the grid, recording CPU seconds per cell."""
+def grid(fast: bool = True) -> ExperimentGrid:
+    """Declare the FIG1B grid: policies × budgets × repetitions."""
     config = FAST_CONFIG if fast else FULL_CONFIG
     budgets = FAST_BUDGETS if fast else FULL_BUDGETS
-    table = ResultTable()
-    for policy_name, params in POLICIES.items():
-        for budget in budgets:
-            for rep in range(config.repetitions):
-                result = run_cell(config, policy_name, budget, rep, params)
-                table.add_result(result, rep=rep)
-    return table
+    return ExperimentGrid(
+        "FIG1B", config_cells("FIG1B", config, POLICIES, budgets)
+    )
+
+
+#: Module entry point — `Run the grid, recording CPU seconds per cell.`
+run = make_run(grid)
 
 
 def report(table: ResultTable) -> str:

@@ -1,0 +1,148 @@
+"""Grid declaration and stable cell addressing for the experiment runner.
+
+A *grid* is the declarative form of one experiment: a flat list of
+:class:`GridCell`, each naming a picklable runner function plus its
+JSON-serializable parameters.  Cells are addressed by a stable content
+hash (:attr:`GridCell.cell_id`) so a result store can recognise work it
+has already done — across processes, machines, and interpreter restarts.
+The hash never involves Python's salted ``hash()``.
+
+Figure drivers (``fig1a``, ``noisy``, …) declare their grid through
+``grid(fast)`` instead of looping by hand; execution — serial or
+process-pool fan-out, with resume — lives in
+:mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize ``value`` to the canonical form used for cell identity.
+
+    Sorted keys, no whitespace: two dicts with equal content always produce
+    byte-identical JSON, whatever order their keys were inserted in.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class GridCell:
+    """One unit of experiment work.
+
+    ``runner`` is a ``"module:function"`` dotted path resolved inside the
+    executing process, so cells pickle cheaply and never capture closures.
+    ``params`` are the runner's keyword arguments and must be
+    JSON-serializable — together with ``experiment`` and ``runner`` they
+    define the cell's identity.  ``tags`` are presentation-only fields
+    (arm labels and the like) merged into the result row at table-assembly
+    time; they do **not** participate in :attr:`cell_id`, so two arms may
+    share one computed cell.
+    """
+
+    experiment: str
+    runner: str
+    params: Dict[str, Any]
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+    @cached_property
+    def cell_id(self) -> str:
+        """Stable 16-hex-digit content address of this cell.
+
+        Cached: the runner reads it several times per cell (resume lookup,
+        dedup, store append, table assembly), and params never mutate after
+        declaration.
+        """
+        payload = canonical_json(
+            {
+                "experiment": self.experiment,
+                "runner": self.runner,
+                "params": self.params,
+            }
+        )
+        digest = hashlib.blake2b(payload.encode("utf-8"), digest_size=8)
+        return digest.hexdigest()
+
+
+def resolve_runner(spec: str) -> Callable[..., Dict[str, Any]]:
+    """Import the ``"module:function"`` runner named by ``spec``."""
+    module_name, sep, func_name = spec.partition(":")
+    if not (sep and module_name and func_name):
+        raise ValueError(
+            f"runner spec must look like 'package.module:function', got {spec!r}"
+        )
+    module = importlib.import_module(module_name)
+    runner = getattr(module, func_name, None)
+    if not callable(runner):
+        raise ValueError(f"{spec!r} does not name a callable")
+    return runner
+
+
+def execute_cell(cell: GridCell) -> Dict[str, Any]:
+    """Run one cell in the current process and return its raw result row.
+
+    This is the function pool workers execute; the row contains only what
+    the runner computed (``tags`` are merged later, by the caller that
+    assembles the table).
+    """
+    return resolve_runner(cell.runner)(**cell.params)
+
+
+@dataclass
+class ExperimentGrid:
+    """A named, ordered collection of grid cells."""
+
+    name: str
+    cells: List[GridCell]
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[GridCell]:
+        return iter(self.cells)
+
+    def cell_ids(self) -> List[str]:
+        """Content addresses of all cells, in grid order."""
+        return [cell.cell_id for cell in self.cells]
+
+    def filter(
+        self,
+        policies: Optional[Sequence[str]] = None,
+        budgets: Optional[Sequence[int]] = None,
+    ) -> "ExperimentGrid":
+        """Sub-grid keeping cells matching the given policy/budget values.
+
+        Cells whose params lack the filtered key are kept (the filter is
+        inapplicable to them): a ``policies`` filter passes scalability
+        cells through untouched, since they carry no ``policy`` param.
+        A filter that matches nothing yields an empty grid — callers
+        (the CLI) should surface that rather than print empty reports.
+        """
+
+        def keep(cell: GridCell) -> bool:
+            if policies is not None:
+                policy = cell.params.get("policy")
+                if policy is not None and policy not in policies:
+                    return False
+            if budgets is not None:
+                budget = cell.params.get("budget")
+                if budget is not None and budget not in budgets:
+                    return False
+            return True
+
+        return ExperimentGrid(self.name, [c for c in self.cells if keep(c)])
+
+
+__all__ = [
+    "GridCell",
+    "ExperimentGrid",
+    "canonical_json",
+    "resolve_runner",
+    "execute_cell",
+]

@@ -11,9 +11,9 @@ from __future__ import annotations
 
 import csv
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -21,9 +21,10 @@ from repro.core import make_policy
 from repro.core.session import SessionResult, UncertaintyReductionSession
 from repro.crowd.oracle import GroundTruth
 from repro.crowd.simulator import SimulatedCrowd
+from repro.experiments.grid import GridCell
 from repro.tpo.builders import make_builder
 from repro.uncertainty.registry import get_measure
-from repro.utils.rng import derive_seed, ensure_rng
+from repro.utils.rng import derive_seed
 from repro.workloads.synthetic import make_workload
 
 
@@ -45,6 +46,10 @@ class ExperimentConfig:
     repetitions: int = 3
     base_seed: int = 2016
     track_trajectory: bool = False
+
+    def to_params(self) -> Dict[str, Any]:
+        """JSON-serializable dict form, used as grid-cell identity."""
+        return asdict(self)
 
     def workload_for(self, rep: int):
         """Score distributions of repetition ``rep`` (policy-independent)."""
@@ -89,6 +94,82 @@ def run_cell(
     return session.run(policy, budget)
 
 
+def standard_row(result: SessionResult, **extra) -> Dict[str, Any]:
+    """The standard flat projection of a :class:`SessionResult`.
+
+    This is the row shape shared by every figure driver's result table and
+    by the grid store — plain JSON-serializable scalars only.
+    """
+    row: Dict[str, Any] = dict(
+        policy=result.policy,
+        budget=result.budget,
+        asked=result.questions_asked,
+        distance=result.distance_to_truth,
+        initial_distance=result.initial_distance,
+        uncertainty=result.final_uncertainty,
+        cpu=result.cpu_seconds,
+        orderings=result.orderings_final,
+    )
+    row.update(extra)
+    return row
+
+
+def run_cell_record(
+    config: Union[ExperimentConfig, Dict[str, Any]],
+    policy: str,
+    budget: int,
+    rep: int,
+    policy_params: Optional[Dict] = None,
+) -> Dict[str, Any]:
+    """Picklable grid-cell runner: run one cell, return its standard row.
+
+    ``config`` may arrive as the :meth:`ExperimentConfig.to_params` dict —
+    the form grid cells carry so they stay JSON-addressable.
+    """
+    if isinstance(config, dict):
+        config = ExperimentConfig(**config)
+    result = run_cell(config, policy, budget, rep, policy_params)
+    return standard_row(result, rep=rep)
+
+
+#: Default grid-cell runner: the dotted path of :func:`run_cell_record`.
+CELL_RUNNER = "repro.experiments.harness:run_cell_record"
+
+
+def config_cells(
+    experiment: str,
+    config: ExperimentConfig,
+    policies: Dict[str, Optional[Dict]],
+    budgets: Sequence[int],
+    tags: Optional[Dict[str, Any]] = None,
+) -> List[GridCell]:
+    """Declare the common ``policy × budget × repetition`` cell block.
+
+    Every figure driver whose cells are plain :func:`run_cell` invocations
+    builds its grid from one or more of these blocks; ``tags`` label all
+    cells of the block (e.g. an arm name) without entering cell identity.
+    """
+    cells: List[GridCell] = []
+    for policy_name, policy_params in policies.items():
+        for budget in budgets:
+            for rep in range(config.repetitions):
+                cells.append(
+                    GridCell(
+                        experiment=experiment,
+                        runner=CELL_RUNNER,
+                        params={
+                            "config": config.to_params(),
+                            "policy": policy_name,
+                            "budget": budget,
+                            "rep": rep,
+                            "policy_params": policy_params,
+                        },
+                        tags=dict(tags or {}),
+                    )
+                )
+    return cells
+
+
 class ResultTable:
     """A flat collection of result records with aggregation & formatting."""
 
@@ -101,17 +182,7 @@ class ResultTable:
 
     def add_result(self, result: SessionResult, **extra) -> None:
         """Append the standard projection of a :class:`SessionResult`."""
-        self.add(
-            policy=result.policy,
-            budget=result.budget,
-            asked=result.questions_asked,
-            distance=result.distance_to_truth,
-            initial_distance=result.initial_distance,
-            uncertainty=result.final_uncertainty,
-            cpu=result.cpu_seconds,
-            orderings=result.orderings_final,
-            **extra,
-        )
+        self.add(**standard_row(result, **extra))
 
     # ------------------------------------------------------------------
 
@@ -236,6 +307,10 @@ def format_series(
 __all__ = [
     "ExperimentConfig",
     "run_cell",
+    "run_cell_record",
+    "standard_row",
+    "config_cells",
+    "CELL_RUNNER",
     "ResultTable",
     "format_series",
 ]

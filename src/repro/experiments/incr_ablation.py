@@ -13,7 +13,13 @@ times … with slightly lower quality").
 
 from __future__ import annotations
 
-from repro.experiments.harness import ExperimentConfig, ResultTable, run_cell
+from repro.experiments.grid import ExperimentGrid
+from repro.experiments.harness import (
+    ExperimentConfig,
+    ResultTable,
+    config_cells,
+)
+from repro.experiments.runner import make_run
 
 FAST_CONFIG = ExperimentConfig(
     n=14, k=7, workload_params={"width": 0.2}, repetitions=2
@@ -28,22 +34,36 @@ FULL_BUDGET = 30
 FULL_ROUND_SIZES = [1, 2, 5, 10, 30]
 
 
-def run(fast: bool = True) -> ResultTable:
-    """Sweep the incr round size; include T1-on as the quality ceiling."""
+def grid(fast: bool = True) -> ExperimentGrid:
+    """Declare the INCR grid: the round-size sweep plus the T1-on ceiling."""
     config = FAST_CONFIG if fast else FULL_CONFIG
     budget = FAST_BUDGET if fast else FULL_BUDGET
     round_sizes = FAST_ROUND_SIZES if fast else FULL_ROUND_SIZES
-    table = ResultTable()
+    cells = []
     for n in round_sizes:
-        for rep in range(config.repetitions):
-            result = run_cell(
-                config, "incr", budget, rep, {"round_size": n}
+        cells.extend(
+            config_cells(
+                "INCR",
+                config,
+                {"incr": {"round_size": n}},
+                [budget],
+                tags={"arm": f"incr n={n}"},
             )
-            table.add_result(result, rep=rep, arm=f"incr n={n}")
-    for rep in range(config.repetitions):
-        result = run_cell(config, "T1-on", budget, rep)
-        table.add_result(result, rep=rep, arm="T1-on (full tree)")
-    return table
+        )
+    cells.extend(
+        config_cells(
+            "INCR",
+            config,
+            {"T1-on": None},
+            [budget],
+            tags={"arm": "T1-on (full tree)"},
+        )
+    )
+    return ExperimentGrid("INCR", cells)
+
+
+#: Module entry point — `Sweep the incr round size; include T1-on as the quality ceiling.`
+run = make_run(grid)
 
 
 def report(table: ResultTable) -> str:

@@ -12,12 +12,16 @@ for small-to-medium budgets (they spend questions on the ranks that matter).
 
 from __future__ import annotations
 
+from dataclasses import replace
+
+from repro.experiments.grid import ExperimentGrid
 from repro.experiments.harness import (
     ExperimentConfig,
     ResultTable,
+    config_cells,
     format_series,
-    run_cell,
 )
+from repro.experiments.runner import make_run
 
 MEASURES = ["H", "Hw", "ORA", "MPO"]
 
@@ -32,20 +36,27 @@ FULL_CONFIG = ExperimentConfig(
 FULL_BUDGETS = [5, 10, 15, 20]
 
 
-def run(fast: bool = True) -> ResultTable:
-    """Drive T1-on with each uncertainty measure."""
+def grid(fast: bool = True) -> ExperimentGrid:
+    """Declare the MEAS grid: one T1-on block per driving measure."""
     base = FAST_CONFIG if fast else FULL_CONFIG
     budgets = FAST_BUDGETS if fast else FULL_BUDGETS
-    table = ResultTable()
+    cells = []
     for measure in MEASURES:
-        config = ExperimentConfig(
-            **{**base.__dict__, "measure": measure, "measure_params": {}}
+        config = replace(base, measure=measure, measure_params={})
+        cells.extend(
+            config_cells(
+                "MEAS",
+                config,
+                {"T1-on": None},
+                budgets,
+                tags={"measure": measure},
+            )
         )
-        for budget in budgets:
-            for rep in range(config.repetitions):
-                result = run_cell(config, "T1-on", budget, rep)
-                table.add_result(result, rep=rep, measure=measure)
-    return table
+    return ExperimentGrid("MEAS", cells)
+
+
+#: Module entry point — `Drive T1-on with each uncertainty measure.`
+run = make_run(grid)
 
 
 def report(table: ResultTable) -> str:

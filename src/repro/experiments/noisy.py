@@ -13,12 +13,16 @@ per question.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
+from repro.experiments.grid import ExperimentGrid
 from repro.experiments.harness import (
     ExperimentConfig,
     ResultTable,
+    config_cells,
     format_series,
-    run_cell,
 )
+from repro.experiments.runner import make_run
 
 ACCURACIES = [1.0, 0.9, 0.8, 0.7]
 
@@ -36,31 +40,39 @@ FULL_BUDGETS = [0, 5, 10, 20, 30]
 VOTING_REPLICATION = 3
 
 
-def run(fast: bool = True) -> ResultTable:
-    """T1-on under each accuracy, plus one replicated-voting arm."""
+def grid(fast: bool = True) -> ExperimentGrid:
+    """Declare the NOISE grid: one T1-on block per accuracy arm."""
     base = FAST_CONFIG if fast else FULL_CONFIG
     budgets = FAST_BUDGETS if fast else FULL_BUDGETS
-    table = ResultTable()
+    cells = []
     for accuracy in ACCURACIES:
-        config = ExperimentConfig(
-            **{**base.__dict__, "worker_accuracy": accuracy}
+        config = replace(base, worker_accuracy=accuracy)
+        cells.extend(
+            config_cells(
+                "NOISE",
+                config,
+                {"T1-on": None},
+                budgets,
+                tags={"arm": f"p={accuracy:g}"},
+            )
         )
-        for budget in budgets:
-            for rep in range(config.repetitions):
-                result = run_cell(config, "T1-on", budget, rep)
-                table.add_result(result, rep=rep, arm=f"p={accuracy:g}")
-    voting = ExperimentConfig(
-        **{
-            **base.__dict__,
-            "worker_accuracy": 0.8,
-            "replication": VOTING_REPLICATION,
-        }
+    voting = replace(
+        base, worker_accuracy=0.8, replication=VOTING_REPLICATION
     )
-    for budget in budgets:
-        for rep in range(voting.repetitions):
-            result = run_cell(voting, "T1-on", budget, rep)
-            table.add_result(result, rep=rep, arm="p=0.8 x3 vote")
-    return table
+    cells.extend(
+        config_cells(
+            "NOISE",
+            voting,
+            {"T1-on": None},
+            budgets,
+            tags={"arm": "p=0.8 x3 vote"},
+        )
+    )
+    return ExperimentGrid("NOISE", cells)
+
+
+#: Module entry point — `T1-on under each accuracy, plus one replicated-voting arm.`
+run = make_run(grid)
 
 
 def report(table: ResultTable) -> str:

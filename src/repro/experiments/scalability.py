@@ -13,12 +13,15 @@ budget.
 from __future__ import annotations
 
 import time
+from typing import Any, Dict
 
-from repro.crowd.oracle import GroundTruth
-from repro.crowd.simulator import SimulatedCrowd
 from repro.core import make_policy
 from repro.core.session import UncertaintyReductionSession
+from repro.crowd.oracle import GroundTruth
+from repro.crowd.simulator import SimulatedCrowd
+from repro.experiments.grid import ExperimentGrid, GridCell
 from repro.experiments.harness import ResultTable
+from repro.experiments.runner import make_run
 from repro.tpo.builders import make_builder
 from repro.utils.rng import derive_seed
 from repro.workloads.synthetic import uniform_intervals
@@ -43,10 +46,10 @@ def _width(n: int) -> float:
     return min(0.25, 3.0 / n)
 
 
-def _run_point(
+def run_scale_record(
     n: int, k: int, engine: str, budget: int, rep: int
-) -> dict:
-    """One (N, K, engine) measurement: build time + session CPU."""
+) -> Dict[str, Any]:
+    """Picklable cell runner: one (N, K, engine) measurement row."""
     dists = uniform_intervals(n, width=_width(n), rng=derive_seed(7, "w", n, k, rep))
     truth = GroundTruth.sample(dists, rng=derive_seed(7, "t", n, k, rep))
     engine_params = {"resolution": 600} if engine == "grid" else {}
@@ -73,24 +76,47 @@ def _run_point(
     }
 
 
-def run(fast: bool = True) -> ResultTable:
-    """Sweep N (at mid K) and K (at mid N) for every engine."""
-    grid = FAST_GRID if fast else FULL_GRID
-    table = ResultTable()
-    mid_k = grid["k_sweep"][len(grid["k_sweep"]) // 2]
-    mid_n = grid["n_sweep"][len(grid["n_sweep"]) // 2]
-    for engine in grid["engines"]:
-        for n in grid["n_sweep"]:
-            for rep in range(grid["reps"]):
-                table.add(
-                    sweep="N", **_run_point(n, mid_k, engine, grid["budget"], rep)
-                )
-        for k in grid["k_sweep"]:
-            for rep in range(grid["reps"]):
-                table.add(
-                    sweep="K", **_run_point(mid_n, k, engine, grid["budget"], rep)
-                )
-    return table
+GRID_RUNNER = "repro.experiments.scalability:run_scale_record"
+
+
+def grid(fast: bool = True) -> ExperimentGrid:
+    """Declare the SCALE grid: sweep N (at mid K) and K (at mid N).
+
+    The sweep label is a presentation tag, not part of cell identity, so
+    the (mid N, mid K) point shared by both sweeps is computed once and
+    reported under both labels.
+    """
+    spec = FAST_GRID if fast else FULL_GRID
+    mid_k = spec["k_sweep"][len(spec["k_sweep"]) // 2]
+    mid_n = spec["n_sweep"][len(spec["n_sweep"]) // 2]
+    cells = []
+
+    def point(sweep: str, engine: str, n: int, k: int, rep: int) -> GridCell:
+        return GridCell(
+            experiment="SCALE",
+            runner=GRID_RUNNER,
+            params={
+                "n": n,
+                "k": k,
+                "engine": engine,
+                "budget": spec["budget"],
+                "rep": rep,
+            },
+            tags={"sweep": sweep},
+        )
+
+    for engine in spec["engines"]:
+        for n in spec["n_sweep"]:
+            for rep in range(spec["reps"]):
+                cells.append(point("N", engine, n, mid_k, rep))
+        for k in spec["k_sweep"]:
+            for rep in range(spec["reps"]):
+                cells.append(point("K", engine, mid_n, k, rep))
+    return ExperimentGrid("SCALE", cells)
+
+
+#: Module entry point — `Sweep N (at mid K) and K (at mid N) for every engine.`
+run = make_run(grid)
 
 
 def report(table: ResultTable) -> str:

@@ -14,16 +14,19 @@ naturally ask transitively-related questions (Naive/Random) save the most.
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Any, Dict, Union
 
 from repro.core import make_policy
 from repro.core.session import UncertaintyReductionSession
 from repro.crowd.simulator import SimulatedCrowd
+from repro.experiments.grid import ExperimentGrid, GridCell
 from repro.experiments.harness import (
     ExperimentConfig,
     ResultTable,
     format_series,
+    standard_row,
 )
+from repro.experiments.runner import make_run
 from repro.tpo.builders import make_builder
 from repro.uncertainty.registry import get_measure
 from repro.utils.rng import derive_seed
@@ -60,24 +63,61 @@ def _run(config, policy_name, budget, rep, inference):
     return session.run(make_policy(policy_name), budget)
 
 
-def run(fast: bool = True) -> ResultTable:
-    """Paired runs with the closure on and off."""
+def run_trans_record(
+    config: Union[ExperimentConfig, Dict[str, Any]],
+    policy: str,
+    budget: int,
+    rep: int,
+    inference: bool,
+) -> Dict[str, Any]:
+    """Picklable grid-cell runner for one (policy, budget, rep, closure) arm.
+
+    Unlike the generic harness runner this one must see the session result
+    itself: the ``inferred`` column (free answers gained) is not part of the
+    standard row projection.
+    """
+    if isinstance(config, dict):
+        config = ExperimentConfig(**config)
+    result = _run(config, policy, budget, rep, inference)
+    suffix = "+closure" if inference else ""
+    return standard_row(
+        result,
+        rep=rep,
+        arm=f"{policy}{suffix}",
+        inferred=result.inferred_answers,
+    )
+
+
+GRID_RUNNER = "repro.experiments.transitive_ablation:run_trans_record"
+
+
+def grid(fast: bool = True) -> ExperimentGrid:
+    """Declare the TRANS grid: paired closure-on/off cells per policy."""
     config = FAST_CONFIG if fast else FULL_CONFIG
     budgets = FAST_BUDGETS if fast else FULL_BUDGETS
-    table = ResultTable()
+    cells = []
     for policy_name in POLICIES:
         for budget in budgets:
             for rep in range(config.repetitions):
                 for inference in (False, True):
-                    result = _run(config, policy_name, budget, rep, inference)
-                    suffix = "+closure" if inference else ""
-                    table.add_result(
-                        result,
-                        rep=rep,
-                        arm=f"{policy_name}{suffix}",
-                        inferred=result.inferred_answers,
+                    cells.append(
+                        GridCell(
+                            experiment="TRANS",
+                            runner=GRID_RUNNER,
+                            params={
+                                "config": config.to_params(),
+                                "policy": policy_name,
+                                "budget": budget,
+                                "rep": rep,
+                                "inference": inference,
+                            },
+                        )
                     )
-    return table
+    return ExperimentGrid("TRANS", cells)
+
+
+#: Module entry point — `Paired runs with the closure on and off.`
+run = make_run(grid)
 
 
 def report(table: ResultTable) -> str:

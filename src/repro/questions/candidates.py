@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-import numpy as np
-
 from repro.distributions.base import ScoreDistribution
 from repro.questions.model import Question
 from repro.tpo.space import OrderingSpace

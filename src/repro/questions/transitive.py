@@ -14,7 +14,7 @@ compose transitively without a probabilistic closure.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Set
 
 from repro.distributions.base import ScoreDistribution
 from repro.questions.model import Answer, Question

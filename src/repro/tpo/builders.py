@@ -24,7 +24,7 @@ Three interchangeable engines:
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.tpo.node import ROOT_TUPLE, TPONode
+from repro.tpo.node import TPONode
 from repro.tpo.tree import TPOTree
 
 

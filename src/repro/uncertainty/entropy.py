@@ -9,7 +9,7 @@ leaf entropy but different agreement on the first ranks are told apart.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Union
+from typing import Callable, Sequence, Union
 
 import numpy as np
 

@@ -9,7 +9,8 @@ sampled score, simulated worker answer, and random baseline choice.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Union
+import hashlib
+from typing import Iterable, List, Union
 
 import numpy as np
 
@@ -42,21 +43,36 @@ def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
     return [np.random.default_rng(child) for child in seq.spawn(count)]
 
 
+def _label_value(label: Union[int, str]) -> int:
+    """64-bit process-stable value of one derivation label.
+
+    String labels go through BLAKE2b, **never** Python's builtin ``hash``:
+    the builtin is salted per interpreter (PYTHONHASHSEED), so it would give
+    every parallel experiment worker a different stream and make
+    fan-out runs irreproducible against serial ones.
+    """
+    if isinstance(label, str):
+        digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8)
+        return int.from_bytes(digest.digest(), "little")
+    return label & 0xFFFFFFFFFFFFFFFF
+
+
 def derive_seed(seed: SeedLike, *labels: Union[int, str]) -> int:
     """Deterministically derive an integer sub-seed from ``seed`` and labels.
 
     Experiments use this to give each (algorithm, repetition) cell its own
-    reproducible stream regardless of evaluation order.
+    reproducible stream regardless of evaluation order.  The derivation is
+    stable across processes and interpreter restarts, so a grid cell run in
+    a pool worker sees exactly the seeds it would see in-process.
     """
     base = 0 if seed is None else (seed if isinstance(seed, int) else 0)
-    mix = np.uint64(base ^ 0x9E3779B97F4A7C15)
+    mix = (base ^ 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
     for label in labels:
-        if isinstance(label, str):
-            value = np.uint64(abs(hash(label)) & 0xFFFFFFFF)
-        else:
-            value = np.uint64(label & 0xFFFFFFFFFFFFFFFF)
-        mix = np.uint64((int(mix) * 6364136223846793005 + int(value) + 1442695040888963407) & 0xFFFFFFFFFFFFFFFF)
-    return int(mix & np.uint64(0x7FFFFFFF))
+        value = _label_value(label)
+        mix = (
+            mix * 6364136223846793005 + value + 1442695040888963407
+        ) & 0xFFFFFFFFFFFFFFFF
+    return mix & 0x7FFFFFFF
 
 
 def choice_without_replacement(

@@ -17,7 +17,7 @@ T = TypeVar("T")
 
 @dataclass
 class Stopwatch:
-    """Accumulates named CPU-time spans.
+    """Accumulates named time spans (CPU clock by default).
 
     Example::
 
@@ -25,19 +25,24 @@ class Stopwatch:
         with watch.span("select"):
             policy.select(...)
         watch.total("select")  # seconds
+
+    Pass ``clock=time.perf_counter`` for wall-clock spans — what the grid
+    runner reports for fan-out runs, where per-process CPU time says
+    nothing about elapsed time.
     """
 
     totals: Dict[str, float] = field(default_factory=dict)
     counts: Dict[str, int] = field(default_factory=dict)
+    clock: Callable[[], float] = time.process_time
 
     @contextmanager
     def span(self, name: str) -> Iterator[None]:
-        """Context manager measuring one CPU-time span under ``name``."""
-        start = time.process_time()
+        """Context manager measuring one time span under ``name``."""
+        start = self.clock()
         try:
             yield
         finally:
-            elapsed = time.process_time() - start
+            elapsed = self.clock() - start
             self.totals[name] = self.totals.get(name, 0.0) + elapsed
             self.counts[name] = self.counts.get(name, 0) + 1
 
@@ -62,4 +67,15 @@ def timed(fn: Callable[..., T], *args, **kwargs) -> Tuple[T, float]:
     return result, time.process_time() - start
 
 
-__all__ = ["Stopwatch", "timed"]
+def timed_wall(fn: Callable[..., T], *args, **kwargs) -> Tuple[T, float]:
+    """Run ``fn`` and return ``(result, wall_seconds)``.
+
+    Wall clock, not CPU: the right metric for multi-process work, where the
+    parent's CPU clock never ticks while pool workers do the computing.
+    """
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+__all__ = ["Stopwatch", "timed", "timed_wall"]

@@ -8,7 +8,6 @@ on social media).
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 import numpy as np
 

@@ -8,7 +8,7 @@ tree of possible orderings.  Each generator returns a list of
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

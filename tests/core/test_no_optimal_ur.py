@@ -16,10 +16,9 @@ everything in 2 questions total.
 
 import itertools
 
-import numpy as np
 import pytest
 
-from repro.questions import Question, informative_questions
+from repro.questions import Question
 from repro.tpo.space import DegenerateSpaceError, OrderingSpace
 
 

@@ -12,10 +12,9 @@ Covers three bugs found while auditing the session loop:
   point, so ``len(trajectory) == questions_asked + 1`` always holds.
 """
 
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
-import pytest
 
 from repro.core import make_policy
 from repro.core.policies.base import OfflinePolicy, OnlinePolicy

@@ -1,6 +1,5 @@
 """Tests for the uncertain-relational layer: tables and scoring."""
 
-import numpy as np
 import pytest
 
 from repro.db import AttributeScore, LinearScore, UncertainTable

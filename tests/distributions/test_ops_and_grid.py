@@ -5,7 +5,6 @@ import pytest
 
 from repro.distributions import (
     Grid,
-    PointMass,
     TruncatedGaussian,
     Uniform,
     certain_order,

@@ -5,8 +5,6 @@ suite; here we run the sub-second ones end to end so a broken experiment
 module fails the unit suite, not just the nightly benchmarks.
 """
 
-import pytest
-
 from repro.experiments import (
     EXPERIMENTS,
     astar_comparison,

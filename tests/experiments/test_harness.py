@@ -1,6 +1,5 @@
 """Tests for the experiment harness."""
 
-import math
 
 import numpy as np
 import pytest

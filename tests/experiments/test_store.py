@@ -1,0 +1,62 @@
+"""Tests for the JSON-lines result store."""
+
+import json
+import math
+
+from repro.experiments.store import ResultStore
+
+
+class TestResultStore:
+    def test_append_and_load_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "out.jsonl")
+        store.append("abc", "FIG1A", {"policy": "T1-on", "distance": 0.5})
+        store.append("def", "FIG1A", {"policy": "naive", "distance": 0.7})
+        records = store.load()
+        assert set(records) == {"abc", "def"}
+        assert records["abc"]["experiment"] == "FIG1A"
+        assert records["abc"]["row"]["distance"] == 0.5
+        assert len(store) == 2
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "nope.jsonl")
+        assert store.load() == {}
+        assert store.completed_ids() == set()
+
+    def test_last_write_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "out.jsonl")
+        store.append("abc", "X", {"v": 1})
+        store.append("abc", "X", {"v": 2})
+        assert store.load()["abc"]["row"]["v"] == 2
+        assert len(store) == 1
+
+    def test_nan_rows_survive_the_roundtrip(self, tmp_path):
+        # incr cells report NaN initial metrics; the store must keep them.
+        store = ResultStore(tmp_path / "out.jsonl")
+        store.append("abc", "X", {"initial_distance": float("nan")})
+        value = store.load()["abc"]["row"]["initial_distance"]
+        assert math.isnan(value)
+
+    def test_unparsable_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        store = ResultStore(path)
+        store.append("abc", "X", {"v": 1})
+        store.append("def", "X", {"v": 2})
+        text = path.read_text()
+        # Torn tail (killed mid-write) plus a stray garbage line.
+        path.write_text("garbage\n" + text[:-10])
+        records = store.load()
+        assert set(records) == {"abc"}
+
+    def test_creates_parent_directories(self, tmp_path):
+        store = ResultStore(tmp_path / "deep" / "nested" / "out.jsonl")
+        store.append("abc", "X", {"v": 1})
+        assert store.completed_ids() == {"abc"}
+
+    def test_lines_are_one_json_record_each(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        store = ResultStore(path)
+        store.append("abc", "X", {"v": 1})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record == {"cell_id": "abc", "experiment": "X", "row": {"v": 1}}

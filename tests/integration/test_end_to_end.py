@@ -10,7 +10,6 @@ import pytest
 
 from repro import (
     GroundTruth,
-    IncrementalAlgorithm,
     SimulatedCrowd,
     UncertaintyReductionSession,
     Uniform,
@@ -133,6 +132,32 @@ class TestEngineConsistency:
             outcomes["grid"].final_space.paths[0],
             outcomes["mc"].final_space.paths[0],
         )
+
+
+class TestTimingKeys:
+    """SessionResult.timings uses the documented build/select/update split."""
+
+    TIMING_KEYS = {"build", "select", "update"}
+
+    @pytest.mark.parametrize(
+        "policy_name,kwargs",
+        [("T1-on", {}), ("TB-off", {}), ("incr", {"round_size": 3})],
+    )
+    def test_full_run_records_all_three_phases(self, policy_name, kwargs):
+        dists, truth = build_instance(n=8, k=4, seed=11)
+        result = run(dists, truth, policy_name, budget=5, k=4, **kwargs)
+        assert set(result.timings) == self.TIMING_KEYS
+        assert all(v >= 0.0 for v in result.timings.values())
+        assert result.cpu_seconds == pytest.approx(
+            sum(result.timings.values())
+        )
+
+    def test_zero_budget_run_never_records_update(self):
+        dists, truth = build_instance(n=8, k=4, seed=11)
+        result = run(dists, truth, "T1-on", budget=0, k=4)
+        assert set(result.timings) <= self.TIMING_KEYS
+        assert "update" not in result.timings
+        assert "build" in result.timings
 
 
 class TestMeasuresInSessions:

@@ -70,6 +70,43 @@ class TestExperiment:
         assert code == 0
 
 
+class TestRunGrid:
+    ARGS = ["run-grid", "FIG1A", "--policies", "T1-on,naive",
+            "--budgets", "0,5"]
+
+    def test_runs_filtered_grid_serially(self, capsys):
+        code = main(self.ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FIG1A: 8 rows, executed 8, skipped 0, workers 1" in out
+        assert "D(omega_r, T_K)" in out
+
+    def test_store_and_resume_skip_completed_cells(self, capsys, tmp_path):
+        store = str(tmp_path / "grid.jsonl")
+        assert main(self.ARGS + ["--store", store]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--store", store, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "executed 0, skipped 8" in out
+
+    def test_list_prints_cells_without_running(self, capsys):
+        code = main(self.ARGS + ["--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FIG1A: 8 cells" in out
+        assert '"policy":"T1-on"' in out
+
+    def test_resume_requires_store(self, capsys):
+        code = main(["run-grid", "FIG1A", "--resume"])
+        assert code == 2
+        assert "--resume requires --store" in capsys.readouterr().err
+
+    def test_unknown_id(self, capsys):
+        code = main(["run-grid", "NOPE"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])

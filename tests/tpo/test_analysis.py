@@ -1,6 +1,5 @@
 """Tests for the TPO diagnostics helpers."""
 
-import numpy as np
 import pytest
 
 from repro.distributions import Uniform

@@ -1,8 +1,14 @@
 """Tests for RNG plumbing."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
+import repro
 from repro.utils.rng import (
     choice_without_replacement,
     derive_seed,
@@ -51,6 +57,32 @@ def test_derive_seed_depends_on_labels():
 def test_derive_seed_is_non_negative():
     for labels in [("x",), ("y", 3), (0,)]:
         assert derive_seed(123, *labels) >= 0
+
+
+def test_derive_seed_is_stable_across_processes():
+    """String labels must not go through the salted builtin ``hash``.
+
+    The grid runner fans cells out to pool workers; if the derivation
+    depended on PYTHONHASHSEED, a worker would see different streams than
+    the serial loop and fan-out results would be irreproducible.
+    """
+    expected = derive_seed(2016, "crowd", 0, "T1-on", 5)
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    for hash_seed in ("1", "2345"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed, PYTHONPATH=src_dir)
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.utils.rng import derive_seed;"
+                "print(derive_seed(2016, 'crowd', 0, 'T1-on', 5))",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert int(out.stdout.strip()) == expected
 
 
 def test_choice_without_replacement_subset():

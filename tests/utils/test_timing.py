@@ -1,7 +1,5 @@
 """Tests for the stopwatch utilities."""
 
-import time
-
 from repro.utils.timing import Stopwatch, timed
 
 
