@@ -33,6 +33,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 import numpy as np
 
 from repro.core.policies.conditional import ConditionalPolicy
+from repro.utils.provenance import artifact_stamp
 from repro.questions.candidates import relevant_questions
 from repro.questions.model import Question
 from repro.questions.residual import ResidualEvaluator
@@ -182,6 +183,7 @@ def run(smoke: bool = False, json_path: Optional[str] = None) -> int:
     if json_path is not None:
         artifact = {
             "benchmark": "bench_policies",
+            **artifact_stamp(),
             "instance": {"n": n, "k": k, "width": width, "smoke": smoke},
             "speedup_floor": SPEEDUP_FLOOR,
             "parity_atol": PARITY_ATOL,

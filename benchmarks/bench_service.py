@@ -1,0 +1,20 @@
+"""Service-layer benchmark entry point (sessions/sec, cache hit rate).
+
+Thin wrapper around :mod:`repro.service.bench` so the benchmark runs the
+same way the other ``benchmarks/bench_*.py`` scripts do; the measurement
+logic lives in the package, where ``repro bench-service`` shares it.
+
+Run:  PYTHONPATH=src python benchmarks/bench_service.py [--smoke] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service.bench import main
+
+if __name__ == "__main__":
+    sys.exit(1 if main() else 0)

@@ -10,7 +10,12 @@ Four subcommands cover the common workflows without writing Python:
 * ``demo`` — one crowd-powered top-K session on a synthetic workload with
   a chosen policy, printing the question/answer trace;
 * ``inspect`` — uncertainty diagnostics for a synthetic workload (how many
-  orderings, which ranks are contested, what to ask first).
+  orderings, which ranks are contested, what to ask first);
+* ``serve`` — the concurrent multi-session HTTP service (shared TPO
+  cache, durable event log, resumable: ``python -m repro serve --port
+  8080 --log events.jsonl --resume``);
+* ``bench-service`` — the service-layer throughput/cache benchmark
+  (``python -m repro bench-service --smoke``).
 """
 
 from __future__ import annotations
@@ -134,6 +139,49 @@ def _build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--n", type=int, default=12)
     inspect.add_argument("--k", type=int, default=6)
     inspect.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", help="run the concurrent multi-session HTTP service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--log",
+        default=None,
+        metavar="PATH",
+        help="append-only JSONL event log (enables durable sessions)",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore every session recorded in --log before serving",
+    )
+    serve.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=64,
+        help="TPO cache entries shared across sessions (0 disables)",
+    )
+    serve.add_argument(
+        "--resolution",
+        type=int,
+        default=1024,
+        help="grid-builder resolution for session TPOs",
+    )
+
+    bench_service = sub.add_parser(
+        "bench-service",
+        help="benchmark the service layer (sessions/sec, cache hit rate)",
+    )
+    bench_service.add_argument("--sessions", type=int, default=64)
+    bench_service.add_argument("--instances", type=int, default=8)
+    bench_service.add_argument("--answers", type=int, default=20)
+    bench_service.add_argument("--n", type=int, default=24)
+    bench_service.add_argument("--k", type=int, default=4)
+    bench_service.add_argument("--width", type=float, default=0.35)
+    bench_service.add_argument("--resolution", type=int, default=640)
+    bench_service.add_argument("--smoke", action="store_true")
+    bench_service.add_argument("--json", default=None, metavar="PATH")
     return parser
 
 
@@ -280,6 +328,50 @@ def _command_inspect(args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    import asyncio
+
+    from repro.service.cache import TPOCache
+    from repro.service.manager import SessionManager
+    from repro.service.server import serve
+
+    if args.resume and args.log is None:
+        print("--resume requires --log", file=sys.stderr)
+        return 2
+    kwargs = dict(
+        cache=TPOCache(capacity=args.cache_capacity),
+        builder=GridBuilder(resolution=args.resolution),
+    )
+    if args.resume:
+        manager = SessionManager.resume(args.log, **kwargs)
+        restored = len(manager.session_ids(status=None))
+        print(f"restored {restored} session(s) from {args.log}")
+    else:
+        manager = SessionManager(log_path=args.log, **kwargs)
+    try:
+        asyncio.run(serve(manager, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        print("service stopped")
+    return 0
+
+
+def _command_bench_service(args) -> int:
+    from repro.service.bench import run as run_bench
+
+    failures = run_bench(
+        sessions=args.sessions,
+        instances=args.instances,
+        answers=args.answers,
+        n=args.n,
+        k=args.k,
+        width=args.width,
+        resolution=args.resolution,
+        json_path=args.json,
+        smoke=args.smoke,
+    )
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -291,6 +383,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_demo(args)
     if args.command == "inspect":
         return _command_inspect(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "bench-service":
+        return _command_bench_service(args)
     return 2  # unreachable: argparse enforces the choices
 
 

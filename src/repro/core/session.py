@@ -11,7 +11,9 @@ metric ``D(ω_r, T_K)``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.incremental import IncrementalAlgorithm
 from repro.core.policies.base import (
@@ -354,4 +356,202 @@ class UncertaintyReductionSession:
         )
 
 
-__all__ = ["UncertaintyReductionSession", "SessionResult"]
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """Restorable mid-session state: the query depth plus every applied
+    answer, in order.
+
+    The snapshot deliberately stores *answers*, not the pruned space: the
+    live space is a deterministic function of (initial TPO, answer
+    sequence), so replaying the answers over a freshly built — or
+    cache-shared — initial space reproduces the state bit-for-bit.  This is
+    the same event-sourcing contract the service layer's JSONL log builds
+    on, and it keeps snapshots small and JSON-portable.
+    """
+
+    k: int
+    #: ``(i, j, holds, accuracy)`` per applied answer, canonical ``i < j``.
+    answers: Tuple[Tuple[int, int, bool, float], ...]
+
+    def to_dict(self) -> Dict:
+        """Plain-JSON form (used by the service snapshot endpoint)."""
+        return {"k": self.k, "answers": [list(a) for a in self.answers]}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SessionSnapshot":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            k=int(data["k"]),
+            answers=tuple(
+                (int(i), int(j), bool(holds), float(accuracy))
+                for i, j, holds, accuracy in data["answers"]
+            ),
+        )
+
+
+class InteractiveSession:
+    """A stepwise (question-at-a-time) uncertainty-reduction session.
+
+    Where :class:`UncertaintyReductionSession` drives a policy loop to
+    completion in one call, this is the *interactive* surface the service
+    layer serves traffic with: callers pull the currently most informative
+    question, push answers as the crowd produces them, and may snapshot and
+    later restore the session at any point in between.
+
+    Parameters
+    ----------
+    distributions:
+        Uncertain scores of the N tuples.
+    k:
+        Top-K depth of the query.
+    space:
+        The *initial* ordering space (a freshly built TPO flattened via
+        ``to_space``).  Spaces are immutable, so one instance may be shared
+        by any number of concurrent sessions — this is the hook the
+        service-layer TPO cache plugs into.
+    measure:
+        Uncertainty measure driving question ranking (default ``U_H``);
+        ignored when ``evaluator`` is given.
+    evaluator:
+        Optional shared :class:`ResidualEvaluator` (the session manager
+        passes one so evaluation counters aggregate across sessions).
+    """
+
+    def __init__(
+        self,
+        distributions: Sequence[ScoreDistribution],
+        k: int,
+        space: OrderingSpace,
+        measure: Optional[UncertaintyMeasure] = None,
+        evaluator: Optional[ResidualEvaluator] = None,
+    ) -> None:
+        self.distributions = list(distributions)
+        self.k = min(k, len(self.distributions))
+        if evaluator is None:
+            evaluator = ResidualEvaluator(
+                measure if measure is not None else EntropyMeasure()
+            )
+        self.evaluator = evaluator
+        self.initial_space = space
+        self.space = space
+        self.answers: List[Answer] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def questions_asked(self) -> int:
+        """Number of answers applied so far."""
+        return len(self.answers)
+
+    @property
+    def is_settled(self) -> bool:
+        """True once a single ordering remains."""
+        return self.space.is_certain
+
+    def candidates(self) -> List[Question]:
+        """The live relevant pool ``Q_K`` (settled pairs drop out)."""
+        return relevant_questions(self.space, self.distributions)
+
+    def ranking(
+        self, candidates: Optional[Sequence[Question]] = None
+    ) -> Tuple[List[Question], np.ndarray]:
+        """All candidate questions with their expected residuals ``R_q``.
+
+        The pair of aligned sequences — not just the winner — so callers
+        coalescing rankings across sessions (the service manager) can
+        compute once and share.
+        """
+        if candidates is None:
+            candidates = self.candidates()
+        candidates = list(candidates)
+        return candidates, self.evaluator.rank_singles_batch(
+            self.space, candidates
+        )
+
+    def next_question(
+        self,
+        ranking: Optional[Tuple[Sequence[Question], np.ndarray]] = None,
+    ) -> Optional[Question]:
+        """The most informative question now, or None when nothing is left.
+
+        Ties resolve to the first candidate in canonical pair order, so the
+        choice is deterministic — a restored session asks exactly the
+        questions the uninterrupted one would.  ``ranking`` short-circuits
+        the computation with a precomputed (possibly shared) ranking.
+        """
+        if ranking is None:
+            ranking = self.ranking()
+        candidates, residuals = ranking
+        if len(candidates) == 0:
+            return None
+        return candidates[int(np.argmin(residuals))]
+
+    def submit_answer(
+        self, question: Question, holds: bool, accuracy: float = 1.0
+    ) -> Answer:
+        """Apply one crowd answer (prune or reweight) and record it."""
+        self.space = self.evaluator.apply_answer(
+            self.space, question, holds, accuracy
+        )
+        answer = Answer(question, holds, accuracy=accuracy)
+        self.answers.append(answer)
+        return answer
+
+    def top_k(self) -> List[int]:
+        """The current most probable top-K prefix (the paper's MPO)."""
+        return [int(t) for t in self.space.most_probable_ordering()]
+
+    def uncertainty(self) -> float:
+        """Current ``U(T)`` under the session's measure."""
+        return self.evaluator.uncertainty(self.space)
+
+    # ------------------------------------------------------------------
+
+    def answers_key(self) -> Tuple[Tuple[int, int, bool, float], ...]:
+        """Hashable identity of the applied answer sequence.
+
+        Two sessions over the same initial space with equal keys are in
+        bit-identical states — the property the service manager's
+        cross-session ranking coalescing keys on.
+        """
+        return tuple(
+            (a.question.i, a.question.j, a.holds, a.accuracy)
+            for a in self.answers
+        )
+
+    def snapshot(self) -> SessionSnapshot:
+        """Freeze the session into a restorable, JSON-portable snapshot."""
+        return SessionSnapshot(k=self.k, answers=self.answers_key())
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: SessionSnapshot,
+        distributions: Sequence[ScoreDistribution],
+        space: OrderingSpace,
+        measure: Optional[UncertaintyMeasure] = None,
+        evaluator: Optional[ResidualEvaluator] = None,
+    ) -> "InteractiveSession":
+        """Rebuild a live session by replaying a snapshot's answers.
+
+        ``distributions`` and ``space`` must describe the same instance the
+        snapshot was taken from (the initial space, not the pruned one).
+        """
+        session = cls(
+            distributions,
+            snapshot.k,
+            space,
+            measure=measure,
+            evaluator=evaluator,
+        )
+        for i, j, holds, accuracy in snapshot.answers:
+            session.submit_answer(Question(i, j), holds, accuracy=accuracy)
+        return session
+
+
+__all__ = [
+    "UncertaintyReductionSession",
+    "SessionResult",
+    "InteractiveSession",
+    "SessionSnapshot",
+]

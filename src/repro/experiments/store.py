@@ -21,8 +21,28 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from pathlib import Path
 from typing import Any, Dict, Set
+
+
+def ensure_trailing_newline(path: Path) -> None:
+    """Terminate a torn final line so the next append starts fresh.
+
+    A run killed mid-write leaves a line without a newline; appending
+    straight after it would glue the new record onto the torn JSON and
+    lose *both*.  Called before every append.
+    """
+    try:
+        with open(path, "rb+") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() == 0:
+                return
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) != b"\n":
+                handle.write(b"\n")
+    except FileNotFoundError:
+        pass
 
 
 def _sanitize(value: Any) -> Any:
@@ -56,6 +76,7 @@ class ResultStore:
     def append(self, cell_id: str, experiment: str, row: Dict[str, Any]) -> None:
         """Durably record one completed cell."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        ensure_trailing_newline(self.path)
         record = {
             "cell_id": cell_id,
             "experiment": experiment,
@@ -66,10 +87,13 @@ class ResultStore:
             handle.flush()
 
     def load(self) -> Dict[str, Dict[str, Any]]:
-        """All stored records as ``{cell_id: record}`` (last write wins).
+        """All stored records as ``{cell_id: record}``, deduplicated.
 
         Unparsable lines — a torn tail from a killed run — are skipped, so
-        their cells are simply treated as not yet computed.
+        their cells are simply treated as not yet computed.  Duplicate
+        cell ids keep the **last** record: a resumed run that re-executes
+        a torn cell appends a second line for the same cell hash, and
+        merged reports must see exactly one row per cell (the freshest).
         """
         records: Dict[str, Dict[str, Any]] = {}
         if not self.path.exists():
@@ -93,6 +117,31 @@ class ResultStore:
         """Cell ids with a stored result."""
         return set(self.load())
 
+    def compact(self) -> int:
+        """Rewrite the file with one (deduplicated) line per cell.
+
+        Long-lived stores — e.g. the nightly grid's cached store, appended
+        to across many resumed runs — accumulate torn lines and duplicate
+        cell records; compaction keeps the surviving record of each cell
+        (last write wins, matching :meth:`load`) and drops the rest.
+        Returns the number of lines removed.  Atomic: the compacted file
+        is written alongside and renamed over the original, so a crash
+        mid-compaction cannot lose records.
+        """
+        if not self.path.exists():
+            return 0
+        with open(self.path) as handle:
+            total_lines = sum(1 for line in handle if line.strip())
+        records = self.load()
+        temporary = self.path.with_suffix(self.path.suffix + ".compact")
+        with open(temporary, "w") as handle:
+            for record in records.values():
+                sanitized = {**record, "row": _sanitize(record.get("row", {}))}
+                handle.write(json.dumps(sanitized, allow_nan=False) + "\n")
+            handle.flush()
+        temporary.replace(self.path)
+        return total_lines - len(records)
+
     def __len__(self) -> int:
         return len(self.load())
 
@@ -100,4 +149,4 @@ class ResultStore:
         return f"ResultStore({str(self.path)!r})"
 
 
-__all__ = ["ResultStore"]
+__all__ = ["ResultStore", "ensure_trailing_newline"]

@@ -1,0 +1,21 @@
+"""Concurrent multi-session service layer.
+
+Runs many crowdsourcing sessions against shared, cached state:
+
+* :mod:`repro.service.cache` — a bounded LRU of built TPOs keyed by a
+  BLAKE2b content hash of the canonical instance, so N sessions over the
+  same (or hashed-equal) instance pay one tree build;
+* :mod:`repro.service.manager` — :class:`SessionManager`: session
+  lifecycle (create / next-question / submit-answer / snapshot / resume),
+  an append-only JSONL event log that makes a killed manager resumable,
+  and cross-session coalescing of next-question rankings;
+* :mod:`repro.service.server` — a dependency-free asyncio HTTP front end
+  (``repro serve``);
+* :mod:`repro.service.bench` — the throughput/cache-hit benchmark behind
+  ``repro bench-service`` and ``benchmarks/bench_service.py``.
+"""
+
+from repro.service.cache import TPOCache, instance_key
+from repro.service.manager import SessionManager
+
+__all__ = ["TPOCache", "SessionManager", "instance_key"]

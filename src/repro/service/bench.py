@@ -1,0 +1,404 @@
+"""Service-layer benchmark: sessions/sec and TPO-cache hit rate.
+
+Drives the full service stack the way production traffic would — many
+concurrent sessions over a small set of distinct instances, each pulling
+its next question and submitting a (simulated) crowd answer until a
+per-session answer budget is exhausted — and measures what the shared
+state buys:
+
+* **baseline** — cache capacity 0, ranking memo 0, per-session calls:
+  every session pays its own TPO build and every ranking pass;
+* **cached** — shared TPO cache plus coalesced ``next_questions`` waves:
+  hashed-equal instances share one build, identical-state sessions share
+  one ranking.
+
+Gates (CI): cache hit rate ≥ 85 % and ≥ 3× sessions/sec over the
+baseline at 64 sessions over 8 distinct instances, plus a kill/resume
+equivalence check — the manager is dropped mid-run, resumed from its
+event log, and must finish every session with results identical to an
+uninterrupted run.
+
+Run:  PYTHONPATH=src python benchmarks/bench_service.py [--smoke] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.crowd.oracle import GroundTruth
+from repro.crowd.simulator import SimulatedCrowd
+from repro.service.cache import TPOCache
+from repro.service.manager import SessionManager, materialize_instance
+from repro.tpo.builders import GridBuilder
+from repro.utils.provenance import artifact_stamp
+from repro.utils.rng import derive_seed, ensure_rng
+
+HIT_RATE_FLOOR = 0.85
+SPEEDUP_FLOOR = 3.0
+
+
+def instance_specs(
+    instances: int, n: int, k: int, width: float, base_seed: int = 2016
+) -> List[Dict[str, Any]]:
+    """``instances`` distinct specs differing only in their seed."""
+    return [
+        {
+            "workload": "uniform",
+            "n": n,
+            "k": k,
+            "seed": base_seed + index,
+            "params": {"width": width},
+        }
+        for index in range(instances)
+    ]
+
+
+def make_crowds(specs: Sequence[Dict[str, Any]]) -> List[SimulatedCrowd]:
+    """One reliable simulated crowd per instance spec.
+
+    The ground truth derives from the spec seed, so every run — baseline,
+    cached, interrupted, resumed — sees the same world and the same
+    answers, which is what makes the resume-equivalence gate exact.
+    """
+    crowds = []
+    for spec in specs:
+        distributions = materialize_instance(spec)
+        truth = GroundTruth.sample(
+            distributions, ensure_rng(derive_seed(spec["seed"], "truth"))
+        )
+        crowds.append(SimulatedCrowd(truth, worker_accuracy=1.0))
+    return crowds
+
+
+def _fresh_builder(resolution: int) -> GridBuilder:
+    return GridBuilder(resolution=resolution)
+
+
+def create_sessions(
+    manager: SessionManager, specs: Sequence[Dict[str, Any]], sessions: int
+) -> List[Tuple[str, int]]:
+    """Create ``sessions`` sessions round-robin over ``specs``.
+
+    Ids are deterministic (``s0000``, ``s0001``, …) so an interrupted and
+    an uninterrupted run are comparable session by session.
+    """
+    plan = []
+    for index in range(sessions):
+        spec_index = index % len(specs)
+        sid = f"s{index:04d}"
+        manager.create_session(specs[spec_index], session_id=sid)
+        plan.append((sid, spec_index))
+    return plan
+
+
+def drive_sessions(
+    manager: SessionManager,
+    plan: Sequence[Tuple[str, int]],
+    crowds: Sequence[SimulatedCrowd],
+    answers_per_session: int,
+    coalesce: bool = True,
+    stop_after: Optional[int] = None,
+) -> int:
+    """Answer questions in waves until every session hits its budget.
+
+    Returns the number of answers submitted by this call.  ``coalesce``
+    switches between the service path (one ``next_questions`` call per
+    wave) and the baseline path (one ``next_question`` call per session).
+    ``stop_after`` aborts mid-run after that many submissions — the
+    benchmark's "kill the manager" hook.
+    """
+    crowd_of = dict(plan)
+    done: set = set()
+    # Questions already asked (non-zero after a resume), tracked locally so
+    # waves don't pay a manager lookup per session.
+    asked = {sid: manager.questions_asked(sid) for sid, _ in plan}
+    submitted = 0
+    while True:
+        active = [
+            sid
+            for sid, _ in plan
+            if sid not in done and asked[sid] < answers_per_session
+        ]
+        if not active:
+            break
+        if coalesce:
+            questions = manager.next_questions(active)
+        else:
+            questions = {sid: manager.next_question(sid) for sid in active}
+        for sid in active:
+            question = questions[sid]
+            if question is None:
+                done.add(sid)
+                continue
+            crowd = crowds[crowd_of[sid]]
+            answer = crowd.ask(question)
+            manager.submit_answer(
+                sid,
+                question.i,
+                question.j,
+                answer.holds,
+                accuracy=answer.accuracy,
+            )
+            asked[sid] += 1
+            submitted += 1
+            if stop_after is not None and submitted >= stop_after:
+                return submitted
+    return submitted
+
+
+def session_results(
+    manager: SessionManager, plan: Sequence[Tuple[str, int]]
+) -> Dict[str, Dict[str, Any]]:
+    """Per-session outcome used for run-equivalence comparison."""
+    results = {}
+    for sid, _ in plan:
+        snapshot = manager.snapshot(sid)
+        results[sid] = {
+            "questions_asked": snapshot["questions_asked"],
+            "answers": snapshot["snapshot"]["answers"],
+            "top_k": snapshot["top_k"],
+            "settled": snapshot["settled"],
+        }
+    return results
+
+
+def _timed_run(
+    specs: Sequence[Dict[str, Any]],
+    crowds: Sequence[SimulatedCrowd],
+    sessions: int,
+    answers: int,
+    resolution: int,
+    cached: bool,
+) -> Dict[str, Any]:
+    """One full create-and-drive pass; returns measurements."""
+    capacity = 2 * len(specs) if cached else 0
+    manager = SessionManager(
+        cache=TPOCache(capacity=capacity),
+        builder=_fresh_builder(resolution),
+        ranking_memo_size=1024 if cached else 0,
+    )
+    start = time.perf_counter()
+    plan = create_sessions(manager, specs, sessions)
+    submitted = drive_sessions(
+        manager, plan, crowds, answers, coalesce=cached
+    )
+    wall = time.perf_counter() - start
+    return {
+        "wall_seconds": wall,
+        "sessions_per_sec": sessions / wall if wall > 0 else float("inf"),
+        "answers_submitted": submitted,
+        "cache": manager.cache.stats(),
+        "rankings": manager.stats()["rankings"],
+        "results": session_results(manager, plan),
+    }
+
+
+def _resume_check(
+    specs: Sequence[Dict[str, Any]],
+    crowds: Sequence[SimulatedCrowd],
+    sessions: int,
+    answers: int,
+    resolution: int,
+    reference: Dict[str, Dict[str, Any]],
+    log_path: Path,
+) -> Dict[str, Any]:
+    """Kill a logged run mid-flight, resume it, and diff against
+    ``reference``."""
+    total_reference = sum(r["questions_asked"] for r in reference.values())
+    stop_after = max(1, total_reference // 2)
+
+    manager = SessionManager(
+        cache=TPOCache(capacity=2 * len(specs)),
+        builder=_fresh_builder(resolution),
+        log_path=log_path,
+    )
+    plan = create_sessions(manager, specs, sessions)
+    interrupted_at = drive_sessions(
+        manager, plan, crowds, answers, stop_after=stop_after
+    )
+    del manager  # the "kill": only the event log survives
+
+    resumed = SessionManager.resume(
+        log_path,
+        cache=TPOCache(capacity=2 * len(specs)),
+        builder=_fresh_builder(resolution),
+    )
+    drive_sessions(resumed, plan, crowds, answers)
+    resumed_results = session_results(resumed, plan)
+    return {
+        "checked": True,
+        "interrupted_after_answers": interrupted_at,
+        "reference_answers": total_reference,
+        "identical": resumed_results == reference,
+    }
+
+
+def run(
+    sessions: int = 64,
+    instances: int = 8,
+    answers: int = 20,
+    n: int = 24,
+    k: int = 4,
+    width: float = 0.35,
+    resolution: int = 640,
+    json_path: Optional[str] = None,
+    smoke: bool = False,
+) -> int:
+    """Run the benchmark; returns the number of failed gates."""
+    if smoke:
+        sessions, instances, answers = 8, 2, 5
+        n, k, resolution = 12, 3, 256
+    if instances > sessions:
+        raise ValueError("need at least one session per instance")
+    specs = instance_specs(instances, n, k, width)
+    crowds = make_crowds(specs)
+    print(
+        f"service bench: {sessions} sessions over {instances} instances "
+        f"(N={n}, K={k}, width={width}), {answers} answers each"
+    )
+
+    baseline = _timed_run(
+        specs, crowds, sessions, answers, resolution, cached=False
+    )
+    cached = _timed_run(
+        specs, crowds, sessions, answers, resolution, cached=True
+    )
+    speedup = baseline["wall_seconds"] / cached["wall_seconds"]
+    hit_rate = cached["cache"]["hit_rate"]
+    print(
+        f"baseline : {baseline['wall_seconds']:7.2f}s  "
+        f"{baseline['sessions_per_sec']:8.2f} sessions/s  "
+        f"(no cache, no coalescing)"
+    )
+    print(
+        f"cached   : {cached['wall_seconds']:7.2f}s  "
+        f"{cached['sessions_per_sec']:8.2f} sessions/s  "
+        f"hit-rate {hit_rate:.1%}  "
+        f"rankings computed {cached['rankings']['computed']}, "
+        f"coalesced {cached['rankings']['coalesced']}"
+    )
+    print(f"speedup  : {speedup:6.2f}x")
+    if baseline["results"] != cached["results"]:
+        print("  FAIL: cached run changed session outcomes")
+        failures = 1
+    else:
+        failures = 0
+    if not smoke:
+        if hit_rate < HIT_RATE_FLOOR:
+            print(f"  FAIL: hit rate below the {HIT_RATE_FLOOR:.0%} floor")
+            failures += 1
+        if speedup < SPEEDUP_FLOOR:
+            print(f"  FAIL: speedup below the {SPEEDUP_FLOOR}x floor")
+            failures += 1
+
+    # A fresh directory every run: resuming against a stale log from an
+    # earlier invocation would replay foreign events and fail the
+    # equivalence gate spuriously.
+    with tempfile.TemporaryDirectory() as tmp:
+        resume = _resume_check(
+            specs,
+            crowds,
+            sessions,
+            answers,
+            resolution,
+            cached["results"],
+            Path(tmp) / "service-events.jsonl",
+        )
+    print(
+        f"resume   : killed after {resume['interrupted_after_answers']} of "
+        f"{resume['reference_answers']} answers, resumed run identical: "
+        f"{resume['identical']}"
+    )
+    if not resume["identical"]:
+        print("  FAIL: resumed run differs from the uninterrupted run")
+        failures += 1
+
+    if json_path is not None:
+        for measurement in (baseline, cached):
+            measurement.pop("results")
+        artifact = {
+            "benchmark": "bench_service",
+            **artifact_stamp(),
+            "config": {
+                "sessions": sessions,
+                "instances": instances,
+                "answers_per_session": answers,
+                "n": n,
+                "k": k,
+                "width": width,
+                "resolution": resolution,
+                "smoke": smoke,
+            },
+            "baseline": baseline,
+            "cached": cached,
+            "speedup": speedup,
+            "cache_hit_rate": hit_rate,
+            "gates": {
+                "hit_rate_floor": HIT_RATE_FLOOR,
+                "speedup_floor": SPEEDUP_FLOOR,
+                "gated": not smoke,
+            },
+            "resume": resume,
+            "failures": failures,
+        }
+        Path(json_path).write_text(json.dumps(artifact, indent=2) + "\n")
+        print(f"wrote {json_path}")
+
+    print("PASS" if failures == 0 else f"{failures} check(s) FAILED")
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=64)
+    parser.add_argument("--instances", type=int, default=8)
+    parser.add_argument(
+        "--answers", type=int, default=20, help="answer budget per session"
+    )
+    parser.add_argument("--n", type=int, default=24, help="tuples per instance")
+    parser.add_argument("--k", type=int, default=4, help="top-K depth")
+    parser.add_argument("--width", type=float, default=0.35, help="pdf width")
+    parser.add_argument(
+        "--resolution", type=int, default=640, help="grid-builder resolution"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny instance, no perf gates (CI smoke / laptops)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write measurements as a JSON artifact (BENCH_service.json)",
+    )
+    args = parser.parse_args(argv)
+    return run(
+        sessions=args.sessions,
+        instances=args.instances,
+        answers=args.answers,
+        n=args.n,
+        k=args.k,
+        width=args.width,
+        resolution=args.resolution,
+        json_path=args.json,
+        smoke=args.smoke,
+    )
+
+
+__all__ = [
+    "run",
+    "main",
+    "instance_specs",
+    "make_crowds",
+    "create_sessions",
+    "drive_sessions",
+    "session_results",
+    "HIT_RATE_FLOOR",
+    "SPEEDUP_FLOOR",
+]

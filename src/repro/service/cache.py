@@ -1,0 +1,132 @@
+"""Content-addressed, bounded LRU cache of built TPOs.
+
+Building the tree of possible orderings is the dominant per-session cost,
+and it depends only on the *instance* — the score distributions, the query
+depth K, and the builder configuration.  Sessions are therefore keyed by a
+BLAKE2b hash of the canonical-JSON instance description (the same
+addressing scheme :mod:`repro.experiments.grid` uses for grid cells): any
+number of concurrent sessions over hashed-equal instances share one build.
+
+Cached values are *initial* :class:`~repro.tpo.space.OrderingSpace`
+objects.  Spaces are immutable — every answer produces a new space — so
+sharing one across sessions is safe, and the lazily computed
+``positions()`` matrix is shared too.  On insert the built tree is
+round-tripped through :mod:`repro.tpo.serialize` (``tree_to_dict`` /
+``tree_from_dict``), which drops builder engine caches and guarantees the
+cached state is exactly what a cold rebuild from the serialized form would
+produce — the property the manager's resume path relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Sequence
+
+from repro.distributions.base import ScoreDistribution
+from repro.experiments.grid import canonical_json
+from repro.tpo.space import OrderingSpace
+from repro.tpo.serialize import tree_from_dict, tree_to_dict
+from repro.tpo.tree import TPOTree
+
+
+def instance_key(payload: Any) -> str:
+    """Stable 32-hex-digit content address of a JSON-serializable payload.
+
+    Same recipe as :attr:`repro.experiments.grid.GridCell.cell_id`
+    (canonical JSON → BLAKE2b), with a wider digest since service keys are
+    long-lived and cross instance universes.
+    """
+    digest = hashlib.blake2b(
+        canonical_json(payload).encode("utf-8"), digest_size=16
+    )
+    return digest.hexdigest()
+
+
+class TPOCache:
+    """Bounded LRU of initial ordering spaces, keyed by instance hash.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached instances; least-recently-used entries
+        are evicted beyond it.  ``0`` disables caching entirely (every
+        lookup misses and nothing is stored) — the configuration the
+        service benchmark uses as its baseline.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[str, OrderingSpace]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def get_space(
+        self,
+        key: str,
+        distributions: Sequence[ScoreDistribution],
+        build: Callable[[], TPOTree],
+    ) -> OrderingSpace:
+        """The initial space for ``key``, building (and caching) on miss.
+
+        ``build`` must construct the TPO of the instance ``key`` names;
+        ``distributions`` are needed to rebuild the tree from its
+        serialized form (the dict stores only tuple indices).
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        payload = tree_to_dict(build())
+        space = tree_from_dict(payload, list(distributions)).to_space()
+        if self.capacity > 0:
+            self._entries[key] = space
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return space
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters for monitoring endpoints and benchmark artifacts."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"TPOCache(capacity={self.capacity}, entries={len(self)}, "
+            f"hit_rate={self.hit_rate:.2f})"
+        )
+
+
+__all__ = ["TPOCache", "instance_key"]

@@ -1,0 +1,511 @@
+"""Session lifecycle, durable event log, and cross-session coalescing.
+
+:class:`SessionManager` owns many concurrent interactive sessions (one per
+end user answering crowd questions) and makes them cheap to serve:
+
+* the initial TPO of every session comes from a shared
+  :class:`~repro.service.cache.TPOCache`, so hashed-equal instances pay
+  one tree build;
+* next-question rankings are memoized by *session state* — (instance
+  hash, answer history) — and batches of pending requests are funnelled
+  through :meth:`~repro.questions.residual.ResidualEvaluator.rank_singles_many`,
+  so sessions in identical states (common early in their lifetime, and
+  throughout for reliable crowds) share one scoring pass;
+* every mutation is appended to a JSONL event log (the
+  :mod:`repro.experiments.store` style: one strict-JSON line per event,
+  flushed immediately, torn tail tolerated on load), so a killed manager
+  resumes every in-flight session exactly where it stopped via
+  :meth:`SessionManager.resume`.
+
+Sessions are created from declarative *instance specs*::
+
+    {"workload": "uniform", "n": 20, "k": 5, "seed": 7,
+     "params": {"width": 0.3}}
+
+A spec is the canonical, hashable description of the uncertain instance —
+the workload generator, its parameters, and the derived-seed RNG stream —
+so two sessions with equal specs provably share a TPO, and a resumed
+manager re-materializes identical instances from the log alone.
+"""
+
+from __future__ import annotations
+
+import json
+import secrets
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.core.session import InteractiveSession
+from repro.distributions.base import ScoreDistribution
+from repro.experiments.store import ensure_trailing_newline
+from repro.questions.model import Question
+from repro.questions.residual import ResidualEvaluator
+from repro.service.cache import TPOCache, instance_key
+from repro.tpo.builders import GridBuilder, TPOBuilder
+from repro.uncertainty.base import UncertaintyMeasure
+from repro.uncertainty.entropy import EntropyMeasure
+from repro.utils.rng import derive_seed, ensure_rng
+from repro.workloads.synthetic import GENERATORS, make_workload
+
+
+class UnknownSessionError(KeyError):
+    """Raised when a session id names no live session."""
+
+
+class ClosedSessionError(ValueError):
+    """Raised when an operation targets a closed session."""
+
+
+# ----------------------------------------------------------------------
+# Instance specs
+# ----------------------------------------------------------------------
+
+
+def normalize_spec(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate a session spec and return its canonical form.
+
+    Canonical specs have exactly the keys ``workload``/``n``/``k``/
+    ``seed``/``params`` with normalized types, so equal instances hash
+    equal regardless of how the caller phrased them.
+    """
+    if not isinstance(spec, dict):
+        raise ValueError(f"spec must be a dict, got {type(spec).__name__}")
+    unknown = set(spec) - {"workload", "n", "k", "seed", "params"}
+    if unknown:
+        raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+    workload = spec.get("workload", "uniform")
+    if workload not in GENERATORS:
+        raise ValueError(
+            f"unknown workload {workload!r}; available: {sorted(GENERATORS)}"
+        )
+    n = int(spec.get("n", 0))
+    if n < 2:
+        raise ValueError(f"spec needs n >= 2 tuples, got {n}")
+    k = int(spec.get("k", 0))
+    if k < 1:
+        raise ValueError(f"spec needs k >= 1, got {k}")
+    params = spec.get("params", {})
+    if not isinstance(params, dict):
+        raise ValueError("spec params must be a dict of generator kwargs")
+    return {
+        "workload": workload,
+        "n": n,
+        "k": min(k, n),
+        "seed": int(spec.get("seed", 0)),
+        "params": {str(key): params[key] for key in sorted(params)},
+    }
+
+
+def materialize_instance(spec: Dict[str, Any]) -> List[ScoreDistribution]:
+    """The score distributions a canonical spec describes.
+
+    The RNG stream derives from the spec seed via the process-stable
+    :func:`~repro.utils.rng.derive_seed`, so the same spec materializes
+    the same instance in every process — which is what lets a resumed
+    manager rebuild sessions from the event log alone.
+    """
+    rng = ensure_rng(derive_seed(spec["seed"], "service-instance"))
+    return make_workload(spec["workload"], spec["n"], rng=rng, **spec["params"])
+
+
+def builder_signature(builder: TPOBuilder) -> Dict[str, Any]:
+    """The builder configuration fields that shape the built TPO."""
+    return {
+        "type": type(builder).__name__,
+        "min_probability": builder.min_probability,
+        "max_orderings": builder.max_orderings,
+        "resolution": getattr(builder, "resolution", None),
+    }
+
+
+# ----------------------------------------------------------------------
+# Durable event log
+# ----------------------------------------------------------------------
+
+
+class EventLog:
+    """Append-only JSONL log of session events (create / answer / close).
+
+    Same durability contract as the experiment
+    :class:`~repro.experiments.store.ResultStore`: one strict-JSON line
+    per event, flushed as it happens, and a torn final line (killed
+    mid-write) is skipped on load rather than poisoning the replay.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def append(self, event: Dict[str, Any]) -> None:
+        """Durably record one event."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        ensure_trailing_newline(self.path)
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(event, allow_nan=False) + "\n")
+            handle.flush()
+
+    def load(self) -> List[Dict[str, Any]]:
+        """All parseable events, in append order."""
+        events: List[Dict[str, Any]] = []
+        if not self.path.exists():
+            return events
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(event, dict) and "event" in event:
+                    events.append(event)
+        return events
+
+
+# ----------------------------------------------------------------------
+# The manager
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ManagedSession:
+    """One live session plus the bookkeeping the manager needs."""
+
+    session_id: str
+    spec: Dict[str, Any]
+    tpo_key: str
+    session: InteractiveSession
+    status: str = "active"
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class SessionManager:
+    """Runs many interactive sessions against shared, cached state.
+
+    Parameters
+    ----------
+    cache:
+        Shared TPO cache (default: a fresh 64-entry
+        :class:`~repro.service.cache.TPOCache`; pass capacity 0 to
+        disable sharing, as the benchmark baseline does).
+    log_path:
+        Optional JSONL event-log path.  When set, every create / answer /
+        close is durably appended, and :meth:`resume` rebuilds the
+        manager from that file.
+    builder:
+        TPO engine shared by all sessions (default: grid).
+    measure:
+        Uncertainty measure driving question ranking (default ``U_H``).
+    ranking_memo_size:
+        How many per-state next-question rankings to memoize (LRU).
+        ``0`` disables both the memo and cross-session ranking sharing.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[TPOCache] = None,
+        log_path=None,
+        builder: Optional[TPOBuilder] = None,
+        measure: Optional[UncertaintyMeasure] = None,
+        ranking_memo_size: int = 1024,
+    ) -> None:
+        if ranking_memo_size < 0:
+            raise ValueError("ranking_memo_size must be >= 0")
+        self.cache = cache if cache is not None else TPOCache()
+        self.builder = builder if builder is not None else GridBuilder()
+        self.measure = measure if measure is not None else EntropyMeasure()
+        self.evaluator = ResidualEvaluator(self.measure)
+        self.ranking_memo_size = int(ranking_memo_size)
+        self._sessions: Dict[str, ManagedSession] = {}
+        #: (tpo_key, answers_key) → (candidates, residuals).
+        self._rankings: OrderedDict = OrderedDict()
+        self._log: Optional[EventLog] = (
+            EventLog(log_path) if log_path is not None else None
+        )
+        self.rankings_computed = 0
+        self.rankings_memo_hits = 0
+        self.rankings_coalesced = 0
+        self.replay_skipped = 0
+
+    # -- lookup --------------------------------------------------------
+
+    def _get(self, session_id: str) -> ManagedSession:
+        managed = self._sessions.get(session_id)
+        if managed is None:
+            raise UnknownSessionError(session_id)
+        return managed
+
+    def _active(self, session_id: str) -> ManagedSession:
+        managed = self._get(session_id)
+        if managed.status != "active":
+            raise ClosedSessionError(f"session {session_id} is closed")
+        return managed
+
+    def session_ids(self, status: Optional[str] = "active") -> List[str]:
+        """Ids of sessions with the given status (None = all), in creation
+        order."""
+        return [
+            sid
+            for sid, managed in self._sessions.items()
+            if status is None or managed.status == status
+        ]
+
+    # -- lifecycle -----------------------------------------------------
+
+    def create_session(
+        self, spec: Dict[str, Any], session_id: Optional[str] = None
+    ) -> str:
+        """Create (and log) a session from an instance spec; returns its id."""
+        sid = self._create(spec, session_id)
+        if self._log is not None:
+            self._log.append(
+                {
+                    "event": "create",
+                    "session_id": sid,
+                    "spec": self._sessions[sid].spec,
+                }
+            )
+        return sid
+
+    def _create(
+        self, spec: Dict[str, Any], session_id: Optional[str] = None
+    ) -> str:
+        spec = normalize_spec(spec)
+        sid = session_id if session_id is not None else secrets.token_hex(8)
+        if sid in self._sessions:
+            raise ValueError(f"session id {sid!r} already exists")
+        distributions = materialize_instance(spec)
+        tpo_key = instance_key(
+            {"spec": spec, "builder": builder_signature(self.builder)}
+        )
+        space = self.cache.get_space(
+            tpo_key,
+            distributions,
+            lambda: self.builder.build(distributions, spec["k"]),
+        )
+        session = InteractiveSession(
+            distributions, spec["k"], space, evaluator=self.evaluator
+        )
+        self._sessions[sid] = ManagedSession(sid, spec, tpo_key, session)
+        return sid
+
+    def close_session(self, session_id: str) -> None:
+        """Mark a session closed (it stays inspectable, not answerable)."""
+        managed = self._get(session_id)
+        if managed.status == "closed":
+            return
+        managed.status = "closed"
+        if self._log is not None:
+            self._log.append({"event": "close", "session_id": session_id})
+
+    # -- question flow -------------------------------------------------
+
+    def next_question(self, session_id: str) -> Optional[Question]:
+        """The most informative question for one session (None = settled)."""
+        return self.next_questions([session_id])[session_id]
+
+    def next_questions(
+        self, session_ids: Iterable[str]
+    ) -> Dict[str, Optional[Question]]:
+        """Coalesced next-question lookup for many sessions at once.
+
+        Sessions in bit-identical states — same instance hash, same
+        answer history — share one ranking: memoized rankings are reused
+        directly, and the remaining distinct states are priced through a
+        single :meth:`ResidualEvaluator.rank_singles_many` call.  This is
+        the entry point the asyncio server funnels concurrent requests
+        through.
+        """
+        results: Dict[str, Optional[Question]] = {}
+        #: state → (candidates, [(sid, session), …]) for memo misses.
+        needed: "OrderedDict" = OrderedDict()
+        for sid in session_ids:
+            managed = self._active(sid)
+            state = (managed.tpo_key, managed.session.answers_key())
+            memo = (
+                self._rankings.get(state) if self.ranking_memo_size else None
+            )
+            if memo is not None:
+                self._rankings.move_to_end(state)
+                self.rankings_memo_hits += 1
+                results[sid] = managed.session.next_question(memo)
+                continue
+            group = needed.get(state)
+            if group is None:
+                needed[state] = (
+                    managed.session.candidates(),
+                    [(sid, managed.session)],
+                )
+            else:
+                group[1].append((sid, managed.session))
+        if not needed:
+            return results
+        states = list(needed)
+        requests = [
+            (needed[state][1][0][1].space, needed[state][0])
+            for state in states
+        ]
+        rankings = self.evaluator.rank_singles_many(requests, keys=states)
+        self.rankings_computed += len(states)
+        for state, residuals in zip(states, rankings):
+            candidates, members = needed[state]
+            ranking = (candidates, residuals)
+            self.rankings_coalesced += len(members) - 1
+            if self.ranking_memo_size:
+                self._rankings[state] = ranking
+                while len(self._rankings) > self.ranking_memo_size:
+                    self._rankings.popitem(last=False)
+            for sid, session in members:
+                results[sid] = session.next_question(ranking)
+        return results
+
+    def submit_answer(
+        self,
+        session_id: str,
+        i: int,
+        j: int,
+        holds: bool,
+        accuracy: float = 1.0,
+    ) -> Dict[str, Any]:
+        """Apply (and log) one answer: "t_i ranks above t_j" is ``holds``.
+
+        The pair is canonicalized to ``i < j`` (flipping ``holds``
+        accordingly), matching the :class:`Question` identity rules.
+        """
+        summary = self._submit(session_id, i, j, holds, accuracy)
+        if self._log is not None:
+            managed = self._get(session_id)
+            last = managed.session.answers[-1]
+            self._log.append(
+                {
+                    "event": "answer",
+                    "session_id": session_id,
+                    "i": last.question.i,
+                    "j": last.question.j,
+                    "holds": last.holds,
+                    "accuracy": last.accuracy,
+                }
+            )
+        return summary
+
+    def _submit(
+        self,
+        session_id: str,
+        i: int,
+        j: int,
+        holds: bool,
+        accuracy: float,
+    ) -> Dict[str, Any]:
+        managed = self._active(session_id)
+        i, j = int(i), int(j)
+        if i > j:
+            i, j, holds = j, i, not holds
+        managed.session.submit_answer(
+            Question(i, j), bool(holds), accuracy=float(accuracy)
+        )
+        return {
+            "session_id": session_id,
+            "questions_asked": managed.session.questions_asked,
+            "orderings": managed.session.space.size,
+            "settled": managed.session.is_settled,
+        }
+
+    # -- inspection ----------------------------------------------------
+
+    def questions_asked(self, session_id: str) -> int:
+        """Answers applied so far (cheap — no snapshot materialization)."""
+        return self._get(session_id).session.questions_asked
+
+    def snapshot(self, session_id: str) -> Dict[str, Any]:
+        """Full JSON-portable state of one session (any status)."""
+        managed = self._get(session_id)
+        return {
+            "session_id": session_id,
+            "status": managed.status,
+            "spec": managed.spec,
+            "tpo_key": managed.tpo_key,
+            "snapshot": managed.session.snapshot().to_dict(),
+            "questions_asked": managed.session.questions_asked,
+            "orderings": managed.session.space.size,
+            "settled": managed.session.is_settled,
+            "top_k": managed.session.top_k(),
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """Service counters for the ``/stats`` endpoint and benchmarks."""
+        by_status: Dict[str, int] = {}
+        for managed in self._sessions.values():
+            by_status[managed.status] = by_status.get(managed.status, 0) + 1
+        return {
+            "sessions": by_status,
+            "cache": self.cache.stats(),
+            "rankings": {
+                "computed": self.rankings_computed,
+                "memo_hits": self.rankings_memo_hits,
+                "coalesced": self.rankings_coalesced,
+            },
+            "evaluations": self.evaluator.evaluations,
+            "contradictions": self.evaluator.contradictions,
+            "replay_skipped": self.replay_skipped,
+        }
+
+    # -- durability ----------------------------------------------------
+
+    @classmethod
+    def resume(cls, log_path, **kwargs) -> "SessionManager":
+        """Rebuild a manager from its event log and keep logging to it.
+
+        Replays every parseable event in order (create → answers →
+        close); events whose session never materialized — e.g. answers
+        after a torn create line — are counted in ``replay_skipped``
+        rather than aborting the other sessions.  Sessions restore to the
+        exact state they were killed in: the next question of a restored
+        session equals the one the uninterrupted manager would ask.
+        """
+        manager = cls(log_path=None, **kwargs)
+        events = EventLog(log_path).load()
+        for event in events:
+            manager._apply_event(event)
+        manager._log = EventLog(log_path)
+        return manager
+
+    def _apply_event(self, event: Dict[str, Any]) -> None:
+        kind = event.get("event")
+        try:
+            if kind == "create":
+                self._create(event["spec"], event["session_id"])
+            elif kind == "answer":
+                self._submit(
+                    event["session_id"],
+                    event["i"],
+                    event["j"],
+                    event["holds"],
+                    event.get("accuracy", 1.0),
+                )
+            elif kind == "close":
+                managed = self._get(event["session_id"])
+                managed.status = "closed"
+            else:
+                self.replay_skipped += 1
+        except (KeyError, ValueError, TypeError):
+            self.replay_skipped += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionManager(sessions={len(self._sessions)}, "
+            f"cache_hit_rate={self.cache.hit_rate:.2f})"
+        )
+
+
+__all__ = [
+    "SessionManager",
+    "ManagedSession",
+    "EventLog",
+    "UnknownSessionError",
+    "ClosedSessionError",
+    "normalize_spec",
+    "materialize_instance",
+    "builder_signature",
+]

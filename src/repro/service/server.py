@@ -1,0 +1,312 @@
+"""Dependency-free asyncio HTTP front end for the session manager.
+
+A deliberately small HTTP/1.1 implementation over ``asyncio.start_server``
+(no web framework — the repo's only runtime dependency stays NumPy):
+
+==========  =============================  =====================================
+method      path                           body / response
+==========  =============================  =====================================
+``GET``     ``/healthz``                   ``{"ok": true}``
+``GET``     ``/stats``                     service counters (cache hit rate, …)
+``GET``     ``/sessions``                  ``{"sessions": [ids…]}``
+``POST``    ``/sessions``                  ``{"spec": {…}}`` → ``{"session_id"}``
+``GET``     ``/sessions/<id>``             full snapshot (spec, answers, top-K)
+``GET``     ``/sessions/<id>/next``        ``{"question": {"i", "j"}}`` or
+                                           ``{"done": true}``
+``POST``    ``/sessions/<id>/answers``     ``{"i", "j", "holds", "accuracy"?}``
+``POST``    ``/sessions/<id>/close``       ``{"closed": true}``
+==========  =============================  =====================================
+
+Concurrent ``/next`` requests are *coalesced*: handlers enqueue into a
+:class:`NextQuestionBatcher` which drains once per event-loop tick through
+:meth:`SessionManager.next_questions`, so simultaneous requests from
+sessions in identical states share a single ranking pass — the asyncio
+face of the manager's cross-session batching.
+
+The manager is synchronous and only touched from the event-loop thread, so
+no locking is needed anywhere.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service.manager import (
+    ClosedSessionError,
+    SessionManager,
+    UnknownSessionError,
+)
+
+MAX_BODY_BYTES = 1 << 20  # a spec or an answer is tiny; reject abuse early.
+
+
+class HttpError(Exception):
+    """An error with a definite HTTP status and JSON payload."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class NextQuestionBatcher:
+    """Coalesces concurrent next-question requests into one manager call.
+
+    Requests arriving within the same event-loop tick are drained together
+    by a single :meth:`SessionManager.next_questions` call; each waiter
+    gets its own result (or its own error) back through a future.
+    """
+
+    def __init__(self, manager: SessionManager) -> None:
+        self.manager = manager
+        self._pending: List[Tuple[str, asyncio.Future]] = []
+        self._drain_scheduled = False
+        self.batches = 0
+        self.requests = 0
+
+    def request(self, session_id: str) -> "asyncio.Future":
+        """Enqueue one request; resolves to ``Optional[Question]``."""
+        future = asyncio.get_running_loop().create_future()
+        self._pending.append((session_id, future))
+        self.requests += 1
+        if not self._drain_scheduled:
+            self._drain_scheduled = True
+            asyncio.get_running_loop().call_soon(self._drain)
+        return future
+
+    def _drain(self) -> None:
+        batch, self._pending = self._pending, []
+        self._drain_scheduled = False
+        if not batch:
+            return
+        self.batches += 1
+        unique_ids = list(dict.fromkeys(sid for sid, _ in batch))
+        try:
+            questions = self.manager.next_questions(unique_ids)
+        except Exception:
+            # One member poisoning the whole batch (a bad id, or any
+            # unexpected failure) must not leave the other waiters hanging
+            # forever — _drain runs outside every connection's handler, so
+            # an escaping exception would resolve no future at all.  Retry
+            # ids one by one; each waiter gets its own result or error.
+            questions = {}
+            errors: Dict[str, Exception] = {}
+            for sid in unique_ids:
+                try:
+                    questions.update(self.manager.next_questions([sid]))
+                except Exception as exc:
+                    errors[sid] = exc
+            for sid, future in batch:
+                if future.done():
+                    continue
+                if sid in errors:
+                    future.set_exception(errors[sid])
+                else:
+                    future.set_result(questions[sid])
+            return
+        for sid, future in batch:
+            if not future.done():
+                future.set_result(questions[sid])
+
+
+# ----------------------------------------------------------------------
+# Request handling
+# ----------------------------------------------------------------------
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Dict[str, Any]]]:
+    """Parse one request; returns ``(method, path, body)`` or None on EOF."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise HttpError(400, "malformed request line")
+    method, target = parts[0].upper(), parts[1]
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                raise HttpError(400, "bad Content-Length") from None
+    if content_length > MAX_BODY_BYTES:
+        raise HttpError(413, "request body too large")
+    body: Dict[str, Any] = {}
+    if content_length:
+        raw = await reader.readexactly(content_length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError:
+            raise HttpError(400, "request body is not valid JSON") from None
+        if not isinstance(body, dict):
+            raise HttpError(400, "request body must be a JSON object")
+    path = target.split("?", 1)[0]
+    return method, path, body
+
+
+def _encode_response(status: int, payload: Dict[str, Any]) -> bytes:
+    reasons = {
+        200: "OK",
+        400: "Bad Request",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        409: "Conflict",
+        413: "Payload Too Large",
+        500: "Internal Server Error",
+    }
+    body = (json.dumps(payload) + "\n").encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+async def _route(
+    method: str,
+    path: str,
+    body: Dict[str, Any],
+    manager: SessionManager,
+    batcher: NextQuestionBatcher,
+) -> Dict[str, Any]:
+    segments = [s for s in path.split("/") if s]
+    if segments == ["healthz"] and method == "GET":
+        return {"ok": True}
+    if segments == ["stats"] and method == "GET":
+        stats = manager.stats()
+        stats["next_batches"] = batcher.batches
+        stats["next_requests"] = batcher.requests
+        return stats
+    if segments == ["sessions"]:
+        if method == "GET":
+            return {"sessions": manager.session_ids(status=None)}
+        if method == "POST":
+            spec = body.get("spec", body)
+            try:
+                sid = manager.create_session(
+                    spec, session_id=body.get("session_id")
+                )
+            except (TypeError, ValueError) as exc:
+                # TypeError covers bad generator params the spec validator
+                # cannot know about (e.g. {"params": {"bogus": 1}}) — still
+                # the client's fault, not a 500.
+                raise HttpError(400, str(exc)) from None
+            return {"session_id": sid}
+        raise HttpError(405, f"{method} not allowed on /sessions")
+    if len(segments) >= 2 and segments[0] == "sessions":
+        sid = segments[1]
+        tail = segments[2:]
+        try:
+            if tail == [] and method == "GET":
+                return manager.snapshot(sid)
+            if tail == ["next"] and method == "GET":
+                question = await batcher.request(sid)
+                if question is None:
+                    return {"session_id": sid, "done": True}
+                return {
+                    "session_id": sid,
+                    "question": {"i": question.i, "j": question.j},
+                }
+            if tail == ["answers"] and method == "POST":
+                missing = {"i", "j", "holds"} - set(body)
+                if missing:
+                    raise HttpError(
+                        400, f"answer needs fields {sorted(missing)}"
+                    )
+                try:
+                    return manager.submit_answer(
+                        sid,
+                        int(body["i"]),
+                        int(body["j"]),
+                        bool(body["holds"]),
+                        accuracy=float(body.get("accuracy", 1.0)),
+                    )
+                except (TypeError, ValueError) as exc:
+                    if isinstance(exc, ClosedSessionError):
+                        raise
+                    raise HttpError(400, str(exc)) from None
+            if tail == ["close"] and method == "POST":
+                manager.close_session(sid)
+                return {"session_id": sid, "closed": True}
+        except UnknownSessionError:
+            raise HttpError(404, f"no session {sid!r}") from None
+        except ClosedSessionError as exc:
+            raise HttpError(409, str(exc)) from None
+    raise HttpError(404, f"no route for {method} {path}")
+
+
+async def _handle_connection(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    manager: SessionManager,
+    batcher: NextQuestionBatcher,
+) -> None:
+    status, payload = 500, {"error": "internal error"}
+    try:
+        request = await _read_request(reader)
+        if request is None:
+            return
+        method, path, body = request
+        payload = await _route(method, path, body, manager, batcher)
+        status = 200
+    except HttpError as exc:
+        status, payload = exc.status, {"error": exc.message}
+    except Exception as exc:  # pragma: no cover - defensive catch-all
+        status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+    finally:
+        try:
+            writer.write(_encode_response(status, payload))
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, RuntimeError):  # client went away
+            pass
+
+
+async def start_server(
+    manager: SessionManager, host: str = "127.0.0.1", port: int = 8080
+) -> "asyncio.AbstractServer":
+    """Bind the service; the caller drives ``serve_forever`` (or tests
+    poke it and close)."""
+    batcher = NextQuestionBatcher(manager)
+
+    async def handler(reader, writer):
+        await _handle_connection(reader, writer, manager, batcher)
+
+    return await asyncio.start_server(handler, host=host, port=port)
+
+
+async def serve(
+    manager: SessionManager, host: str = "127.0.0.1", port: int = 8080
+) -> None:
+    """Run the service until cancelled (the ``repro serve`` entry point)."""
+    server = await start_server(manager, host=host, port=port)
+    addresses = ", ".join(
+        f"{sock.getsockname()[0]}:{sock.getsockname()[1]}"
+        for sock in server.sockets or []
+    )
+    print(f"repro service listening on {addresses}")
+    async with server:
+        await server.serve_forever()
+
+
+__all__ = [
+    "start_server",
+    "serve",
+    "NextQuestionBatcher",
+    "HttpError",
+]

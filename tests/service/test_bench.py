@@ -1,0 +1,64 @@
+"""Smoke tests for the service benchmark (tiny sizes, no perf gates)."""
+
+import json
+
+from repro.service.bench import (
+    create_sessions,
+    drive_sessions,
+    instance_specs,
+    make_crowds,
+    run,
+    session_results,
+)
+from repro.service.cache import TPOCache
+from repro.service.manager import SessionManager
+from repro.tpo.builders import GridBuilder
+
+
+class TestBenchPieces:
+    def test_instance_specs_are_distinct(self):
+        specs = instance_specs(3, n=8, k=3, width=0.3)
+        assert len({spec["seed"] for spec in specs}) == 3
+
+    def test_drive_sessions_respects_budget(self):
+        specs = instance_specs(2, n=8, k=3, width=0.3)
+        crowds = make_crowds(specs)
+        manager = SessionManager(builder=GridBuilder(resolution=256))
+        plan = create_sessions(manager, specs, 4)
+        drive_sessions(manager, plan, crowds, answers_per_session=2)
+        results = session_results(manager, plan)
+        assert all(r["questions_asked"] <= 2 for r in results.values())
+
+    def test_stop_after_interrupts_mid_run(self):
+        specs = instance_specs(2, n=8, k=3, width=0.3)
+        crowds = make_crowds(specs)
+        manager = SessionManager(builder=GridBuilder(resolution=256))
+        plan = create_sessions(manager, specs, 4)
+        submitted = drive_sessions(
+            manager, plan, crowds, answers_per_session=5, stop_after=3
+        )
+        assert submitted == 3
+
+    def test_cache_sharing_across_the_plan(self):
+        specs = instance_specs(2, n=8, k=3, width=0.3)
+        manager = SessionManager(
+            cache=TPOCache(capacity=4), builder=GridBuilder(resolution=256)
+        )
+        create_sessions(manager, specs, 8)
+        assert manager.cache.misses == 2
+        assert manager.cache.hits == 6
+
+
+class TestBenchRun:
+    def test_smoke_run_passes_and_writes_artifact(self, tmp_path):
+        artifact_path = tmp_path / "BENCH_service.json"
+        failures = run(smoke=True, json_path=str(artifact_path))
+        assert failures == 0
+        artifact = json.loads(artifact_path.read_text())
+        assert artifact["benchmark"] == "bench_service"
+        assert artifact["resume"]["identical"] is True
+        assert artifact["cached"]["cache"]["hits"] > 0
+        # Provenance stamps for the perf trajectory.
+        assert "git_sha" in artifact
+        assert artifact["date"].endswith("+00:00")
+        assert artifact["gates"]["gated"] is False

@@ -1,0 +1,199 @@
+"""Tests for the asyncio HTTP front end (raw sockets, no HTTP library)."""
+
+import asyncio
+import json
+
+from repro.service.manager import SessionManager
+from repro.service.server import start_server
+from repro.tpo.builders import GridBuilder
+
+SPEC = {
+    "workload": "uniform",
+    "n": 8,
+    "k": 3,
+    "seed": 5,
+    "params": {"width": 0.3},
+}
+
+
+async def http(host, port, method, path, body=None):
+    """Minimal HTTP/1.1 client: one request, one JSON response."""
+    reader, writer = await asyncio.open_connection(host, port)
+    payload = json.dumps(body).encode() if body is not None else b""
+    writer.write(
+        (
+            f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Length: {len(payload)}\r\n\r\n"
+        ).encode()
+        + payload
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    status = int(raw.split(b" ", 2)[1])
+    return status, json.loads(raw.split(b"\r\n\r\n", 1)[1])
+
+
+def with_server(coro):
+    """Run ``coro(host, port, manager)`` against a live server."""
+
+    async def runner():
+        manager = SessionManager(builder=GridBuilder(resolution=256))
+        server = await start_server(manager, port=0)
+        host, port = server.sockets[0].getsockname()[:2]
+        try:
+            return await coro(host, port, manager)
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    return asyncio.run(runner())
+
+
+class TestRoutes:
+    def test_healthz(self):
+        async def scenario(host, port, manager):
+            assert await http(host, port, "GET", "/healthz") == (
+                200,
+                {"ok": True},
+            )
+
+        with_server(scenario)
+
+    def test_session_lifecycle_over_http(self):
+        async def scenario(host, port, manager):
+            status, created = await http(
+                host, port, "POST", "/sessions", {"spec": SPEC}
+            )
+            assert status == 200
+            sid = created["session_id"]
+
+            status, nxt = await http(
+                host, port, "GET", f"/sessions/{sid}/next"
+            )
+            assert status == 200 and "question" in nxt
+            question = nxt["question"]
+
+            status, applied = await http(
+                host,
+                port,
+                "POST",
+                f"/sessions/{sid}/answers",
+                {"i": question["i"], "j": question["j"], "holds": True},
+            )
+            assert status == 200
+            assert applied["questions_asked"] == 1
+
+            status, snapshot = await http(
+                host, port, "GET", f"/sessions/{sid}"
+            )
+            assert status == 200
+            assert snapshot["snapshot"]["answers"] == [
+                [question["i"], question["j"], True, 1.0]
+            ]
+            assert len(snapshot["top_k"]) == 3
+
+            status, closed = await http(
+                host, port, "POST", f"/sessions/{sid}/close"
+            )
+            assert status == 200 and closed["closed"] is True
+            status, _ = await http(host, port, "GET", f"/sessions/{sid}/next")
+            assert status == 409
+
+        with_server(scenario)
+
+    def test_concurrent_next_requests_coalesce(self):
+        async def scenario(host, port, manager):
+            for sid in ("a", "b", "c"):
+                await http(
+                    host,
+                    port,
+                    "POST",
+                    "/sessions",
+                    {"spec": SPEC, "session_id": sid},
+                )
+            responses = await asyncio.gather(
+                *(
+                    http(host, port, "GET", f"/sessions/{sid}/next")
+                    for sid in ("a", "b", "c")
+                )
+            )
+            questions = {body["question"]["i"] for _, body in responses}
+            assert len(questions) == 1  # identical states, identical pick
+            # All three shared one ranking pass.
+            assert manager.rankings_computed == 1
+            assert (
+                manager.rankings_coalesced + manager.rankings_memo_hits == 2
+            )
+
+        with_server(scenario)
+
+    def test_errors_are_json_with_status(self):
+        async def scenario(host, port, manager):
+            status, body = await http(host, port, "GET", "/sessions/ghost")
+            assert status == 404 and "error" in body
+            status, body = await http(
+                host, port, "POST", "/sessions", {"spec": {"workload": "nope"}}
+            )
+            assert status == 400 and "error" in body
+            # Bad *generator* params surface as TypeError deep inside the
+            # workload factory — still a client error, never a 500.
+            status, body = await http(
+                host,
+                port,
+                "POST",
+                "/sessions",
+                {"spec": {**SPEC, "params": {"bogus": 1}}},
+            )
+            assert status == 400 and "error" in body
+            status, body = await http(host, port, "GET", "/nope")
+            assert status == 404
+            status, body = await http(host, port, "PUT", "/sessions")
+            assert status == 405
+            sid_status, created = await http(
+                host, port, "POST", "/sessions", {"spec": SPEC}
+            )
+            sid = created["session_id"]
+            status, body = await http(
+                host, port, "POST", f"/sessions/{sid}/answers", {"i": 0}
+            )
+            assert status == 400 and "holds" in body["error"]
+
+        with_server(scenario)
+
+    def test_malformed_json_body_is_400(self):
+        async def scenario(host, port, manager):
+            reader, writer = await asyncio.open_connection(host, port)
+            payload = b"{not json"
+            writer.write(
+                (
+                    f"POST /sessions HTTP/1.1\r\nHost: {host}\r\n"
+                    f"Content-Length: {len(payload)}\r\n\r\n"
+                ).encode()
+                + payload
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            assert b" 400 " in raw.split(b"\r\n", 1)[0]
+
+        with_server(scenario)
+
+    def test_stats_includes_batcher_counters(self):
+        async def scenario(host, port, manager):
+            await http(
+                host,
+                port,
+                "POST",
+                "/sessions",
+                {"spec": SPEC, "session_id": "a"},
+            )
+            await http(host, port, "GET", "/sessions/a/next")
+            status, stats = await http(host, port, "GET", "/stats")
+            assert status == 200
+            assert stats["next_requests"] == 1
+            assert stats["cache"]["misses"] == 1
+            status, listing = await http(host, port, "GET", "/sessions")
+            assert listing["sessions"] == ["a"]
+
+        with_server(scenario)

@@ -110,3 +110,18 @@ class TestRunGrid:
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+class TestServiceCommands:
+    def test_serve_resume_requires_log(self, capsys):
+        code = main(["serve", "--resume"])
+        assert code == 2
+        assert "--resume requires --log" in capsys.readouterr().err
+
+    def test_bench_service_smoke(self, capsys, tmp_path):
+        artifact = str(tmp_path / "BENCH_service.json")
+        code = main(["bench-service", "--smoke", "--json", artifact])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "resumed run identical: True" in out
