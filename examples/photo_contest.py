@@ -11,7 +11,8 @@ Run:  python examples/photo_contest.py
 
 import numpy as np
 
-from repro import GroundTruth, SimulatedCrowd, UncertaintyReductionSession, make_policy
+from repro import GroundTruth, SimulatedCrowd, UncertaintyReductionSession
+from repro.api import POLICIES
 from repro.db import AttributeScore
 from repro.workloads import photo_contest
 
@@ -34,7 +35,7 @@ for name in ["T1-on", "TB-off", "C-off", "incr", "naive", "random"]:
         scores, k=3, crowd=crowd, rng=np.random.default_rng(1)
     )
     kwargs = {"round_size": 4} if name == "incr" else {}
-    result = session.run(make_policy(name, **kwargs), BUDGET)
+    result = session.run(POLICIES.create(name, **kwargs), BUDGET)
     orderings = f"{result.orderings_initial} -> {result.orderings_final}"
     distance = f"{result.initial_distance:.4f} -> {result.distance_to_truth:.4f}"
     if result.policy == "incr":

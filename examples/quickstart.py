@@ -15,8 +15,8 @@ from repro import (
     SimulatedCrowd,
     UncertaintyReductionSession,
     Uniform,
-    make_policy,
 )
+from repro.api import POLICIES
 
 rng = np.random.default_rng(42)
 
@@ -34,7 +34,7 @@ crowd = SimulatedCrowd(truth, worker_accuracy=1.0, rng=rng)
 session = UncertaintyReductionSession(
     scores, k=5, crowd=crowd, rng=rng, track_trajectory=True
 )
-result = session.run(make_policy("T1-on"), budget=10)
+result = session.run(POLICIES.create("T1-on"), budget=10)
 
 print(f"\norderings before:   {result.orderings_initial}")
 print(f"orderings after:    {result.orderings_final}")

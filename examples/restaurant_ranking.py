@@ -15,7 +15,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import GroundTruth, SimulatedCrowd, crowdsourced_topk, make_policy, topk
+from repro import GroundTruth, SimulatedCrowd, crowdsourced_topk, topk
+from repro.api import POLICIES
 from repro.db import LinearScore, read_table, write_table
 from repro.workloads import restaurant_guide
 
@@ -41,7 +42,7 @@ result = crowdsourced_topk(
     table,
     k=4,
     budget=10,
-    policy=make_policy("C-off"),
+    policy=POLICIES.create("C-off"),
     crowd=crowd,
     scoring=scoring,
     rng=rng,

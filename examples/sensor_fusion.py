@@ -11,7 +11,8 @@ Run:  python examples/sensor_fusion.py
 
 import numpy as np
 
-from repro import GroundTruth, SimulatedCrowd, crowdsourced_topk, make_policy, topk
+from repro import GroundTruth, SimulatedCrowd, crowdsourced_topk, topk
+from repro.api import POLICIES
 from repro.db import AttributeScore
 from repro.workloads import sensor_network
 
@@ -38,7 +39,7 @@ result = crowdsourced_topk(
     table,
     k=5,
     budget=12,
-    policy=make_policy("T1-on"),
+    policy=POLICIES.create("T1-on"),
     crowd=crowd,
     scoring=scoring,
     rng=rng,

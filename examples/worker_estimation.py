@@ -15,12 +15,13 @@ Run:  python examples/worker_estimation.py
 
 import numpy as np
 
+from repro.api import POLICIES
+
 from repro import (
     GroundTruth,
     SimulatedCrowd,
     UncertaintyReductionSession,
     Uniform,
-    make_policy,
 )
 from repro.crowd.estimation import estimate_worker_accuracies, simulate_vote_log
 from repro.questions import Question
@@ -65,7 +66,7 @@ for label, assumed in [
     session = UncertaintyReductionSession(
         scores, k=5, crowd=crowd, rng=np.random.default_rng(6)
     )
-    result = session.run(make_policy("T1-on"), budget=12)
+    result = session.run(POLICIES.create("T1-on"), budget=12)
     print(f"{label:>22s}: D = {result.initial_distance:.4f} -> "
           f"{result.distance_to_truth:.4f}  "
           f"(U {result.initial_uncertainty:.2f} -> "

@@ -5,24 +5,27 @@ A full reproduction of Ciceri, Fraternali, Martinenghi & Tagliasacchi
 uncertain scores, where a budget of pairwise crowd questions is spent to
 shrink the space of possible orderings.
 
-Quick start::
+Quick start (the typed :mod:`repro.api` front door)::
 
-    import numpy as np
-    from repro import (Uniform, GroundTruth, SimulatedCrowd,
-                       UncertaintyReductionSession, make_policy)
+    from repro.api import InstanceSpec, SessionSpec, run_session
 
-    rng = np.random.default_rng(0)
-    scores = [Uniform(c, c + 0.3) for c in rng.random(12)]
-    truth = GroundTruth.sample(scores, rng)
-    crowd = SimulatedCrowd(truth, worker_accuracy=0.9, rng=rng)
-    session = UncertaintyReductionSession(scores, k=5, crowd=crowd, rng=rng)
-    result = session.run(make_policy("T1-on"), budget=10)
+    spec = SessionSpec(
+        instance=InstanceSpec(n=12, k=5, seed=0, params={"width": 0.3}),
+    )
+    result = run_session(spec)
     print(result.summary())
+
+Lower-level building blocks (distributions, builders, sessions, crowds)
+remain importable from this package for programmatic composition.  The
+old module-level factories (``make_policy``, ``get_measure``,
+``make_workload``, ``make_builder``) are deprecated shims over
+:mod:`repro.api` and emit :class:`DeprecationWarning`.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every reproduced figure and table.
 """
 
+from repro import api
 from repro.core import (
     AStarOfflinePolicy,
     AStarOnlinePolicy,
@@ -90,6 +93,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # the typed public API
+    "api",
     # distributions
     "ScoreDistribution",
     "Uniform",

@@ -1,0 +1,17 @@
+"""Shared deprecation warning for the legacy entry-point shims."""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_deprecated(old: str, replacement: str) -> None:
+    """Emit the standard shim warning (attributed to the caller)."""
+    warnings.warn(
+        f"{old} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+__all__ = ["warn_deprecated"]

@@ -1,0 +1,47 @@
+"""Canonical JSON and content addressing — the repo-wide identity scheme.
+
+Every content-addressed object in the system — experiment grid cells
+(:mod:`repro.experiments.grid`), cached TPO instances
+(:mod:`repro.service.cache`), and the :mod:`repro.api` spec dataclasses —
+derives its identity from the same two primitives:
+
+* :func:`canonical_json` — sorted keys, no whitespace, strict JSON: two
+  equal values always serialize to byte-identical strings, whatever order
+  their keys were built in;
+* :func:`content_key` — BLAKE2b over the canonical JSON.  Never Python's
+  salted ``hash()``, so keys are stable across processes, machines, and
+  interpreter restarts.
+
+This module is dependency-free (stdlib only) so every layer can import it
+without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize ``value`` to the canonical form used for content identity.
+
+    Sorted keys, no whitespace: two dicts with equal content always produce
+    byte-identical JSON, whatever order their keys were inserted in.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def content_key(payload: Any, digest_size: int = 16) -> str:
+    """Stable hex content address of a JSON-serializable payload.
+
+    ``digest_size`` is in bytes (16 → 32 hex digits, the service default;
+    grid cells use 8 → 16 hex digits).
+    """
+    digest = hashlib.blake2b(
+        canonical_json(payload).encode("utf-8"), digest_size=digest_size
+    )
+    return digest.hexdigest()
+
+
+__all__ = ["canonical_json", "content_key"]

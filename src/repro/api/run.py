@@ -1,0 +1,65 @@
+"""Turn a :class:`~repro.api.specs.SessionSpec` into a running session.
+
+All RNG streams derive from the instance seed through the process-stable
+:func:`~repro.utils.rng.derive_seed`, with one label per role (instance /
+truth / crowd / policy), so a spec fully determines its outcome: the same
+:class:`SessionSpec` produces the same questions, the same answers, and
+the same final ordering space in every process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List
+
+from repro.api.specs import SessionSpec
+from repro.utils.rng import derive_seed
+
+
+@dataclass
+class PreparedSession:
+    """Everything :func:`prepare_session` materialized for one spec."""
+
+    spec: SessionSpec
+    distributions: List[Any]
+    truth: Any
+    crowd: Any
+    session: Any
+
+    def run(self):
+        """Run the configured policy against the configured budget."""
+        return self.session.run(
+            self.spec.policy.build(), self.spec.budget.questions
+        )
+
+
+def prepare_session(
+    spec: SessionSpec, track_trajectory: bool = False
+) -> PreparedSession:
+    """Materialize instance, ground truth, crowd, and session for a spec."""
+    from repro.core.session import UncertaintyReductionSession
+    from repro.crowd.oracle import GroundTruth
+
+    seed = spec.instance.seed
+    distributions = spec.instance.materialize()
+    truth = GroundTruth.sample(distributions, rng=derive_seed(seed, "truth"))
+    crowd = spec.crowd.build(truth, rng=derive_seed(seed, "crowd"))
+    session = UncertaintyReductionSession(
+        distributions,
+        spec.instance.k,
+        crowd,
+        builder=spec.build_builder(),
+        measure=spec.measure.build(),
+        rng=derive_seed(seed, "policy"),
+        track_trajectory=track_trajectory,
+    )
+    return PreparedSession(spec, distributions, truth, crowd, session)
+
+
+def run_session(spec: SessionSpec, track_trajectory: bool = False):
+    """Run one complete session described by ``spec``; returns the
+    :class:`~repro.core.session.SessionResult`."""
+    return prepare_session(spec, track_trajectory=track_trajectory).run()
+
+
+__all__ = ["PreparedSession", "prepare_session", "run_session"]

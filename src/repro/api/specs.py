@@ -1,0 +1,461 @@
+"""Frozen, validated spec dataclasses — the typed front door.
+
+A *spec* is the canonical, JSON-portable description of something the
+system can build: an uncertain instance (:class:`InstanceSpec`), a
+question-selection policy (:class:`PolicySpec`), an uncertainty measure
+(:class:`MeasureSpec`), a simulated crowd (:class:`CrowdSpec`), a question
+budget (:class:`BudgetSpec`), and their composition into one runnable
+crowd-powered top-K session (:class:`SessionSpec`).
+
+Every spec is
+
+* **frozen** — validated once at construction, immutable afterwards;
+* **round-trippable** — ``to_dict`` / ``from_dict`` are exact inverses and
+  ``canonical_json`` is byte-stable, so ``content_key()`` plugs directly
+  into the BLAKE2b content-addressing used by the TPO cache
+  (:mod:`repro.service.cache`) and the experiment grid
+  (:mod:`repro.experiments.grid`);
+* **registry-checked** — names are validated against the
+  :mod:`repro.api.catalog` registries at construction, with close-match
+  suggestions on typos.
+
+:class:`InstanceSpec` keeps the exact canonical dict shape the service
+historically used (``workload``/``n``/``k``/``seed``/``params``), so
+TPO-cache keys, event-log replay, and grid-cell hashes are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.api.canonical import canonical_json, content_key
+from repro.api.catalog import (
+    CROWD_MODELS,
+    ENGINES,
+    MEASURES,
+    POLICIES,
+    WORKLOADS,
+)
+from repro.utils.validation import check_fraction
+
+
+def _canonical_params(params: Any, owner: str) -> Dict[str, Any]:
+    """Copy ``params`` into a str-keyed, key-sorted plain dict."""
+    if params is None:
+        return {}
+    if not isinstance(params, Mapping):
+        raise ValueError(
+            f"{owner} params must be a dict of keyword arguments, "
+            f"got {type(params).__name__}"
+        )
+    return {str(key): params[key] for key in sorted(params, key=str)}
+
+
+def _require_keys(payload: Mapping, allowed: set, owner: str) -> None:
+    unknown = set(payload) - allowed
+    if unknown:
+        raise ValueError(f"unknown {owner} fields: {sorted(unknown)}")
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """One uncertain top-K instance: workload, size, depth, RNG stream.
+
+    The canonical dict form has exactly the keys ``workload``/``n``/``k``/
+    ``seed``/``params`` with normalized types, so equal instances hash
+    equal regardless of how the caller phrased them.  ``k`` is clamped to
+    ``n``.
+    """
+
+    n: int
+    k: int
+    workload: str = "uniform"
+    seed: int = 0
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            WORKLOADS.get(self.workload)  # raises UnknownNameError
+        n = int(self.n)
+        if n < 2:
+            raise ValueError(f"spec needs n >= 2 tuples, got {n}")
+        k = int(self.k)
+        if k < 1:
+            raise ValueError(f"spec needs k >= 1, got {k}")
+        object.__setattr__(self, "n", n)
+        object.__setattr__(self, "k", min(k, n))
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(
+            self, "params", _canonical_params(self.params, "spec")
+        )
+
+    # -- round trip ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-portable form (the historical service shape)."""
+        return {
+            "workload": self.workload,
+            "n": self.n,
+            "k": self.k,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "InstanceSpec":
+        """Validate a wire-shaped dict into a spec (exact inverse of
+        :meth:`to_dict`)."""
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"spec must be a dict, got {type(payload).__name__}"
+            )
+        _require_keys(
+            payload, {"workload", "n", "k", "seed", "params"}, "spec"
+        )
+        return cls(
+            n=payload.get("n", 0),
+            k=payload.get("k", 0),
+            workload=payload.get("workload", "uniform"),
+            seed=payload.get("seed", 0),
+            params=payload.get("params", {}),
+        )
+
+    def canonical_json(self) -> str:
+        """Byte-stable canonical JSON of :meth:`to_dict`."""
+        return canonical_json(self.to_dict())
+
+    def content_key(self) -> str:
+        """BLAKE2b content address of this instance."""
+        return content_key(self.to_dict())
+
+    # -- construction --------------------------------------------------
+
+    def materialize(self):
+        """The score distributions this spec describes.
+
+        The RNG stream derives from the spec seed via the process-stable
+        :func:`~repro.utils.rng.derive_seed` (same label the service has
+        always used), so the same spec materializes the same instance in
+        every process — which is what lets a resumed session manager
+        rebuild sessions from the event log alone.
+        """
+        from repro.utils.rng import derive_seed, ensure_rng
+
+        rng = ensure_rng(derive_seed(self.seed, "service-instance"))
+        return WORKLOADS.create(self.workload, self.n, rng=rng, **self.params)
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A question-selection policy by paper name, plus constructor args."""
+
+    name: str = "T1-on"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.name not in POLICIES:
+            POLICIES.get(self.name)
+        object.__setattr__(
+            self, "params", _canonical_params(self.params, "policy")
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "PolicySpec":
+        if isinstance(payload, str):  # shorthand: just the name
+            return cls(name=payload)
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"policy spec must be a dict or name, "
+                f"got {type(payload).__name__}"
+            )
+        _require_keys(payload, {"name", "params"}, "policy spec")
+        return cls(
+            name=payload.get("name", "T1-on"),
+            params=payload.get("params", {}),
+        )
+
+    def canonical_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    def build(self):
+        """Instantiate the policy."""
+        return POLICIES.create(self.name, **self.params)
+
+
+@dataclass(frozen=True)
+class MeasureSpec:
+    """An ordering-uncertainty measure by paper name, plus args."""
+
+    name: str = "H"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.name not in MEASURES:
+            MEASURES.get(self.name)
+        object.__setattr__(
+            self, "params", _canonical_params(self.params, "measure")
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "MeasureSpec":
+        if isinstance(payload, str):
+            return cls(name=payload)
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"measure spec must be a dict or name, "
+                f"got {type(payload).__name__}"
+            )
+        _require_keys(payload, {"name", "params"}, "measure spec")
+        return cls(
+            name=payload.get("name", "H"), params=payload.get("params", {})
+        )
+
+    def canonical_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    def build(self):
+        """Instantiate the measure."""
+        return MEASURES.create(self.name, **self.params)
+
+
+@dataclass(frozen=True)
+class CrowdSpec:
+    """A simulated crowd configuration (accuracy, replication, model)."""
+
+    accuracy: float = 1.0
+    replication: int = 1
+    assumed_accuracy: Optional[float] = None
+    cost_per_assignment: float = 0.05
+    model: str = "auto"
+
+    def __post_init__(self) -> None:
+        check_fraction("accuracy", self.accuracy)
+        object.__setattr__(self, "accuracy", float(self.accuracy))
+        replication = int(self.replication)
+        if replication < 1:
+            raise ValueError(
+                f"crowd replication must be >= 1, got {replication}"
+            )
+        object.__setattr__(self, "replication", replication)
+        if self.assumed_accuracy is not None:
+            check_fraction("assumed_accuracy", self.assumed_accuracy)
+            object.__setattr__(
+                self, "assumed_accuracy", float(self.assumed_accuracy)
+            )
+        cost = float(self.cost_per_assignment)
+        if cost < 0:
+            raise ValueError(f"cost_per_assignment must be >= 0, got {cost}")
+        object.__setattr__(self, "cost_per_assignment", cost)
+        if self.model != "auto" and self.model not in CROWD_MODELS:
+            CROWD_MODELS.get(self.model)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "accuracy": self.accuracy,
+            "replication": self.replication,
+            "assumed_accuracy": self.assumed_accuracy,
+            "cost_per_assignment": self.cost_per_assignment,
+            "model": self.model,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "CrowdSpec":
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"crowd spec must be a dict, got {type(payload).__name__}"
+            )
+        _require_keys(
+            payload,
+            {
+                "accuracy",
+                "replication",
+                "assumed_accuracy",
+                "cost_per_assignment",
+                "model",
+            },
+            "crowd spec",
+        )
+        return cls(**dict(payload))
+
+    def canonical_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    def build(self, truth, rng=None):
+        """A :class:`~repro.crowd.simulator.SimulatedCrowd` over ``truth``."""
+        from repro.crowd.simulator import SimulatedCrowd
+
+        return SimulatedCrowd(
+            truth,
+            worker_accuracy=self.accuracy,
+            replication=self.replication,
+            assumed_accuracy=self.assumed_accuracy,
+            cost_per_assignment=self.cost_per_assignment,
+            worker_model=None if self.model == "auto" else self.model,
+            rng=rng,
+        )
+
+
+@dataclass(frozen=True)
+class BudgetSpec:
+    """How many crowd questions a session may spend."""
+
+    questions: int = 10
+
+    def __post_init__(self) -> None:
+        questions = int(self.questions)
+        if questions < 0:
+            raise ValueError(f"budget must be >= 0, got {questions}")
+        object.__setattr__(self, "questions", questions)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"questions": self.questions}
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "BudgetSpec":
+        if isinstance(payload, int) and not isinstance(payload, bool):
+            return cls(questions=payload)  # shorthand: just the number
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"budget spec must be a dict or int, "
+                f"got {type(payload).__name__}"
+            )
+        _require_keys(payload, {"questions"}, "budget spec")
+        return cls(questions=payload.get("questions", 10))
+
+    def canonical_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One complete crowd-powered top-K session, declaratively.
+
+    Composes the five component specs with the TPO engine configuration.
+    ``repro.api.run_session`` turns a :class:`SessionSpec` into a
+    finished :class:`~repro.core.session.SessionResult`; the interactive
+    service consumes the :attr:`instance` component.
+    """
+
+    instance: InstanceSpec
+    policy: PolicySpec = field(default_factory=PolicySpec)
+    measure: MeasureSpec = field(default_factory=MeasureSpec)
+    crowd: CrowdSpec = field(default_factory=CrowdSpec)
+    budget: BudgetSpec = field(default_factory=BudgetSpec)
+    engine: str = "grid"
+    engine_params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.instance, InstanceSpec):
+            raise ValueError(
+                "SessionSpec.instance must be an InstanceSpec, "
+                f"got {type(self.instance).__name__}"
+            )
+        # Coerce component shorthands ("T1-on", {"name": "H"}, 10) into
+        # their spec types so every composed spec is validated here, not
+        # deep inside run_session.
+        if not isinstance(self.policy, PolicySpec):
+            object.__setattr__(
+                self, "policy", PolicySpec.from_dict(self.policy)
+            )
+        if not isinstance(self.measure, MeasureSpec):
+            object.__setattr__(
+                self, "measure", MeasureSpec.from_dict(self.measure)
+            )
+        if not isinstance(self.crowd, CrowdSpec):
+            object.__setattr__(
+                self, "crowd", CrowdSpec.from_dict(self.crowd)
+            )
+        if not isinstance(self.budget, BudgetSpec):
+            object.__setattr__(
+                self, "budget", BudgetSpec.from_dict(self.budget)
+            )
+        if self.engine not in ENGINES:
+            ENGINES.get(self.engine)
+        object.__setattr__(
+            self,
+            "engine_params",
+            _canonical_params(self.engine_params, "engine"),
+        )
+
+    # -- round trip ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "instance": self.instance.to_dict(),
+            "policy": self.policy.to_dict(),
+            "measure": self.measure.to_dict(),
+            "crowd": self.crowd.to_dict(),
+            "budget": self.budget.to_dict(),
+            "engine": self.engine,
+            "engine_params": dict(self.engine_params),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "SessionSpec":
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"session spec must be a dict, got {type(payload).__name__}"
+            )
+        _require_keys(
+            payload,
+            {
+                "instance",
+                "policy",
+                "measure",
+                "crowd",
+                "budget",
+                "engine",
+                "engine_params",
+            },
+            "session spec",
+        )
+        if "instance" not in payload:
+            raise ValueError("session spec needs an 'instance' field")
+        return cls(
+            instance=InstanceSpec.from_dict(payload["instance"]),
+            policy=PolicySpec.from_dict(payload.get("policy", {})),
+            measure=MeasureSpec.from_dict(payload.get("measure", {})),
+            crowd=CrowdSpec.from_dict(payload.get("crowd", {})),
+            budget=BudgetSpec.from_dict(payload.get("budget", {})),
+            engine=payload.get("engine", "grid"),
+            engine_params=payload.get("engine_params", {}),
+        )
+
+    def canonical_json(self) -> str:
+        """Byte-stable canonical JSON of :meth:`to_dict`."""
+        return canonical_json(self.to_dict())
+
+    def content_key(self) -> str:
+        """BLAKE2b content address of this session configuration."""
+        return content_key(self.to_dict())
+
+    # -- construction --------------------------------------------------
+
+    def build_builder(self):
+        """Instantiate the configured TPO construction engine."""
+        return ENGINES.create(self.engine, **self.engine_params)
+
+
+def as_instance_spec(value: Any) -> InstanceSpec:
+    """Coerce an :class:`InstanceSpec` or wire-shaped dict into a spec."""
+    if isinstance(value, InstanceSpec):
+        return value
+    return InstanceSpec.from_dict(value)
+
+
+__all__: List[str] = [
+    "InstanceSpec",
+    "PolicySpec",
+    "MeasureSpec",
+    "CrowdSpec",
+    "BudgetSpec",
+    "SessionSpec",
+    "as_instance_spec",
+]

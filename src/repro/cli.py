@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows without writing Python:
+Subcommands cover the common workflows without writing Python:
 
 * ``experiment`` — run any reproduction experiment and print its report
   (``python -m repro experiment FIG1A --full``);
@@ -9,34 +9,46 @@ Four subcommands cover the common workflows without writing Python:
   --resume``);
 * ``demo`` — one crowd-powered top-K session on a synthetic workload with
   a chosen policy, printing the question/answer trace;
+* ``list`` — every registered plugin (policies, measures, crowd models,
+  workloads, scenarios, distributions, engines) from the
+  :mod:`repro.api` registries;
 * ``inspect`` — uncertainty diagnostics for a synthetic workload (how many
   orderings, which ranks are contested, what to ask first);
-* ``serve`` — the concurrent multi-session HTTP service (shared TPO
-  cache, durable event log, resumable: ``python -m repro serve --port
-  8080 --log events.jsonl --resume``);
+* ``serve`` — the concurrent multi-session HTTP service speaking the
+  versioned ``/v1`` wire protocol (shared TPO cache, durable event log,
+  resumable: ``python -m repro serve --port 8080 --log events.jsonl
+  --resume``);
 * ``bench-service`` — the service-layer throughput/cache benchmark
   (``python -m repro bench-service --smoke``).
+
+Everything is constructed through the typed :mod:`repro.api` specs — the
+CLI is just an argparse veneer over ``SessionSpec``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-import numpy as np
-
-from repro.core import POLICIES, make_policy
-from repro.core.session import UncertaintyReductionSession
-from repro.crowd.oracle import GroundTruth
-from repro.crowd.simulator import SimulatedCrowd
+from repro import __version__
+from repro.api import (
+    BudgetSpec,
+    CrowdSpec,
+    InstanceSpec,
+    PolicySpec,
+    SessionSpec,
+    all_registries,
+    prepare_session,
+)
+from repro.api.catalog import POLICIES, WORKLOADS
 from repro.tpo.analysis import (
     overlap_statistics,
     profile_space,
     question_impact_table,
 )
 from repro.tpo.builders import GridBuilder
-from repro.workloads.synthetic import GENERATORS, make_workload
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -46,6 +58,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "Crowdsourcing for top-K query processing over uncertain data "
             "(ICDE'16 reproduction)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -120,7 +137,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     demo = sub.add_parser("demo", help="run one crowd-powered session")
-    demo.add_argument("--policy", default="T1-on", choices=sorted(POLICIES))
+    demo.add_argument(
+        "--policy", default="T1-on", choices=POLICIES.available()
+    )
     demo.add_argument("--n", type=int, default=12, help="number of tuples")
     demo.add_argument("--k", type=int, default=6, help="top-K depth")
     demo.add_argument("--budget", type=int, default=10)
@@ -130,11 +149,27 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     demo.add_argument("--seed", type=int, default=0)
 
+    listing = sub.add_parser(
+        "list", help="list every registered plugin (the repro.api catalog)"
+    )
+    listing.add_argument(
+        "--kind",
+        default=None,
+        choices=sorted(all_registries()),
+        help="restrict to one registry",
+    )
+    listing.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="machine-readable output",
+    )
+
     inspect = sub.add_parser(
         "inspect", help="diagnose a workload's ordering uncertainty"
     )
     inspect.add_argument(
-        "--workload", default="uniform", choices=sorted(GENERATORS)
+        "--workload", default="uniform", choices=WORKLOADS.available()
     )
     inspect.add_argument("--n", type=int, default=12)
     inspect.add_argument("--k", type=int, default=6)
@@ -220,8 +255,8 @@ def _command_experiment(args) -> int:
 
 
 def _command_run_grid(args) -> int:
+    from repro.api.canonical import canonical_json
     from repro.experiments import EXPERIMENTS
-    from repro.experiments.grid import canonical_json
     from repro.experiments.runner import run_grid
     from repro.experiments.store import ResultStore
 
@@ -292,25 +327,55 @@ def _command_run_grid(args) -> int:
 
 
 def _command_demo(args) -> int:
-    rng = np.random.default_rng(args.seed)
-    scores = make_workload("uniform", args.n, rng=rng, width=args.width)
-    truth = GroundTruth.sample(scores, rng)
-    crowd = SimulatedCrowd(truth, worker_accuracy=args.accuracy, rng=rng)
-    session = UncertaintyReductionSession(
-        scores, args.k, crowd, builder=GridBuilder(resolution=800), rng=rng
+    spec = SessionSpec(
+        instance=InstanceSpec(
+            n=args.n,
+            k=args.k,
+            workload="uniform",
+            seed=args.seed,
+            params={"width": args.width},
+        ),
+        policy=PolicySpec(args.policy),
+        crowd=CrowdSpec(accuracy=args.accuracy),
+        budget=BudgetSpec(args.budget),
+        engine_params={"resolution": 800},
     )
-    result = session.run(make_policy(args.policy), args.budget)
-    print(f"true top-{args.k}: {[int(t) for t in truth.top_k(args.k)]}")
+    prepared = prepare_session(spec)
+    result = prepared.run()
+    true_top = [int(t) for t in prepared.truth.top_k(spec.instance.k)]
+    print(f"true top-{spec.instance.k}: {true_top}")
     print(result.summary())
     for answer in result.answers:
         print(f"  {answer}")
     best = result.final_space.most_probable_ordering()
-    print(f"most probable top-{args.k}: {[int(t) for t in best]}")
+    print(f"most probable top-{spec.instance.k}: {[int(t) for t in best]}")
+    return 0
+
+
+def _command_list(args) -> int:
+    registries = all_registries()
+    if args.kind is not None:
+        registries = {args.kind: registries[args.kind]}
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    kind: registry.available()
+                    for kind, registry in registries.items()
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    for kind, registry in sorted(registries.items()):
+        names = registry.available()
+        print(f"{kind} ({len(names)}): {', '.join(names)}")
     return 0
 
 
 def _command_inspect(args) -> int:
-    scores = make_workload(args.workload, args.n, rng=args.seed)
+    scores = WORKLOADS.create(args.workload, args.n, rng=args.seed)
     stats = overlap_statistics(scores)
     print(f"workload: {args.workload}, n={args.n}")
     for key, value in stats.items():
@@ -381,6 +446,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run_grid(args)
     if args.command == "demo":
         return _command_demo(args)
+    if args.command == "list":
+        return _command_list(args)
     if args.command == "inspect":
         return _command_inspect(args)
     if args.command == "serve":

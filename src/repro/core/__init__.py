@@ -5,6 +5,8 @@ top-K query results, plus the session engine that runs them against a
 budget and a (simulated) crowd.
 """
 
+from repro.api._deprecation import warn_deprecated
+from repro.api.catalog import POLICIES
 from repro.core.incremental import IncrementalAlgorithm
 from repro.core.policies import (
     AStarOfflinePolicy,
@@ -22,28 +24,14 @@ from repro.core.policies import (
 )
 from repro.core.session import SessionResult, UncertaintyReductionSession
 
-POLICIES = {
-    "random": RandomPolicy,
-    "naive": NaivePolicy,
-    "TB-off": TopBPolicy,
-    "C-off": ConditionalPolicy,
-    "A*-off": AStarOfflinePolicy,
-    "A*-on": AStarOnlinePolicy,
-    "T1-on": Top1OnlinePolicy,
-    "incr": IncrementalAlgorithm,
-    "exhaustive": ExhaustivePolicy,
-}
-
 
 def make_policy(name: str, **kwargs) -> Policy:
-    """Instantiate a policy by its paper name (see :data:`POLICIES`)."""
-    try:
-        cls = POLICIES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown policy {name!r}; available: {sorted(POLICIES)}"
-        ) from None
-    return cls(**kwargs)
+    """Deprecated shim: use :class:`repro.api.PolicySpec` or
+    ``repro.api.POLICIES.create`` instead."""
+    warn_deprecated(
+        "repro.core.make_policy", "repro.api.POLICIES.create"
+    )
+    return POLICIES.create(name, **kwargs)
 
 
 __all__ = [

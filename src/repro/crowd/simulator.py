@@ -9,6 +9,7 @@ task replication, vote aggregation, and per-task cost accounting.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -56,6 +57,11 @@ class SimulatedCrowd:
         to misestimated worker quality.
     cost_per_assignment:
         Monetary cost charged per worker assignment (accounting only).
+    worker_model:
+        Optional name from the :data:`repro.api.CROWD_MODELS` registry
+        forcing every worker to that model (``"perfect"``/``"noisy"``/
+        ``"adversarial"``/custom).  ``None`` keeps the historical
+        auto-pick: perfect workers at accuracy 1, noisy below.
     """
 
     def __init__(
@@ -65,6 +71,7 @@ class SimulatedCrowd:
         replication: int = 1,
         assumed_accuracy: Optional[float] = None,
         cost_per_assignment: float = 0.05,
+        worker_model: Optional[str] = None,
         rng: SeedLike = None,
     ) -> None:
         check_fraction("worker_accuracy", worker_accuracy)
@@ -73,6 +80,7 @@ class SimulatedCrowd:
         self.worker_accuracy = float(worker_accuracy)
         self.replication = int(replication)
         self.cost_per_assignment = float(cost_per_assignment)
+        self.worker_model = worker_model
         self._rng = ensure_rng(rng)
         self.workers: List[Worker] = [
             self._make_worker(index) for index in range(self.replication)
@@ -84,6 +92,21 @@ class SimulatedCrowd:
         self.stats = CrowdStats()
 
     def _make_worker(self, index: int) -> Worker:
+        if self.worker_model is not None:
+            from repro.api.catalog import CROWD_MODELS
+
+            model = CROWD_MODELS.get(self.worker_model)
+            name = f"{self.worker_model}-{index}"
+            # Pass only the parameters the model's constructor declares
+            # (NoisyWorker takes accuracy + rng, Perfect/Adversarial take
+            # just a name) — never swallow TypeErrors raised inside it.
+            accepted = inspect.signature(model).parameters
+            kwargs = {"name": name}
+            if "rng" in accepted:
+                kwargs["rng"] = self._rng
+            if "accuracy" in accepted:
+                return model(self.worker_accuracy, **kwargs)
+            return model(**kwargs)
         if self.worker_accuracy >= 1.0:
             return PerfectWorker(name=f"perfect-{index}")
         return NoisyWorker(

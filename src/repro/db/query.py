@@ -22,7 +22,8 @@ from repro.db.table import UncertainTable
 from repro.distributions.base import ScoreDistribution
 from repro.questions.candidates import relevant_questions
 from repro.questions.model import Question
-from repro.tpo.builders import TPOBuilder, make_builder
+from repro.api.catalog import ENGINES
+from repro.tpo.builders import TPOBuilder
 from repro.tpo.space import OrderingSpace
 from repro.tpo.tree import TPOTree
 from repro.uncertainty.base import UncertaintyMeasure
@@ -95,7 +96,7 @@ def topk(
         raise ValueError("cannot query an empty table")
     distributions = table.score_distributions(scoring=scoring, attribute=attribute)
     if builder is None:
-        builder = make_builder(engine, **engine_kwargs)
+        builder = ENGINES.create(engine, **engine_kwargs)
     tree = builder.build(distributions, k)
     space = tree.to_space()
     measure = measure if measure is not None else EntropyMeasure()
@@ -133,7 +134,7 @@ def crowdsourced_topk(
         distributions,
         k,
         crowd,
-        builder=make_builder(engine),
+        builder=ENGINES.create(engine),
         measure=measure,
         rng=rng,
         track_trajectory=track_trajectory,

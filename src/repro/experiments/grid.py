@@ -15,21 +15,15 @@ process-pool fan-out, with resume — lives in
 
 from __future__ import annotations
 
-import hashlib
 import importlib
-import json
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
-
-def canonical_json(value: Any) -> str:
-    """Serialize ``value`` to the canonical form used for cell identity.
-
-    Sorted keys, no whitespace: two dicts with equal content always produce
-    byte-identical JSON, whatever order their keys were inserted in.
-    """
-    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+# Cell identity uses the repo-wide canonical-JSON/BLAKE2b scheme; re-export
+# so existing ``from repro.experiments.grid import canonical_json`` callers
+# keep working.
+from repro.api.canonical import canonical_json, content_key
 
 
 @dataclass
@@ -59,15 +53,14 @@ class GridCell:
         dedup, store append, table assembly), and params never mutate after
         declaration.
         """
-        payload = canonical_json(
+        return content_key(
             {
                 "experiment": self.experiment,
                 "runner": self.runner,
                 "params": self.params,
-            }
+            },
+            digest_size=8,
         )
-        digest = hashlib.blake2b(payload.encode("utf-8"), digest_size=8)
-        return digest.hexdigest()
 
 
 def resolve_runner(spec: str) -> Callable[..., Dict[str, Any]]:

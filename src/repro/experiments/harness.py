@@ -17,15 +17,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core import make_policy
+from repro.api.catalog import ENGINES, WORKLOADS
+from repro.api.specs import MeasureSpec, PolicySpec
 from repro.core.session import SessionResult, UncertaintyReductionSession
 from repro.crowd.oracle import GroundTruth
 from repro.crowd.simulator import SimulatedCrowd
 from repro.experiments.grid import GridCell
-from repro.tpo.builders import make_builder
-from repro.uncertainty.registry import get_measure
 from repro.utils.rng import derive_seed
-from repro.workloads.synthetic import make_workload
 
 
 @dataclass
@@ -54,7 +52,7 @@ class ExperimentConfig:
     def workload_for(self, rep: int):
         """Score distributions of repetition ``rep`` (policy-independent)."""
         seed = derive_seed(self.base_seed, "workload", rep)
-        return make_workload(
+        return WORKLOADS.create(
             self.workload, self.n, rng=seed, **self.workload_params
         )
 
@@ -85,12 +83,12 @@ def run_cell(
         distributions,
         config.k,
         crowd,
-        builder=make_builder(config.engine, **config.engine_params),
-        measure=get_measure(config.measure, **config.measure_params),
+        builder=ENGINES.create(config.engine, **config.engine_params),
+        measure=MeasureSpec(config.measure, config.measure_params).build(),
         rng=derive_seed(config.base_seed, "policy", rep, policy_name, budget),
         track_trajectory=config.track_trajectory,
     )
-    policy = make_policy(policy_name, **(policy_params or {}))
+    policy = PolicySpec(policy_name, policy_params or {}).build()
     return session.run(policy, budget)
 
 

@@ -15,14 +15,13 @@ from __future__ import annotations
 import time
 from typing import Any, Dict
 
-from repro.core import make_policy
+from repro.api.catalog import ENGINES, POLICIES
 from repro.core.session import UncertaintyReductionSession
 from repro.crowd.oracle import GroundTruth
 from repro.crowd.simulator import SimulatedCrowd
 from repro.experiments.grid import ExperimentGrid, GridCell
 from repro.experiments.harness import ResultTable
 from repro.experiments.runner import make_run
-from repro.tpo.builders import make_builder
 from repro.utils.rng import derive_seed
 from repro.workloads.synthetic import uniform_intervals
 
@@ -55,7 +54,7 @@ def run_scale_record(
     engine_params = {"resolution": 600} if engine == "grid" else {}
     if engine == "mc":
         engine_params = {"samples": 20000, "seed": derive_seed(7, "mc", rep)}
-    builder = make_builder(engine, **engine_params)
+    builder = ENGINES.create(engine, **engine_params)
     start = time.process_time()
     tree = builder.build(dists, k)
     build_seconds = time.process_time() - start
@@ -63,7 +62,7 @@ def run_scale_record(
     session = UncertaintyReductionSession(
         dists, k, crowd, builder=builder, rng=derive_seed(7, "p", n, k, rep)
     )
-    result = session.run(make_policy("T1-on"), budget)
+    result = session.run(POLICIES.create("T1-on"), budget)
     return {
         "n": n,
         "k": k,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Union
 
-from repro.core import make_policy
+from repro.api.catalog import ENGINES, MEASURES, POLICIES as POLICY_REGISTRY
 from repro.core.session import UncertaintyReductionSession
 from repro.crowd.simulator import SimulatedCrowd
 from repro.experiments.grid import ExperimentGrid, GridCell
@@ -27,8 +27,6 @@ from repro.experiments.harness import (
     standard_row,
 )
 from repro.experiments.runner import make_run
-from repro.tpo.builders import make_builder
-from repro.uncertainty.registry import get_measure
 from repro.utils.rng import derive_seed
 
 POLICIES = ["T1-on", "naive"]
@@ -55,12 +53,12 @@ def _run(config, policy_name, budget, rep, inference):
         distributions,
         config.k,
         crowd,
-        builder=make_builder(config.engine, **config.engine_params),
-        measure=get_measure(config.measure),
+        builder=ENGINES.create(config.engine, **config.engine_params),
+        measure=MEASURES.create(config.measure),
         rng=derive_seed(config.base_seed, "p", rep, policy_name, budget),
         use_transitive_inference=inference,
     )
-    return session.run(make_policy(policy_name), budget)
+    return session.run(POLICY_REGISTRY.create(policy_name), budget)
 
 
 def run_trans_record(

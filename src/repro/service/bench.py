@@ -30,10 +30,11 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.api.specs import InstanceSpec
 from repro.crowd.oracle import GroundTruth
 from repro.crowd.simulator import SimulatedCrowd
 from repro.service.cache import TPOCache
-from repro.service.manager import SessionManager, materialize_instance
+from repro.service.manager import SessionManager
 from repro.tpo.builders import GridBuilder
 from repro.utils.provenance import artifact_stamp
 from repro.utils.rng import derive_seed, ensure_rng
@@ -67,7 +68,7 @@ def make_crowds(specs: Sequence[Dict[str, Any]]) -> List[SimulatedCrowd]:
     """
     crowds = []
     for spec in specs:
-        distributions = materialize_instance(spec)
+        distributions = InstanceSpec.from_dict(spec).materialize()
         truth = GroundTruth.sample(
             distributions, ensure_rng(derive_seed(spec["seed"], "truth"))
         )

@@ -19,12 +19,11 @@ produce — the property the manager's resume path relies on.
 
 from __future__ import annotations
 
-import hashlib
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Sequence
 
+from repro.api.canonical import content_key
 from repro.distributions.base import ScoreDistribution
-from repro.experiments.grid import canonical_json
 from repro.tpo.space import OrderingSpace
 from repro.tpo.serialize import tree_from_dict, tree_to_dict
 from repro.tpo.tree import TPOTree
@@ -34,13 +33,11 @@ def instance_key(payload: Any) -> str:
     """Stable 32-hex-digit content address of a JSON-serializable payload.
 
     Same recipe as :attr:`repro.experiments.grid.GridCell.cell_id`
-    (canonical JSON → BLAKE2b), with a wider digest since service keys are
-    long-lived and cross instance universes.
+    (canonical JSON → BLAKE2b via :mod:`repro.api.canonical`), with a
+    wider digest since service keys are long-lived and cross instance
+    universes.
     """
-    digest = hashlib.blake2b(
-        canonical_json(payload).encode("utf-8"), digest_size=16
-    )
-    return digest.hexdigest()
+    return content_key(payload, digest_size=16)
 
 
 class TPOCache:

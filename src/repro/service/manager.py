@@ -17,7 +17,8 @@ end user answering crowd questions) and makes them cheap to serve:
   resumes every in-flight session exactly where it stopped via
   :meth:`SessionManager.resume`.
 
-Sessions are created from declarative *instance specs*::
+Sessions are created from declarative *instance specs* — a
+:class:`repro.api.InstanceSpec` or its wire-shaped dict form::
 
     {"workload": "uniform", "n": 20, "k": 5, "seed": 7,
      "params": {"width": 0.3}}
@@ -37,6 +38,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional
 
+from repro.api._deprecation import warn_deprecated
+from repro.api.specs import InstanceSpec, as_instance_spec
 from repro.core.session import InteractiveSession
 from repro.distributions.base import ScoreDistribution
 from repro.experiments.store import ensure_trailing_newline
@@ -46,8 +49,6 @@ from repro.service.cache import TPOCache, instance_key
 from repro.tpo.builders import GridBuilder, TPOBuilder
 from repro.uncertainty.base import UncertaintyMeasure
 from repro.uncertainty.entropy import EntropyMeasure
-from repro.utils.rng import derive_seed, ensure_rng
-from repro.workloads.synthetic import GENERATORS, make_workload
 
 
 class UnknownSessionError(KeyError):
@@ -59,55 +60,29 @@ class ClosedSessionError(ValueError):
 
 
 # ----------------------------------------------------------------------
-# Instance specs
+# Instance specs (deprecated shims — the real thing is repro.api)
 # ----------------------------------------------------------------------
 
 
 def normalize_spec(spec: Dict[str, Any]) -> Dict[str, Any]:
-    """Validate a session spec and return its canonical form.
+    """Deprecated shim: use :class:`repro.api.InstanceSpec` instead.
 
-    Canonical specs have exactly the keys ``workload``/``n``/``k``/
-    ``seed``/``params`` with normalized types, so equal instances hash
-    equal regardless of how the caller phrased them.
+    ``InstanceSpec.from_dict(spec).to_dict()`` produces the identical
+    canonical dict this function always returned.
     """
-    if not isinstance(spec, dict):
-        raise ValueError(f"spec must be a dict, got {type(spec).__name__}")
-    unknown = set(spec) - {"workload", "n", "k", "seed", "params"}
-    if unknown:
-        raise ValueError(f"unknown spec fields: {sorted(unknown)}")
-    workload = spec.get("workload", "uniform")
-    if workload not in GENERATORS:
-        raise ValueError(
-            f"unknown workload {workload!r}; available: {sorted(GENERATORS)}"
-        )
-    n = int(spec.get("n", 0))
-    if n < 2:
-        raise ValueError(f"spec needs n >= 2 tuples, got {n}")
-    k = int(spec.get("k", 0))
-    if k < 1:
-        raise ValueError(f"spec needs k >= 1, got {k}")
-    params = spec.get("params", {})
-    if not isinstance(params, dict):
-        raise ValueError("spec params must be a dict of generator kwargs")
-    return {
-        "workload": workload,
-        "n": n,
-        "k": min(k, n),
-        "seed": int(spec.get("seed", 0)),
-        "params": {str(key): params[key] for key in sorted(params)},
-    }
+    warn_deprecated(
+        "repro.service.manager.normalize_spec", "repro.api.InstanceSpec"
+    )
+    return InstanceSpec.from_dict(spec).to_dict()
 
 
 def materialize_instance(spec: Dict[str, Any]) -> List[ScoreDistribution]:
-    """The score distributions a canonical spec describes.
-
-    The RNG stream derives from the spec seed via the process-stable
-    :func:`~repro.utils.rng.derive_seed`, so the same spec materializes
-    the same instance in every process — which is what lets a resumed
-    manager rebuild sessions from the event log alone.
-    """
-    rng = ensure_rng(derive_seed(spec["seed"], "service-instance"))
-    return make_workload(spec["workload"], spec["n"], rng=rng, **spec["params"])
+    """Deprecated shim: use :meth:`repro.api.InstanceSpec.materialize`."""
+    warn_deprecated(
+        "repro.service.manager.materialize_instance",
+        "repro.api.InstanceSpec.materialize",
+    )
+    return as_instance_spec(spec).materialize()
 
 
 def builder_signature(builder: TPOBuilder) -> Dict[str, Any]:
@@ -255,9 +230,13 @@ class SessionManager:
     # -- lifecycle -----------------------------------------------------
 
     def create_session(
-        self, spec: Dict[str, Any], session_id: Optional[str] = None
+        self, spec, session_id: Optional[str] = None
     ) -> str:
-        """Create (and log) a session from an instance spec; returns its id."""
+        """Create (and log) a session from an instance spec; returns its id.
+
+        ``spec`` is a :class:`repro.api.InstanceSpec` or its wire-shaped
+        dict form (the ``/v1`` create body).
+        """
         sid = self._create(spec, session_id)
         if self._log is not None:
             self._log.append(
@@ -270,13 +249,14 @@ class SessionManager:
         return sid
 
     def _create(
-        self, spec: Dict[str, Any], session_id: Optional[str] = None
+        self, spec, session_id: Optional[str] = None
     ) -> str:
-        spec = normalize_spec(spec)
+        ispec = as_instance_spec(spec)
+        spec = ispec.to_dict()
         sid = session_id if session_id is not None else secrets.token_hex(8)
         if sid in self._sessions:
             raise ValueError(f"session id {sid!r} already exists")
-        distributions = materialize_instance(spec)
+        distributions = ispec.materialize()
         tpo_key = instance_key(
             {"spec": spec, "builder": builder_signature(self.builder)}
         )

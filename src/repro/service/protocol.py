@@ -1,0 +1,301 @@
+"""Typed models of the versioned ``/v1`` service wire protocol.
+
+The HTTP layer (:mod:`repro.service.server`) never hand-builds JSON for
+the versioned surface: every request body is parsed into a frozen request
+dataclass (validating types and required fields), and every response is a
+frozen response dataclass rendered through ``to_payload()``.  Clients and
+the nightly benchmarks can therefore depend on the exact shapes below —
+the protocol is frozen per version, and breaking changes require ``/v2``.
+
+Error envelope
+--------------
+Every non-2xx response on the versioned surface carries one uniform JSON
+envelope::
+
+    {"error": {"code": "not_found", "message": "no session 'x'",
+               "detail": {...}}}
+
+``code`` is a stable machine-readable slug per status (see
+:data:`ERROR_CODES`), ``message`` is human-readable, and ``detail`` is an
+optional object with structured context (e.g. the ``allow`` list on 405).
+The legacy unversioned routes keep their historical flat
+``{"error": "<message>"}`` shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.api.specs import InstanceSpec
+
+#: The protocol version this module describes (the URL prefix).
+PROTOCOL_VERSION = "v1"
+
+#: Stable machine-readable error codes per HTTP status.
+ERROR_CODES: Dict[int, str] = {
+    400: "bad_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    409: "conflict",
+    413: "payload_too_large",
+    500: "internal",
+}
+
+#: HTTP reason phrases for the statuses the service emits.
+REASON_PHRASES: Dict[int, str] = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class ProtocolError(ValueError):
+    """A request body that does not match its typed model."""
+
+
+def _require(body: Mapping, fields: Tuple[str, ...], what: str) -> None:
+    missing = [name for name in fields if name not in body]
+    if missing:
+        raise ProtocolError(f"{what} needs fields {sorted(missing)}")
+
+
+def _object_body(body: Any, what: str) -> Mapping:
+    if not isinstance(body, Mapping):
+        raise ProtocolError(f"{what} must be a JSON object")
+    return body
+
+
+# ----------------------------------------------------------------------
+# Error envelope
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ErrorEnvelope:
+    """The uniform ``/v1`` error body."""
+
+    status: int
+    message: str
+    code: Optional[str] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_payload(self) -> Dict[str, Any]:
+        code = self.code or ERROR_CODES.get(self.status, "error")
+        error: Dict[str, Any] = {"code": code, "message": self.message}
+        if self.detail:
+            error["detail"] = dict(self.detail)
+        return {"error": error}
+
+    def to_legacy_payload(self) -> Dict[str, Any]:
+        """The historical flat shape of the unversioned routes."""
+        return {"error": self.message}
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CreateSessionRequest:
+    """``POST /v1/sessions`` — create a session from an instance spec."""
+
+    spec: InstanceSpec
+    session_id: Optional[str] = None
+
+    @classmethod
+    def from_body(cls, body: Any) -> "CreateSessionRequest":
+        body = _object_body(body, "create-session request")
+        _require(body, ("spec",), "create-session request")
+        session_id = body.get("session_id")
+        if session_id is not None and not isinstance(session_id, str):
+            raise ProtocolError("session_id must be a string")
+        unknown = set(body) - {"spec", "session_id"}
+        if unknown:
+            raise ProtocolError(
+                f"unknown create-session fields: {sorted(unknown)}"
+            )
+        return cls(
+            spec=InstanceSpec.from_dict(body["spec"]), session_id=session_id
+        )
+
+
+@dataclass(frozen=True)
+class AnswerRequest:
+    """``POST /v1/sessions/<id>/answers`` — apply one crowd answer."""
+
+    i: int
+    j: int
+    holds: bool
+    accuracy: float = 1.0
+
+    @classmethod
+    def from_body(cls, body: Any, strict: bool = True) -> "AnswerRequest":
+        """Parse an answer body.
+
+        ``strict`` (the versioned surface) rejects unknown fields, so a
+        misspelled ``accuracy`` key cannot silently apply a full-weight
+        answer; the legacy routes keep their historical leniency.
+        """
+        body = _object_body(body, "answer")
+        _require(body, ("i", "j", "holds"), "answer")
+        if strict:
+            unknown = set(body) - {"i", "j", "holds", "accuracy"}
+            if unknown:
+                raise ProtocolError(
+                    f"unknown answer fields: {sorted(unknown)}"
+                )
+        try:
+            return cls(
+                i=int(body["i"]),
+                j=int(body["j"]),
+                holds=bool(body["holds"]),
+                accuracy=float(body.get("accuracy", 1.0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad answer field types: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CreateSessionResponse:
+    session_id: str
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"session_id": self.session_id}
+
+
+@dataclass(frozen=True)
+class SessionListResponse:
+    sessions: List[str]
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"sessions": list(self.sessions)}
+
+
+@dataclass(frozen=True)
+class NextQuestionResponse:
+    """Either the next question, or ``done`` when the session settled."""
+
+    session_id: str
+    question: Optional[Tuple[int, int]] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        if self.question is None:
+            return {"session_id": self.session_id, "done": True}
+        i, j = self.question
+        return {"session_id": self.session_id, "question": {"i": i, "j": j}}
+
+
+@dataclass(frozen=True)
+class AnswerResponse:
+    session_id: str
+    questions_asked: int
+    orderings: int
+    settled: bool
+
+    @classmethod
+    def from_summary(cls, summary: Mapping[str, Any]) -> "AnswerResponse":
+        return cls(
+            session_id=summary["session_id"],
+            questions_asked=summary["questions_asked"],
+            orderings=summary["orderings"],
+            settled=summary["settled"],
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "session_id": self.session_id,
+            "questions_asked": self.questions_asked,
+            "orderings": self.orderings,
+            "settled": self.settled,
+        }
+
+
+@dataclass(frozen=True)
+class SnapshotResponse:
+    """Full JSON-portable state of one session (any status)."""
+
+    session_id: str
+    status: str
+    spec: Dict[str, Any]
+    tpo_key: str
+    snapshot: Dict[str, Any]
+    questions_asked: int
+    orderings: int
+    settled: bool
+    top_k: List[int]
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, Any]) -> "SnapshotResponse":
+        return cls(**{name: snapshot[name] for name in (
+            "session_id", "status", "spec", "tpo_key", "snapshot",
+            "questions_asked", "orderings", "settled", "top_k",
+        )})
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "session_id": self.session_id,
+            "status": self.status,
+            "spec": dict(self.spec),
+            "tpo_key": self.tpo_key,
+            "snapshot": dict(self.snapshot),
+            "questions_asked": self.questions_asked,
+            "orderings": self.orderings,
+            "settled": self.settled,
+            "top_k": list(self.top_k),
+        }
+
+
+@dataclass(frozen=True)
+class CloseSessionResponse:
+    session_id: str
+    closed: bool = True
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"session_id": self.session_id, "closed": self.closed}
+
+
+@dataclass(frozen=True)
+class MetaResponse:
+    """``GET /v1/meta`` — what this service instance can build and serve."""
+
+    protocol: str
+    version: str
+    plugins: Dict[str, List[str]]
+    endpoints: List[Dict[str, str]]
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "version": self.version,
+            "plugins": {k: list(v) for k, v in self.plugins.items()},
+            "endpoints": [dict(e) for e in self.endpoints],
+        }
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ERROR_CODES",
+    "REASON_PHRASES",
+    "ProtocolError",
+    "ErrorEnvelope",
+    "CreateSessionRequest",
+    "AnswerRequest",
+    "CreateSessionResponse",
+    "SessionListResponse",
+    "NextQuestionResponse",
+    "AnswerResponse",
+    "SnapshotResponse",
+    "CloseSessionResponse",
+    "MetaResponse",
+]

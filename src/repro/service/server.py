@@ -1,21 +1,36 @@
 """Dependency-free asyncio HTTP front end for the session manager.
 
 A deliberately small HTTP/1.1 implementation over ``asyncio.start_server``
-(no web framework — the repo's only runtime dependency stays NumPy):
+(no web framework — the repo's only runtime dependency stays NumPy),
+exposing the **versioned** ``/v1`` wire protocol typed out in
+:mod:`repro.service.protocol`:
 
-==========  =============================  =====================================
-method      path                           body / response
-==========  =============================  =====================================
-``GET``     ``/healthz``                   ``{"ok": true}``
-``GET``     ``/stats``                     service counters (cache hit rate, …)
-``GET``     ``/sessions``                  ``{"sessions": [ids…]}``
-``POST``    ``/sessions``                  ``{"spec": {…}}`` → ``{"session_id"}``
-``GET``     ``/sessions/<id>``             full snapshot (spec, answers, top-K)
-``GET``     ``/sessions/<id>/next``        ``{"question": {"i", "j"}}`` or
-                                           ``{"done": true}``
-``POST``    ``/sessions/<id>/answers``     ``{"i", "j", "holds", "accuracy"?}``
-``POST``    ``/sessions/<id>/close``       ``{"closed": true}``
-==========  =============================  =====================================
+==========  ==================================  ===============================
+method      path                                body / response
+==========  ==================================  ===============================
+``GET``     ``/v1/healthz``                     ``{"ok": true}``
+``GET``     ``/v1/meta``                        protocol version + registered
+                                                plugins + endpoint table
+``GET``     ``/v1/stats``                       service counters
+``GET``     ``/v1/sessions``                    ``{"sessions": [ids…]}``
+``POST``    ``/v1/sessions``                    ``{"spec": {…}}`` →
+                                                ``{"session_id"}``
+``GET``     ``/v1/sessions/<id>``               full snapshot
+``GET``     ``/v1/sessions/<id>/next``          ``{"question": {"i", "j"}}``
+                                                or ``{"done": true}``
+``POST``    ``/v1/sessions/<id>/answers``       ``{"i", "j", "holds",
+                                                "accuracy"?}``
+``POST``    ``/v1/sessions/<id>/close``         ``{"closed": true}``
+==========  ==================================  ===============================
+
+Versioned error responses use the uniform JSON envelope
+(``{"error": {"code", "message", "detail"?}}``) with correct statuses:
+400 on malformed bodies/specs, 404 on unknown sessions or routes, 405 —
+with an ``Allow`` header — on known routes hit with the wrong method, 409
+on closed sessions, and 413 on oversized bodies.  The pre-``/v1``
+unversioned paths remain as deprecated aliases (flat
+``{"error": "<message>"}`` bodies, a ``Deprecation: true`` header) so old
+clients keep working.
 
 Concurrent ``/next`` requests are *coalesced*: handlers enqueue into a
 :class:`NextQuestionBatcher` which drains once per event-loop tick through
@@ -31,12 +46,29 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import __version__
+from repro.api.catalog import all_registries
 from repro.service.manager import (
     ClosedSessionError,
     SessionManager,
     UnknownSessionError,
+)
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    REASON_PHRASES,
+    AnswerRequest,
+    AnswerResponse,
+    CloseSessionResponse,
+    CreateSessionRequest,
+    CreateSessionResponse,
+    ErrorEnvelope,
+    MetaResponse,
+    NextQuestionResponse,
+    ProtocolError,
+    SessionListResponse,
+    SnapshotResponse,
 )
 
 MAX_BODY_BYTES = 1 << 20  # a spec or an answer is tiny; reject abuse early.
@@ -45,10 +77,18 @@ MAX_BODY_BYTES = 1 << 20  # a spec or an answer is tiny; reject abuse early.
 class HttpError(Exception):
     """An error with a definite HTTP status and JSON payload."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        detail: Optional[Dict[str, Any]] = None,
+        allow: Optional[Sequence[str]] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.detail = dict(detail or {})
+        self.allow = sorted(allow) if allow else None
 
 
 class NextQuestionBatcher:
@@ -116,10 +156,16 @@ class NextQuestionBatcher:
 # ----------------------------------------------------------------------
 
 
-async def _read_request(
+async def _read_head(
     reader: asyncio.StreamReader,
-) -> Optional[Tuple[str, str, Dict[str, Any]]]:
-    """Parse one request; returns ``(method, path, body)`` or None on EOF."""
+) -> Optional[Tuple[str, str, int]]:
+    """Parse the request line + headers; returns ``(method, path,
+    content_length)`` or ``None`` on EOF.
+
+    Split from :func:`_read_body` so the connection handler knows the
+    path — and therefore whether the client is on the versioned surface —
+    before any body-level error can be raised.
+    """
     try:
         request_line = await reader.readline()
     except (ConnectionError, asyncio.IncompleteReadError):
@@ -141,112 +187,269 @@ async def _read_request(
                 content_length = int(value.strip())
             except ValueError:
                 raise HttpError(400, "bad Content-Length") from None
+    return method, target.split("?", 1)[0], content_length
+
+
+async def _read_body(
+    reader: asyncio.StreamReader, content_length: int
+) -> Any:
+    """Read and parse the JSON request body (may raise 400/413)."""
     if content_length > MAX_BODY_BYTES:
-        raise HttpError(413, "request body too large")
-    body: Dict[str, Any] = {}
-    if content_length:
-        raw = await reader.readexactly(content_length)
-        try:
-            body = json.loads(raw)
-        except json.JSONDecodeError:
-            raise HttpError(400, "request body is not valid JSON") from None
-        if not isinstance(body, dict):
-            raise HttpError(400, "request body must be a JSON object")
-    path = target.split("?", 1)[0]
-    return method, path, body
+        raise HttpError(
+            413,
+            "request body too large",
+            detail={
+                "max_bytes": MAX_BODY_BYTES,
+                "content_length": content_length,
+            },
+        )
+    if not content_length:
+        return {}
+    raw = await reader.readexactly(content_length)
+    try:
+        body = json.loads(raw)
+    except json.JSONDecodeError:
+        raise HttpError(400, "request body is not valid JSON") from None
+    if not isinstance(body, dict):
+        raise HttpError(400, "request body must be a JSON object")
+    return body
 
 
-def _encode_response(status: int, payload: Dict[str, Any]) -> bytes:
-    reasons = {
-        200: "OK",
-        400: "Bad Request",
-        404: "Not Found",
-        405: "Method Not Allowed",
-        409: "Conflict",
-        413: "Payload Too Large",
-        500: "Internal Server Error",
-    }
+def _encode_response(
+    status: int,
+    payload: Dict[str, Any],
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
     body = (json.dumps(payload) + "\n").encode("utf-8")
-    head = (
-        f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
-        f"Content-Type: application/json\r\n"
-        f"Content-Length: {len(body)}\r\n"
-        f"Connection: close\r\n\r\n"
-    ).encode("latin-1")
+    headers = {
+        "Content-Type": "application/json",
+        "Content-Length": str(len(body)),
+        "Connection": "close",
+    }
+    if extra_headers:
+        headers.update(extra_headers)
+    head_lines = [
+        f"HTTP/1.1 {status} {REASON_PHRASES.get(status, 'Unknown')}"
+    ]
+    head_lines.extend(f"{name}: {value}" for name, value in headers.items())
+    head = ("\r\n".join(head_lines) + "\r\n\r\n").encode("latin-1")
     return head + body
+
+
+# ----------------------------------------------------------------------
+# Routes
+# ----------------------------------------------------------------------
+
+
+class Context:
+    """Everything one request handler needs."""
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        batcher: NextQuestionBatcher,
+        body: Any,
+        params: Dict[str, str],
+        versioned: bool,
+    ) -> None:
+        self.manager = manager
+        self.batcher = batcher
+        self.body = body
+        self.params = params
+        self.versioned = versioned
+
+
+async def _handle_healthz(ctx: Context) -> Dict[str, Any]:
+    return {"ok": True}
+
+
+async def _handle_meta(ctx: Context) -> Dict[str, Any]:
+    plugins = {
+        kind: registry.available()
+        for kind, registry in all_registries().items()
+    }
+    endpoints = [
+        {"method": method, "path": f"/{PROTOCOL_VERSION}/{route.pattern}"}
+        for route in ROUTES
+        for method in sorted(route.handlers)
+    ]
+    return MetaResponse(
+        protocol=PROTOCOL_VERSION,
+        version=__version__,
+        plugins=plugins,
+        endpoints=endpoints,
+    ).to_payload()
+
+
+async def _handle_stats(ctx: Context) -> Dict[str, Any]:
+    stats = ctx.manager.stats()
+    stats["next_batches"] = ctx.batcher.batches
+    stats["next_requests"] = ctx.batcher.requests
+    return stats
+
+
+async def _handle_list_sessions(ctx: Context) -> Dict[str, Any]:
+    return SessionListResponse(
+        sessions=ctx.manager.session_ids(status=None)
+    ).to_payload()
+
+
+async def _handle_create_session(ctx: Context) -> Dict[str, Any]:
+    if ctx.versioned:
+        try:
+            request = CreateSessionRequest.from_body(ctx.body)
+        except (TypeError, ValueError) as exc:
+            # Spec validation failures (unknown workload, bad n/k, unknown
+            # fields) are the client's fault — 400, never a 500.
+            raise HttpError(400, str(exc)) from None
+        spec: Any = request.spec
+        session_id = request.session_id
+    else:
+        # Legacy leniency: a bare spec body (no "spec" wrapper) is allowed.
+        spec = ctx.body.get("spec", ctx.body)
+        session_id = ctx.body.get("session_id")
+    try:
+        sid = ctx.manager.create_session(spec, session_id=session_id)
+    except (TypeError, ValueError) as exc:
+        # TypeError covers bad generator params the spec validator cannot
+        # know about (e.g. {"params": {"bogus": 1}}) — still the client's
+        # fault, not a 500.
+        raise HttpError(400, str(exc)) from None
+    return CreateSessionResponse(session_id=sid).to_payload()
+
+
+async def _handle_snapshot(ctx: Context) -> Dict[str, Any]:
+    snapshot = ctx.manager.snapshot(ctx.params["session_id"])
+    return SnapshotResponse.from_snapshot(snapshot).to_payload()
+
+
+async def _handle_next(ctx: Context) -> Dict[str, Any]:
+    sid = ctx.params["session_id"]
+    question = await ctx.batcher.request(sid)
+    return NextQuestionResponse(
+        session_id=sid,
+        question=None if question is None else (question.i, question.j),
+    ).to_payload()
+
+
+async def _handle_answer(ctx: Context) -> Dict[str, Any]:
+    sid = ctx.params["session_id"]
+    request = AnswerRequest.from_body(ctx.body, strict=ctx.versioned)
+    try:
+        summary = ctx.manager.submit_answer(
+            sid,
+            request.i,
+            request.j,
+            request.holds,
+            accuracy=request.accuracy,
+        )
+    except (TypeError, ValueError) as exc:
+        if isinstance(exc, ClosedSessionError):
+            raise
+        raise HttpError(400, str(exc)) from None
+    return AnswerResponse.from_summary(summary).to_payload()
+
+
+async def _handle_close(ctx: Context) -> Dict[str, Any]:
+    sid = ctx.params["session_id"]
+    ctx.manager.close_session(sid)
+    return CloseSessionResponse(session_id=sid).to_payload()
+
+
+class Route:
+    """One path pattern plus its method → handler table.
+
+    Patterns are slash-joined literal segments with ``{name}`` wildcards
+    (e.g. ``sessions/{session_id}/next``).  A request whose path matches a
+    pattern but whose method has no handler is answered 405 with an
+    ``Allow`` header — never a generic 404.
+    """
+
+    def __init__(
+        self, pattern: str, handlers: Dict[str, Any], versioned_only=False
+    ) -> None:
+        self.pattern = pattern
+        self.segments = pattern.split("/")
+        self.handlers = handlers
+        self.versioned_only = versioned_only
+
+    def match(self, segments: List[str]) -> Optional[Dict[str, str]]:
+        """Wildcard bindings when ``segments`` matches, else ``None``."""
+        if len(segments) != len(self.segments):
+            return None
+        params: Dict[str, str] = {}
+        for expected, actual in zip(self.segments, segments):
+            if expected.startswith("{") and expected.endswith("}"):
+                params[expected[1:-1]] = actual
+            elif expected != actual:
+                return None
+        return params
+
+
+ROUTES: List[Route] = [
+    Route("healthz", {"GET": _handle_healthz}),
+    Route("meta", {"GET": _handle_meta}, versioned_only=True),
+    Route("stats", {"GET": _handle_stats}),
+    Route(
+        "sessions",
+        {"GET": _handle_list_sessions, "POST": _handle_create_session},
+    ),
+    Route("sessions/{session_id}", {"GET": _handle_snapshot}),
+    Route("sessions/{session_id}/next", {"GET": _handle_next}),
+    Route("sessions/{session_id}/answers", {"POST": _handle_answer}),
+    Route("sessions/{session_id}/close", {"POST": _handle_close}),
+]
 
 
 async def _route(
     method: str,
     path: str,
-    body: Dict[str, Any],
+    body: Any,
     manager: SessionManager,
     batcher: NextQuestionBatcher,
-) -> Dict[str, Any]:
+) -> Tuple[Dict[str, Any], bool]:
+    """Dispatch one request; returns ``(payload, versioned)``."""
     segments = [s for s in path.split("/") if s]
-    if segments == ["healthz"] and method == "GET":
-        return {"ok": True}
-    if segments == ["stats"] and method == "GET":
-        stats = manager.stats()
-        stats["next_batches"] = batcher.batches
-        stats["next_requests"] = batcher.requests
-        return stats
-    if segments == ["sessions"]:
-        if method == "GET":
-            return {"sessions": manager.session_ids(status=None)}
-        if method == "POST":
-            spec = body.get("spec", body)
-            try:
-                sid = manager.create_session(
-                    spec, session_id=body.get("session_id")
+    versioned = bool(segments) and segments[0] == PROTOCOL_VERSION
+    if versioned:
+        segments = segments[1:]
+    sid: Optional[str] = None
+    try:
+        for route in ROUTES:
+            if route.versioned_only and not versioned:
+                continue
+            params = route.match(segments)
+            if params is None:
+                continue
+            handler = route.handlers.get(method)
+            if handler is None:
+                prefix = f"/{PROTOCOL_VERSION}/" if versioned else "/"
+                raise HttpError(
+                    405,
+                    f"{method} not allowed on {prefix}{route.pattern}",
+                    detail={"allow": sorted(route.handlers)},
+                    allow=route.handlers,
                 )
-            except (TypeError, ValueError) as exc:
-                # TypeError covers bad generator params the spec validator
-                # cannot know about (e.g. {"params": {"bogus": 1}}) — still
-                # the client's fault, not a 500.
-                raise HttpError(400, str(exc)) from None
-            return {"session_id": sid}
-        raise HttpError(405, f"{method} not allowed on /sessions")
-    if len(segments) >= 2 and segments[0] == "sessions":
-        sid = segments[1]
-        tail = segments[2:]
-        try:
-            if tail == [] and method == "GET":
-                return manager.snapshot(sid)
-            if tail == ["next"] and method == "GET":
-                question = await batcher.request(sid)
-                if question is None:
-                    return {"session_id": sid, "done": True}
-                return {
-                    "session_id": sid,
-                    "question": {"i": question.i, "j": question.j},
-                }
-            if tail == ["answers"] and method == "POST":
-                missing = {"i", "j", "holds"} - set(body)
-                if missing:
-                    raise HttpError(
-                        400, f"answer needs fields {sorted(missing)}"
-                    )
-                try:
-                    return manager.submit_answer(
-                        sid,
-                        int(body["i"]),
-                        int(body["j"]),
-                        bool(body["holds"]),
-                        accuracy=float(body.get("accuracy", 1.0)),
-                    )
-                except (TypeError, ValueError) as exc:
-                    if isinstance(exc, ClosedSessionError):
-                        raise
-                    raise HttpError(400, str(exc)) from None
-            if tail == ["close"] and method == "POST":
-                manager.close_session(sid)
-                return {"session_id": sid, "closed": True}
-        except UnknownSessionError:
-            raise HttpError(404, f"no session {sid!r}") from None
-        except ClosedSessionError as exc:
-            raise HttpError(409, str(exc)) from None
-    raise HttpError(404, f"no route for {method} {path}")
+            sid = params.get("session_id")
+            ctx = Context(manager, batcher, body, params, versioned)
+            return await handler(ctx), versioned
+        raise HttpError(404, f"no route for {method} {path}")
+    except ProtocolError as exc:
+        raise HttpError(400, str(exc)) from None
+    except UnknownSessionError:
+        raise HttpError(404, f"no session {sid!r}") from None
+    except ClosedSessionError as exc:
+        raise HttpError(409, str(exc)) from None
+
+
+def _error_payload(
+    status: int,
+    message: str,
+    detail: Optional[Dict[str, Any]],
+    versioned: bool,
+) -> Dict[str, Any]:
+    envelope = ErrorEnvelope(status=status, message=message, detail=detail or {})
+    return envelope.to_payload() if versioned else envelope.to_legacy_payload()
 
 
 async def _handle_connection(
@@ -256,20 +459,38 @@ async def _handle_connection(
     batcher: NextQuestionBatcher,
 ) -> None:
     status, payload = 500, {"error": "internal error"}
+    headers: Dict[str, str] = {}
+    versioned = True
     try:
-        request = await _read_request(reader)
-        if request is None:
+        head = await _read_head(reader)
+        if head is None:
             return
-        method, path, body = request
-        payload = await _route(method, path, body, manager, batcher)
+        method, path, content_length = head
+        versioned = [s for s in path.split("/") if s][:1] == [
+            PROTOCOL_VERSION
+        ]
+        body = await _read_body(reader, content_length)
+        payload, versioned = await _route(
+            method, path, body, manager, batcher
+        )
         status = 200
     except HttpError as exc:
-        status, payload = exc.status, {"error": exc.message}
+        status = exc.status
+        payload = _error_payload(
+            exc.status, exc.message, exc.detail, versioned
+        )
+        if exc.allow:
+            headers["Allow"] = ", ".join(exc.allow)
     except Exception as exc:  # pragma: no cover - defensive catch-all
-        status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        status = 500
+        payload = _error_payload(
+            500, f"{type(exc).__name__}: {exc}", None, versioned
+        )
     finally:
+        if not versioned:
+            headers.setdefault("Deprecation", "true")
         try:
-            writer.write(_encode_response(status, payload))
+            writer.write(_encode_response(status, payload, headers))
             await writer.drain()
             writer.close()
             await writer.wait_closed()
@@ -299,7 +520,10 @@ async def serve(
         f"{sock.getsockname()[0]}:{sock.getsockname()[1]}"
         for sock in server.sockets or []
     )
-    print(f"repro service listening on {addresses}")
+    print(
+        f"repro service listening on {addresses} "
+        f"(protocol /{PROTOCOL_VERSION})"
+    )
     async with server:
         await server.serve_forever()
 
@@ -309,4 +533,6 @@ __all__ = [
     "serve",
     "NextQuestionBatcher",
     "HttpError",
+    "Route",
+    "ROUTES",
 ]

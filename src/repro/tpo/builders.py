@@ -28,6 +28,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.api._deprecation import warn_deprecated
+from repro.api.catalog import ENGINES
 from repro.distributions.base import ScoreDistribution
 from repro.distributions.grid import Grid
 from repro.distributions.piecewise import PiecewisePolynomial, product
@@ -400,22 +402,10 @@ class _MonteCarloCache:
 
 # ----------------------------------------------------------------------
 
-ENGINES = {
-    "grid": GridBuilder,
-    "exact": ExactBuilder,
-    "mc": MonteCarloBuilder,
-}
-
-
 def make_builder(engine: str = "grid", **kwargs) -> TPOBuilder:
-    """Factory: ``make_builder("grid", resolution=2048)`` etc."""
-    try:
-        cls = ENGINES[engine]
-    except KeyError:
-        raise ValueError(
-            f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
-        ) from None
-    return cls(**kwargs)
+    """Deprecated shim: use ``repro.api.ENGINES.create`` instead."""
+    warn_deprecated("repro.tpo.make_builder", "repro.api.ENGINES.create")
+    return ENGINES.create(engine, **kwargs)
 
 
 __all__ = [

@@ -1,52 +1,49 @@
-"""Name-based lookup of uncertainty measures.
+"""Deprecated shims over the unified measure registry.
 
-Experiment configurations refer to measures by the paper's names
-(``"H"``, ``"Hw"``, ``"ORA"``, ``"MPO"``); this registry resolves them and
-lets downstream users plug in custom measures.
+The measure lookup now lives in :data:`repro.api.MEASURES` (one
+:class:`~repro.api.registry.Registry` instance shared with the service's
+``/v1/meta`` endpoint and ``repro list``).  The three historical entry
+points below keep working but emit :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable
 
+from repro.api._deprecation import warn_deprecated
+from repro.api.catalog import MEASURES
 from repro.uncertainty.base import UncertaintyMeasure
-from repro.uncertainty.entropy import EntropyMeasure, WeightedEntropyMeasure
-from repro.uncertainty.representative import MPOUncertainty, ORAUncertainty
-
-_FACTORIES: Dict[str, Callable[[], UncertaintyMeasure]] = {
-    "H": EntropyMeasure,
-    "Hw": WeightedEntropyMeasure,
-    "ORA": ORAUncertainty,
-    "MPO": MPOUncertainty,
-}
 
 
 def get_measure(name: str, **kwargs) -> UncertaintyMeasure:
-    """Instantiate a measure by paper name (case-sensitive).
-
-    Extra keyword arguments are forwarded to the measure constructor,
-    e.g. ``get_measure("ORA", method="exact")``.
-    """
-    try:
-        factory = _FACTORIES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown uncertainty measure {name!r}; "
-            f"available: {sorted(_FACTORIES)}"
-        ) from None
-    return factory(**kwargs)
+    """Deprecated shim: use :class:`repro.api.MeasureSpec` or
+    ``repro.api.MEASURES.create`` instead."""
+    warn_deprecated(
+        "repro.uncertainty.get_measure", "repro.api.MEASURES.create"
+    )
+    return MEASURES.create(name, **kwargs)
 
 
 def register_measure(
     name: str, factory: Callable[[], UncertaintyMeasure]
 ) -> None:
-    """Register a custom measure under ``name`` (overwrites existing)."""
-    _FACTORIES[name] = factory
+    """Deprecated shim: use ``repro.api.MEASURES.register`` instead.
+
+    Keeps the historical overwrite-silently semantics.
+    """
+    warn_deprecated(
+        "repro.uncertainty.register_measure", "repro.api.MEASURES.register"
+    )
+    MEASURES.register(name, factory, overwrite=True)
 
 
 def available_measures() -> list:
-    """Sorted names of all registered measures."""
-    return sorted(_FACTORIES)
+    """Deprecated shim: use ``repro.api.MEASURES.available`` instead."""
+    warn_deprecated(
+        "repro.uncertainty.available_measures",
+        "repro.api.MEASURES.available",
+    )
+    return MEASURES.available()
 
 
 __all__ = ["get_measure", "register_measure", "available_measures"]

@@ -12,6 +12,8 @@ from typing import List
 
 import numpy as np
 
+from repro.api._deprecation import warn_deprecated
+from repro.api.catalog import WORKLOADS
 from repro.distributions.base import ScoreDistribution
 from repro.distributions.gaussian import TruncatedGaussian
 from repro.distributions.pareto import TruncatedPareto
@@ -158,28 +160,20 @@ def mixed_certainty(
     return dists
 
 
-GENERATORS = {
-    "uniform": uniform_intervals,
-    "jittered": jittered_widths,
-    "gaussian": gaussian_scores,
-    "triangular": triangular_scores,
-    "pareto": pareto_scores,
-    "clustered": clustered_intervals,
-    "mixed": mixed_certainty,
-}
+#: The unified workload registry (alias of :data:`repro.api.WORKLOADS`):
+#: iterates, tests membership, and indexes like the dict it replaced.
+GENERATORS = WORKLOADS
 
 
 def make_workload(
     kind: str, n: int, rng: SeedLike = None, **kwargs
 ) -> List[ScoreDistribution]:
-    """Generator factory keyed by workload name (see :data:`GENERATORS`)."""
-    try:
-        generator = GENERATORS[kind]
-    except KeyError:
-        raise ValueError(
-            f"unknown workload {kind!r}; available: {sorted(GENERATORS)}"
-        ) from None
-    return generator(n, rng=rng, **kwargs)
+    """Deprecated shim: use :meth:`repro.api.InstanceSpec.materialize` or
+    ``repro.api.WORKLOADS.create`` instead."""
+    warn_deprecated(
+        "repro.workloads.make_workload", "repro.api.WORKLOADS.create"
+    )
+    return WORKLOADS.create(kind, n, rng=rng, **kwargs)
 
 
 __all__ = [

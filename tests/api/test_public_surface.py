@@ -1,0 +1,95 @@
+"""Snapshot of the public API surface.
+
+``repro.api`` is the stable front door: adding a name is a conscious,
+reviewed act, and removing or renaming one is a breaking change.  This
+test pins the exact exported surface so accidental drift fails CI (it
+also runs inside the lint job).
+"""
+
+import repro.api as api
+
+EXPECTED_API_ALL = [
+    # canonical identity
+    "canonical_json",
+    "content_key",
+    # registry subsystem
+    "Registry",
+    "RegistryError",
+    "UnknownNameError",
+    "DuplicateNameError",
+    # the catalog
+    "POLICIES",
+    "MEASURES",
+    "WORKLOADS",
+    "SCENARIOS",
+    "CROWD_MODELS",
+    "DISTRIBUTIONS",
+    "ENGINES",
+    "all_registries",
+    # specs
+    "InstanceSpec",
+    "PolicySpec",
+    "MeasureSpec",
+    "CrowdSpec",
+    "BudgetSpec",
+    "SessionSpec",
+    "as_instance_spec",
+    # execution
+    "PreparedSession",
+    "prepare_session",
+    "run_session",
+]
+
+EXPECTED_BUILTIN_PLUGINS = {
+    "policies": [
+        "A*-off",
+        "A*-on",
+        "C-off",
+        "T1-on",
+        "TB-off",
+        "exhaustive",
+        "incr",
+        "naive",
+        "random",
+    ],
+    "measures": ["H", "Hw", "MPO", "ORA"],
+    "workloads": [
+        "clustered",
+        "gaussian",
+        "jittered",
+        "mixed",
+        "pareto",
+        "triangular",
+        "uniform",
+    ],
+    "scenarios": ["photo_contest", "restaurant_guide", "sensor_network"],
+    "crowd_models": ["adversarial", "noisy", "perfect"],
+    "distributions": [
+        "affine",
+        "gaussian",
+        "histogram",
+        "mixture",
+        "pareto",
+        "point",
+        "triangular",
+        "uniform",
+    ],
+    "engines": ["exact", "grid", "mc"],
+}
+
+
+def test_api_all_is_exactly_the_reviewed_surface():
+    assert list(api.__all__) == EXPECTED_API_ALL
+
+
+def test_every_exported_name_resolves():
+    for name in api.__all__:
+        assert getattr(api, name) is not None
+
+
+def test_builtin_plugin_names_are_stable():
+    observed = {
+        kind: registry.available()
+        for kind, registry in api.all_registries().items()
+    }
+    assert observed == EXPECTED_BUILTIN_PLUGINS

@@ -40,11 +40,18 @@ class TestFactory:
         }
         assert expected == set(POLICIES)
 
-    def test_make_policy(self):
-        assert isinstance(make_policy("TB-off"), TopBPolicy)
-        assert make_policy("incr", round_size=3).round_size == 3
+    def test_registry_create(self):
+        assert isinstance(POLICIES.create("TB-off"), TopBPolicy)
+        assert POLICIES.create("incr", round_size=3).round_size == 3
         with pytest.raises(ValueError):
-            make_policy("greedy-magic")
+            POLICIES.create("greedy-magic")
+
+    def test_make_policy_shim_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="POLICIES.create"):
+            assert isinstance(make_policy("TB-off"), TopBPolicy)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                make_policy("greedy-magic")
 
 
 class TestBaselines:

@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 
+from repro.api import POLICIES
 from repro.core import (
     IncrementalAlgorithm,
     UncertaintyReductionSession,
-    make_policy,
 )
 from repro.crowd import GroundTruth, SimulatedCrowd
 from repro.distributions import Uniform
@@ -44,7 +44,7 @@ class TestReliableRuns:
     )
     def test_policies_reduce_uncertainty(self, dists, truth, policy_name):
         session = make_session(dists, truth)
-        result = session.run(make_policy(policy_name), 8)
+        result = session.run(POLICIES.create(policy_name), 8)
         assert result.final_uncertainty <= result.initial_uncertainty + 1e-9
         assert result.orderings_final <= result.orderings_initial
         assert result.questions_asked <= 8
@@ -52,14 +52,14 @@ class TestReliableRuns:
 
     def test_online_early_termination(self, dists, truth):
         session = make_session(dists, truth)
-        result = session.run(make_policy("T1-on"), 100)
+        result = session.run(POLICIES.create("T1-on"), 100)
         # Enough budget resolves everything; T1-on must stop early.
         assert result.final_space.is_certain
         assert result.questions_asked < 100
 
     def test_resolved_space_contains_truth_prefix(self, dists, truth):
         session = make_session(dists, truth)
-        result = session.run(make_policy("T1-on"), 100)
+        result = session.run(POLICIES.create("T1-on"), 100)
         np.testing.assert_array_equal(
             result.final_space.paths[0], truth.top_k(4)
         )
@@ -67,7 +67,7 @@ class TestReliableRuns:
 
     def test_zero_budget_returns_initial_state(self, dists, truth):
         session = make_session(dists, truth)
-        result = session.run(make_policy("T1-on"), 0)
+        result = session.run(POLICIES.create("T1-on"), 0)
         assert result.questions_asked == 0
         assert result.final_uncertainty == pytest.approx(
             result.initial_uncertainty
@@ -76,11 +76,11 @@ class TestReliableRuns:
     def test_negative_budget_rejected(self, dists, truth):
         session = make_session(dists, truth)
         with pytest.raises(ValueError):
-            session.run(make_policy("T1-on"), -1)
+            session.run(POLICIES.create("T1-on"), -1)
 
     def test_trajectory_tracking(self, dists, truth):
         session = make_session(dists, truth, track_trajectory=True)
-        result = session.run(make_policy("TB-off"), 5)
+        result = session.run(POLICIES.create("TB-off"), 5)
         assert result.trajectory is not None
         assert len(result.trajectory) == result.questions_asked + 1
         assert result.trajectory[0] == pytest.approx(result.initial_distance)
@@ -90,14 +90,14 @@ class TestReliableRuns:
 
     def test_timings_are_recorded(self, dists, truth):
         session = make_session(dists, truth)
-        result = session.run(make_policy("T1-on"), 5)
+        result = session.run(POLICIES.create("T1-on"), 5)
         assert "build" in result.timings
         assert "select" in result.timings
         assert result.cpu_seconds >= 0
 
     def test_summary_is_readable(self, dists, truth):
         session = make_session(dists, truth)
-        result = session.run(make_policy("naive"), 3)
+        result = session.run(POLICIES.create("naive"), 3)
         text = result.summary()
         assert "naive" in text
         assert "D=" in text
@@ -106,7 +106,7 @@ class TestReliableRuns:
 class TestNoisyRuns:
     def test_noisy_answers_never_prune(self, dists, truth):
         session = make_session(dists, truth, accuracy=0.8)
-        result = session.run(make_policy("T1-on"), 6)
+        result = session.run(POLICIES.create("T1-on"), 6)
         # Reweighting keeps the support intact.
         assert result.orderings_final == result.orderings_initial
         assert result.questions_asked == 6
@@ -115,7 +115,7 @@ class TestNoisyRuns:
         distances = []
         for seed in range(5):
             session = make_session(dists, truth, accuracy=0.85, seed=seed)
-            result = session.run(make_policy("T1-on"), 10)
+            result = session.run(POLICIES.create("T1-on"), 10)
             distances.append(
                 result.distance_to_truth - result.initial_distance
             )
@@ -123,7 +123,7 @@ class TestNoisyRuns:
 
     def test_answers_carry_assumed_accuracy(self, dists, truth):
         session = make_session(dists, truth, accuracy=0.8)
-        result = session.run(make_policy("T1-on"), 3)
+        result = session.run(POLICIES.create("T1-on"), 3)
         for answer in result.answers:
             assert answer.accuracy == pytest.approx(0.8)
 
@@ -160,7 +160,7 @@ class TestIncrementalSession:
 
     def test_incr_cheaper_than_full_build(self, dists, truth):
         full = make_session(dists, truth)
-        full_result = full.run(make_policy("T1-on"), 6)
+        full_result = full.run(POLICIES.create("T1-on"), 6)
         lazy = make_session(dists, truth)
         lazy_result = lazy.run(IncrementalAlgorithm(round_size=3), 6)
         assert lazy_result.timings.get("build", 0.0) <= (
@@ -170,8 +170,8 @@ class TestIncrementalSession:
 
 class TestDeterminism:
     def test_same_seed_same_outcome(self, dists, truth):
-        first = make_session(dists, truth, seed=5).run(make_policy("naive"), 5)
-        second = make_session(dists, truth, seed=5).run(make_policy("naive"), 5)
+        first = make_session(dists, truth, seed=5).run(POLICIES.create("naive"), 5)
+        second = make_session(dists, truth, seed=5).run(POLICIES.create("naive"), 5)
         assert [a.question for a in first.answers] == [
             a.question for a in second.answers
         ]

@@ -16,7 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core import make_policy
+from repro.api import POLICIES
 from repro.core.policies.base import OfflinePolicy, OnlinePolicy
 from repro.core.policies.baselines import RandomPolicy
 from repro.core.session import UncertaintyReductionSession
@@ -175,7 +175,7 @@ def test_incr_survives_and_counts_contradictions():
             rng=seed,
         )
         session = UncertaintyReductionSession(scores, k=4, crowd=crowd, rng=seed)
-        result = session.run(make_policy("incr"), budget=15)
+        result = session.run(POLICIES.create("incr"), budget=15)
         # Replays re-apply every answer per extension level; each answer
         # must still be counted at most once.
         assert result.contradictions <= result.questions_asked
@@ -235,6 +235,6 @@ def test_trajectory_invariant_without_inference():
     session = UncertaintyReductionSession(
         distributions, k=2, crowd=crowd, rng=9, track_trajectory=True
     )
-    result = session.run(make_policy("T1-on"), budget=4)
+    result = session.run(POLICIES.create("T1-on"), budget=4)
     assert result.trajectory is not None
     assert len(result.trajectory) == result.questions_asked + 1

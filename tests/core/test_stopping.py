@@ -3,11 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.api import POLICIES
 from repro.core import (
     Top1OnlinePolicy,
     UncertaintyReductionSession,
     ValueOfInformationStopper,
-    make_policy,
 )
 from repro.crowd import GroundTruth, SimulatedCrowd
 from repro.distributions import Uniform
@@ -69,7 +69,7 @@ class TestWrapperInSessions:
     def test_saves_questions_with_bounded_quality_loss(self, instance):
         dists, truth = instance
         budget = 30
-        plain = make_session(dists, truth).run(make_policy("T1-on"), budget)
+        plain = make_session(dists, truth).run(POLICIES.create("T1-on"), budget)
         frugal = make_session(dists, truth).run(
             ValueOfInformationStopper(Top1OnlinePolicy(), 0.3), budget
         )

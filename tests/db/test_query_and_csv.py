@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.crowd import GroundTruth, SimulatedCrowd
-from repro.core import make_policy
+from repro.api import POLICIES
 from repro.db import (
     AttributeScore,
     UncertainTable,
@@ -70,7 +70,7 @@ class TestCrowdsourcedTopK:
             table,
             3,
             budget=6,
-            policy=make_policy("T1-on"),
+            policy=POLICIES.create("T1-on"),
             crowd=crowd,
             attribute="score",
             rng=1,

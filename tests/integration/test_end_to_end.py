@@ -13,10 +13,9 @@ from repro import (
     SimulatedCrowd,
     UncertaintyReductionSession,
     Uniform,
-    make_policy,
 )
+from repro.api import MEASURES, POLICIES
 from repro.tpo import ExactBuilder, GridBuilder, MonteCarloBuilder
-from repro.uncertainty import get_measure
 
 
 def build_instance(n=10, k=5, width=0.25, seed=0):
@@ -35,7 +34,7 @@ def run(dists, truth, policy_name, budget, k=5, accuracy=1.0, seed=1, **kw):
         builder=GridBuilder(resolution=500),
         rng=np.random.default_rng(seed + 1),
     )
-    return session.run(make_policy(policy_name, **kw), budget)
+    return session.run(POLICIES.create(policy_name, **kw), budget)
 
 
 class TestConvergence:
@@ -100,7 +99,7 @@ class TestNoisyCrowd:
                     rng=np.random.default_rng(seed),
                 )
                 results.append(
-                    session.run(make_policy("T1-on"), 8).distance_to_truth
+                    session.run(POLICIES.create("T1-on"), 8).distance_to_truth
                 )
             deltas.append(results[0] - results[1])
         assert np.mean(deltas) >= -0.02  # voting at least as good
@@ -120,7 +119,7 @@ class TestEngineConsistency:
                 dists, 4, crowd, builder=builder,
                 rng=np.random.default_rng(2),
             )
-            outcomes[name] = session.run(make_policy("T1-on"), 30)
+            outcomes[name] = session.run(POLICIES.create("T1-on"), 30)
         # With enough budget every engine isolates the same ordering.
         for result in outcomes.values():
             assert result.final_space.is_certain
@@ -168,8 +167,8 @@ class TestMeasuresInSessions:
         session = UncertaintyReductionSession(
             dists, 4, crowd,
             builder=GridBuilder(resolution=400),
-            measure=get_measure(measure_name),
+            measure=MEASURES.create(measure_name),
             rng=np.random.default_rng(1),
         )
-        result = session.run(make_policy("T1-on"), 6)
+        result = session.run(POLICIES.create("T1-on"), 6)
         assert result.distance_to_truth <= result.initial_distance + 1e-9

@@ -12,10 +12,9 @@ import pytest
 from repro.distributions.uniform import Uniform
 from repro.questions.candidates import all_pair_questions
 from repro.questions.residual import ResidualEvaluator
-from repro.tpo.builders import make_builder
+from repro.api import ENGINES, MEASURES
 from repro.tpo.space import OrderingSpace
 from repro.uncertainty.base import UncertaintyMeasure
-from repro.uncertainty.registry import available_measures, get_measure
 
 ENGINE_PARAMS = {
     "grid": {"resolution": 64},
@@ -28,7 +27,7 @@ def engine_space(engine: str) -> OrderingSpace:
     """A small but non-trivial top-3 space built by the given engine."""
     rng = np.random.default_rng(11)
     distributions = [Uniform(c, c + 0.45) for c in rng.random(6)]
-    builder = make_builder(engine, **ENGINE_PARAMS[engine])
+    builder = ENGINES.create(engine, **ENGINE_PARAMS[engine])
     return builder.build(distributions, 3).to_space()
 
 
@@ -43,10 +42,10 @@ def random_space(seed: int) -> OrderingSpace:
 
 
 @pytest.mark.parametrize("engine", sorted(ENGINE_PARAMS))
-@pytest.mark.parametrize("name", available_measures())
+@pytest.mark.parametrize("name", MEASURES.available())
 def test_rank_singles_batch_matches_scalar_across_engines(engine, name):
     space = engine_space(engine)
-    evaluator = ResidualEvaluator(get_measure(name))
+    evaluator = ResidualEvaluator(MEASURES.create(name))
     questions = all_pair_questions(space)
     np.testing.assert_allclose(
         evaluator.rank_singles_batch(space, questions),
@@ -57,10 +56,10 @@ def test_rank_singles_batch_matches_scalar_across_engines(engine, name):
 
 
 @pytest.mark.parametrize("seed", [0, 1, 2, 3])
-@pytest.mark.parametrize("name", available_measures())
+@pytest.mark.parametrize("name", MEASURES.available())
 def test_rank_singles_batch_matches_scalar_on_random_spaces(seed, name):
     space = random_space(seed)
-    evaluator = ResidualEvaluator(get_measure(name))
+    evaluator = ResidualEvaluator(MEASURES.create(name))
     questions = all_pair_questions(space)
     np.testing.assert_allclose(
         evaluator.rank_singles_batch(space, questions),
@@ -71,10 +70,10 @@ def test_rank_singles_batch_matches_scalar_on_random_spaces(seed, name):
 
 
 @pytest.mark.parametrize("pattern_cap", [None, 3])
-@pytest.mark.parametrize("name", available_measures())
+@pytest.mark.parametrize("name", MEASURES.available())
 def test_set_residual_batch_matches_scalar(name, pattern_cap):
     space = engine_space("grid")
-    evaluator = ResidualEvaluator(get_measure(name))
+    evaluator = ResidualEvaluator(MEASURES.create(name))
     questions = all_pair_questions(space)[:5]
     codes = evaluator.codes_matrix(space, questions)
     batched = evaluator.set_residual_from_codes(space, codes, pattern_cap)
@@ -84,7 +83,7 @@ def test_set_residual_batch_matches_scalar(name, pattern_cap):
     assert abs(batched - scalar) < 1e-9
 
 
-@pytest.mark.parametrize("name", available_measures())
+@pytest.mark.parametrize("name", MEASURES.available())
 def test_rank_singles_batch_matches_scalar_on_tied_masses(name):
     """Uniform path masses (the Monte Carlo engine's natural output) tie
     expected Borda positions exactly — the batch path must still agree
@@ -95,7 +94,7 @@ def test_rank_singles_batch_matches_scalar_on_tied_masses(name):
         np.array([rng.permutation(n)[:k] for _ in range(20)]), axis=0
     )
     space = OrderingSpace(paths, np.ones(paths.shape[0]), n)
-    evaluator = ResidualEvaluator(get_measure(name))
+    evaluator = ResidualEvaluator(MEASURES.create(name))
     questions = all_pair_questions(space)
     np.testing.assert_allclose(
         evaluator.rank_singles_batch(space, questions),
@@ -105,7 +104,7 @@ def test_rank_singles_batch_matches_scalar_on_tied_masses(name):
     )
 
 
-@pytest.mark.parametrize("name", available_measures())
+@pytest.mark.parametrize("name", MEASURES.available())
 def test_rank_singles_batch_matches_scalar_with_zero_probability_paths(name):
     """Zero-mass paths stay in the space under restrict(); the batch path
     must keep their tuples in aggregation candidate sets too (regression:
@@ -119,7 +118,7 @@ def test_rank_singles_batch_matches_scalar_with_zero_probability_paths(name):
         probs = rng.random(paths.shape[0]) + 1e-3
         probs[rng.integers(0, paths.shape[0], 5)] = 0.0  # dead paths
         space = OrderingSpace(paths, probs, n)
-        evaluator = ResidualEvaluator(get_measure(name))
+        evaluator = ResidualEvaluator(MEASURES.create(name))
         questions = all_pair_questions(space)
         np.testing.assert_allclose(
             evaluator.rank_singles_batch(space, questions),
@@ -129,7 +128,7 @@ def test_rank_singles_batch_matches_scalar_with_zero_probability_paths(name):
         )
 
 
-@pytest.mark.parametrize("name", available_measures())
+@pytest.mark.parametrize("name", MEASURES.available())
 @pytest.mark.parametrize("pattern_cap", [2, 3, 5])
 def test_rank_set_extensions_cap_tie_parity(name, pattern_cap):
     """Capped pattern cuts must resolve mass ties exactly like
@@ -139,7 +138,7 @@ def test_rank_set_extensions_cap_tie_parity(name, pattern_cap):
         np.array([rng.permutation(6)[:3] for _ in range(20)]), axis=0
     )
     space = OrderingSpace(paths, np.ones(paths.shape[0]), 6)
-    evaluator = ResidualEvaluator(get_measure(name))
+    evaluator = ResidualEvaluator(MEASURES.create(name))
     questions = all_pair_questions(space)[:6]
     codes = evaluator.codes_matrix(space, questions)
     for base in ([], [0], [1, 4]):
@@ -158,10 +157,10 @@ def test_rank_set_extensions_cap_tie_parity(name, pattern_cap):
         np.testing.assert_allclose(batched, sibling, rtol=0.0, atol=1e-9)
 
 
-@pytest.mark.parametrize("name", available_measures())
+@pytest.mark.parametrize("name", MEASURES.available())
 def test_rank_set_extensions_matches_per_candidate_scalar(name):
     space = engine_space("grid")
-    evaluator = ResidualEvaluator(get_measure(name))
+    evaluator = ResidualEvaluator(MEASURES.create(name))
     questions = all_pair_questions(space)[:8]
     codes = evaluator.codes_matrix(space, questions)
     for base in ([], [0], [2, 5]):
@@ -178,7 +177,7 @@ def test_rank_set_extensions_matches_per_candidate_scalar(name):
         np.testing.assert_allclose(batched, scalar, rtol=0.0, atol=1e-9)
 
 
-@pytest.mark.parametrize("name", available_measures())
+@pytest.mark.parametrize("name", MEASURES.available())
 def test_evaluate_batch_matches_base_oracle_on_reweighted_rows(name):
     """The batch API accepts arbitrary posterior weight rows, not just
     prunings of the prior — values must match the base-class row-by-row
@@ -187,7 +186,7 @@ def test_evaluate_batch_matches_base_oracle_on_reweighted_rows(name):
     rng = np.random.default_rng(23)
     for trial in range(6):
         space = random_space(trial)
-        measure = get_measure(name)
+        measure = MEASURES.create(name)
         rows = rng.random((8, space.size)) + 1e-6
         rows[:, rng.integers(0, space.size, 3)] = 0.0  # some pruned paths
         # Force exact expected-position ties in half the rows.
@@ -221,7 +220,7 @@ def test_generic_fallback_keeps_custom_measures_correct():
 
 def test_evaluate_batch_rejects_bad_weights():
     space = random_space(6)
-    measure = get_measure("H")
+    measure = MEASURES.create("H")
     with pytest.raises(ValueError):
         measure.evaluate_batch(space, np.ones(space.size))  # 1-D
     with pytest.raises(ValueError):
@@ -232,12 +231,12 @@ def test_evaluate_batch_rejects_bad_weights():
         measure.evaluate_batch(space, np.zeros((1, space.size)))
 
 
-@pytest.mark.parametrize("name", available_measures())
+@pytest.mark.parametrize("name", MEASURES.available())
 def test_rank_singles_batch_chunked_matches_unchunked(name):
     """Tiny chunks (forcing many evaluate_restrictions calls and chunked
     mass matvecs) must not change values."""
     space = random_space(9)
-    evaluator = ResidualEvaluator(get_measure(name))
+    evaluator = ResidualEvaluator(MEASURES.create(name))
     questions = all_pair_questions(space)
     np.testing.assert_allclose(
         evaluator.rank_singles_batch(space, questions, chunk=3),
@@ -249,7 +248,7 @@ def test_rank_singles_batch_chunked_matches_unchunked(name):
 
 def test_batch_counts_evaluations():
     space = random_space(7)
-    evaluator = ResidualEvaluator(get_measure("H"))
+    evaluator = ResidualEvaluator(MEASURES.create("H"))
     before = evaluator.evaluations
     evaluator.rank_singles_batch(space, all_pair_questions(space))
     assert evaluator.evaluations > before
@@ -257,7 +256,7 @@ def test_batch_counts_evaluations():
 
 def test_codes_matrix_is_one_shot_stance_matrix():
     space = random_space(8)
-    evaluator = ResidualEvaluator(get_measure("H"))
+    evaluator = ResidualEvaluator(MEASURES.create("H"))
     questions = all_pair_questions(space)
     codes = evaluator.codes_matrix(space, questions)
     assert codes.shape == (space.size, len(questions))
@@ -271,7 +270,7 @@ class TestRankSinglesMany:
     """The cross-session coalescing entry point."""
 
     def test_matches_per_request_ranking(self):
-        evaluator = ResidualEvaluator(get_measure("H"))
+        evaluator = ResidualEvaluator(MEASURES.create("H"))
         spaces = [random_space(seed) for seed in (1, 2, 3)]
         requests = [(s, all_pair_questions(s)) for s in spaces]
         results = evaluator.rank_singles_many(requests)
@@ -284,7 +283,7 @@ class TestRankSinglesMany:
             )
 
     def test_shared_keys_price_once(self):
-        evaluator = ResidualEvaluator(get_measure("H"))
+        evaluator = ResidualEvaluator(MEASURES.create("H"))
         space = random_space(4)
         questions = all_pair_questions(space)
         requests = [(space, questions)] * 3
@@ -299,7 +298,7 @@ class TestRankSinglesMany:
         assert results[0] is results[1] is results[2]
 
     def test_distinct_keys_price_separately(self):
-        evaluator = ResidualEvaluator(get_measure("H"))
+        evaluator = ResidualEvaluator(MEASURES.create("H"))
         a, b = random_space(5), random_space(6)
         results = evaluator.rank_singles_many(
             [(a, all_pair_questions(a)), (b, all_pair_questions(b))],
@@ -309,7 +308,7 @@ class TestRankSinglesMany:
         assert results[0] is not results[1]
 
     def test_key_count_mismatch_rejected(self):
-        evaluator = ResidualEvaluator(get_measure("H"))
+        evaluator = ResidualEvaluator(MEASURES.create("H"))
         space = random_space(5)
         with pytest.raises(ValueError):
             evaluator.rank_singles_many(
@@ -317,5 +316,5 @@ class TestRankSinglesMany:
             )
 
     def test_empty_requests(self):
-        evaluator = ResidualEvaluator(get_measure("H"))
+        evaluator = ResidualEvaluator(MEASURES.create("H"))
         assert evaluator.rank_singles_many([]) == []

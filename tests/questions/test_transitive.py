@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.crowd import GroundTruth, SimulatedCrowd
-from repro.core import UncertaintyReductionSession, make_policy
+from repro.api import POLICIES
+from repro.core import UncertaintyReductionSession
 from repro.distributions import Uniform
 from repro.questions import Answer, InferenceCache, Question, TransitiveClosure
 from repro.tpo import GridBuilder
@@ -111,7 +112,7 @@ class TestSessionIntegration:
             rng=np.random.default_rng(8),
             use_transitive_inference=inference,
         )
-        return session.run(make_policy(policy), budget)
+        return session.run(POLICIES.create(policy), budget)
 
     def test_closure_never_pays_for_implied_questions(self, setup):
         dists, truth = setup
@@ -143,5 +144,5 @@ class TestSessionIntegration:
             rng=np.random.default_rng(8),
             use_transitive_inference=True,
         )
-        result = session.run(make_policy("T1-on"), 5)
+        result = session.run(POLICIES.create("T1-on"), 5)
         assert result.inferred_answers == 0

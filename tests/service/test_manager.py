@@ -7,6 +7,7 @@ import pytest
 from repro.crowd.oracle import GroundTruth
 from repro.crowd.simulator import SimulatedCrowd
 from repro.service.cache import TPOCache
+from repro.api import InstanceSpec
 from repro.service.manager import (
     ClosedSessionError,
     EventLog,
@@ -33,7 +34,7 @@ def make_manager(**kwargs):
 
 
 def make_crowd(spec):
-    distributions = materialize_instance(normalize_spec(spec))
+    distributions = InstanceSpec.from_dict(spec).materialize()
     truth = GroundTruth.sample(
         distributions, ensure_rng(derive_seed(spec["seed"], "truth"))
     )
@@ -53,15 +54,15 @@ def play(manager, sid, crowd, steps):
 
 
 class TestSpecs:
-    def test_normalize_fills_defaults_and_sorts_params(self):
-        spec = normalize_spec(
+    def test_from_dict_fills_defaults_and_sorts_params(self):
+        spec = InstanceSpec.from_dict(
             {"workload": "uniform", "n": 6, "k": 3, "params": {"width": 0.2}}
-        )
+        ).to_dict()
         assert spec["seed"] == 0
         assert list(spec) == ["workload", "n", "k", "seed", "params"]
 
-    def test_normalize_clamps_k_to_n(self):
-        assert normalize_spec({"n": 4, "k": 9})["k"] == 4
+    def test_from_dict_clamps_k_to_n(self):
+        assert InstanceSpec.from_dict({"n": 4, "k": 9}).k == 4
 
     @pytest.mark.parametrize(
         "bad",
@@ -74,15 +75,31 @@ class TestSpecs:
             "not-a-dict",
         ],
     )
-    def test_normalize_rejects_bad_specs(self, bad):
+    def test_from_dict_rejects_bad_specs(self, bad):
         with pytest.raises(ValueError):
-            normalize_spec(bad)
+            InstanceSpec.from_dict(bad)
 
     def test_materialize_is_process_stable(self):
-        spec = normalize_spec(SPEC)
-        first = materialize_instance(spec)
-        second = materialize_instance(spec)
+        spec = InstanceSpec.from_dict(SPEC)
+        first = spec.materialize()
+        second = spec.materialize()
         assert [d.support for d in first] == [d.support for d in second]
+
+    def test_manager_accepts_instance_spec_objects(self):
+        manager = make_manager()
+        sid = manager.create_session(InstanceSpec.from_dict(SPEC))
+        assert manager.snapshot(sid)["spec"] == InstanceSpec.from_dict(
+            SPEC
+        ).to_dict()
+
+    def test_deprecated_shims_warn_but_agree(self):
+        with pytest.warns(DeprecationWarning, match="InstanceSpec"):
+            normalized = normalize_spec(SPEC)
+        assert normalized == InstanceSpec.from_dict(SPEC).to_dict()
+        with pytest.warns(DeprecationWarning, match="materialize"):
+            dists = materialize_instance(SPEC)
+        reference = InstanceSpec.from_dict(SPEC).materialize()
+        assert [d.support for d in dists] == [d.support for d in reference]
 
 
 class TestLifecycle:
@@ -173,14 +190,14 @@ class TestCoalescing:
 
         manager = make_manager()
         sid = manager.create_session(SPEC)
-        spec = normalize_spec(SPEC)
-        distributions = materialize_instance(spec)
+        spec = InstanceSpec.from_dict(SPEC)
+        distributions = spec.materialize()
         space = (
             GridBuilder(resolution=256)
-            .build(distributions, spec["k"])
+            .build(distributions, spec.k)
             .to_space()
         )
-        standalone = InteractiveSession(distributions, spec["k"], space)
+        standalone = InteractiveSession(distributions, spec.k, space)
         assert manager.next_question(sid) == standalone.next_question()
 
 

@@ -161,6 +161,38 @@ class TestRoutes:
 
         with_server(scenario)
 
+    def test_unknown_method_on_known_route_is_405_with_allow(self):
+        """Wrong method on a *known* route must never fall through to the
+        generic 404 path: 405, an Allow header, and a JSON body."""
+
+        async def scenario(host, port, manager):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                (
+                    f"DELETE /sessions/some-id HTTP/1.1\r\nHost: {host}\r\n"
+                    f"Content-Length: 0\r\n\r\n"
+                ).encode()
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            head, _, body_raw = raw.partition(b"\r\n\r\n")
+            assert b" 405 " in head.split(b"\r\n", 1)[0]
+            header_lines = head.decode("latin-1").split("\r\n")[1:]
+            headers = dict(
+                line.split(": ", 1) for line in header_lines if ": " in line
+            )
+            assert headers["Allow"] == "GET"
+            assert json.loads(body_raw)["error"] == (
+                "DELETE not allowed on /sessions/{session_id}"
+            )
+            # The same request against a multi-method route lists them all.
+            status, body = await http(host, port, "PATCH", "/sessions")
+            assert status == 405
+            assert "GET" in body["error"] or "not allowed" in body["error"]
+
+        with_server(scenario)
+
     def test_malformed_json_body_is_400(self):
         async def scenario(host, port, manager):
             reader, writer = await asyncio.open_connection(host, port)

@@ -1,8 +1,46 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import __version__
+from repro.api import all_registries
 from repro.cli import main
+
+
+class TestVersion:
+    def test_version_flag_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestList:
+    def test_lists_every_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for kind, registry in all_registries().items():
+            assert f"{kind} ({len(registry)})" in out
+        assert "T1-on" in out
+        assert "sensor_network" in out
+
+    def test_kind_filter(self, capsys):
+        assert main(["list", "--kind", "measures"]) == 0
+        out = capsys.readouterr().out
+        assert "measures (4): H, Hw, MPO, ORA" in out
+        assert "policies" not in out
+
+    def test_json_output_is_machine_readable(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engines"] == ["exact", "grid", "mc"]
+        assert set(payload) == set(all_registries())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["list", "--kind", "gadgets"])
 
 
 class TestDemo:

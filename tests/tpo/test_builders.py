@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.api import ENGINES
 from repro.distributions import PointMass, TruncatedGaussian, Uniform
 from repro.tpo import (
     ExactBuilder,
@@ -145,12 +146,19 @@ class TestGuards:
         with pytest.raises(ValueError):
             GridBuilder(max_orderings=0)
 
-    def test_make_builder_factory(self):
-        assert isinstance(make_builder("grid"), GridBuilder)
-        assert isinstance(make_builder("exact"), ExactBuilder)
-        assert isinstance(make_builder("mc"), MonteCarloBuilder)
+    def test_engine_registry(self):
+        assert isinstance(ENGINES.create("grid"), GridBuilder)
+        assert isinstance(ENGINES.create("exact"), ExactBuilder)
+        assert isinstance(ENGINES.create("mc"), MonteCarloBuilder)
         with pytest.raises(ValueError):
-            make_builder("quantum")
+            ENGINES.create("quantum")
+
+    def test_make_builder_shim_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="ENGINES.create"):
+            assert isinstance(make_builder("grid"), GridBuilder)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                make_builder("quantum")
 
 
 class TestMonteCarloDetails:

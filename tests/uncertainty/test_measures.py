@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.tpo.space import OrderingSpace
+from repro.api import MEASURES
 from repro.uncertainty import (
     EntropyMeasure,
     MPOUncertainty,
@@ -153,23 +154,49 @@ class TestRepresentativeMeasures:
 
 
 class TestRegistry:
+    """The unified ``repro.api.MEASURES`` registry."""
+
     def test_paper_names_available(self):
         for name in ("H", "Hw", "ORA", "MPO"):
-            assert name in available_measures()
-            assert get_measure(name).name == name
+            assert name in MEASURES.available()
+            assert MEASURES.create(name).name == name
 
     def test_kwargs_forwarded(self):
-        measure = get_measure("ORA", method="exact")
+        measure = MEASURES.create("ORA", method="exact")
         assert measure.method == "exact"
 
     def test_unknown_name(self):
         with pytest.raises(ValueError):
-            get_measure("XYZ")
+            MEASURES.create("XYZ")
+
+
+class TestDeprecatedShims:
+    """The historical entry points still work, but warn."""
+
+    def test_get_measure(self):
+        with pytest.warns(DeprecationWarning, match="MEASURES.create"):
+            measure = get_measure("ORA", method="exact")
+        assert measure.method == "exact"
+
+    def test_get_measure_unknown_name(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                get_measure("XYZ")
+
+    def test_available_measures(self):
+        with pytest.warns(DeprecationWarning):
+            names = available_measures()
+        assert names == MEASURES.available()
 
     def test_register_custom(self, toy_space):
         class Flat(EntropyMeasure):
             name = "flat"
 
-        register_measure("flat", Flat)
-        assert "flat" in available_measures()
-        assert get_measure("flat")(toy_space) >= 0
+        try:
+            with pytest.warns(DeprecationWarning):
+                register_measure("flat", Flat)
+            assert "flat" in MEASURES.available()
+            with pytest.warns(DeprecationWarning):
+                assert get_measure("flat")(toy_space) >= 0
+        finally:
+            MEASURES.unregister("flat")

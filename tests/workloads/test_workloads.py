@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.api import WORKLOADS
 from repro.distributions import PointMass, Uniform
 from repro.workloads import (
     GENERATORS,
@@ -23,7 +24,7 @@ from repro.workloads import (
 class TestSyntheticGenerators:
     @pytest.mark.parametrize("kind", sorted(GENERATORS))
     def test_generator_contract(self, kind):
-        dists = make_workload(kind, 10, rng=0)
+        dists = WORKLOADS.create(kind, 10, rng=0)
         assert len(dists) == 10
         for dist in dists:
             assert dist.lower <= dist.upper
@@ -67,9 +68,18 @@ class TestSyntheticGenerators:
         assert PointMass in kinds
         assert Uniform in kinds
 
+    def test_legacy_generators_alias_is_the_registry(self):
+        assert GENERATORS is WORKLOADS
+
+    def test_make_workload_shim_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="WORKLOADS.create"):
+            dists = make_workload("uniform", 5, rng=0)
+        assert len(dists) == 5
+
     def test_make_workload_unknown(self):
-        with pytest.raises(ValueError):
-            make_workload("weird", 5)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                make_workload("weird", 5)
 
     def test_triangular_scores_bounded(self):
         for dist in triangular_scores(6, rng=7):
