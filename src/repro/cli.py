@@ -19,7 +19,10 @@ Subcommands cover the common workflows without writing Python:
   resumable: ``python -m repro serve --port 8080 --log events.jsonl
   --resume``);
 * ``bench-service`` — the service-layer throughput/cache benchmark
-  (``python -m repro bench-service --smoke``).
+  (``python -m repro bench-service --smoke``);
+* ``bench-engines`` — the TPO construction benchmark gating the flat
+  level-table grid engine against the pointer baseline
+  (``python -m repro bench-engines --smoke``).
 
 Everything is constructed through the typed :mod:`repro.api` specs — the
 CLI is just an argparse veneer over ``SessionSpec``.
@@ -217,6 +220,19 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_service.add_argument("--resolution", type=int, default=640)
     bench_service.add_argument("--smoke", action="store_true")
     bench_service.add_argument("--json", default=None, metavar="PATH")
+
+    bench_engines = sub.add_parser(
+        "bench-engines",
+        help="benchmark TPO construction (flat grid vs pointer baseline)",
+    )
+    bench_engines.add_argument("--n", type=int, default=18)
+    bench_engines.add_argument("--k", type=int, default=6)
+    bench_engines.add_argument("--width", type=float, default=0.35)
+    bench_engines.add_argument("--resolution", type=int, default=800)
+    bench_engines.add_argument("--mc-samples", type=int, default=200000)
+    bench_engines.add_argument("--repetitions", type=int, default=3)
+    bench_engines.add_argument("--smoke", action="store_true")
+    bench_engines.add_argument("--json", default=None, metavar="PATH")
     return parser
 
 
@@ -437,6 +453,22 @@ def _command_bench_service(args) -> int:
     return 1 if failures else 0
 
 
+def _command_bench_engines(args) -> int:
+    from repro.tpo.bench import run as run_bench
+
+    failures = run_bench(
+        n=args.n,
+        k=args.k,
+        width=args.width,
+        resolution=args.resolution,
+        mc_samples=args.mc_samples,
+        repetitions=args.repetitions,
+        json_path=args.json,
+        smoke=args.smoke,
+    )
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -454,6 +486,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_serve(args)
     if args.command == "bench-service":
         return _command_bench_service(args)
+    if args.command == "bench-engines":
+        return _command_bench_engines(args)
     return 2  # unreachable: argparse enforces the choices
 
 

@@ -15,6 +15,12 @@ fully offline (``n = B``) interaction pattern, which is why the paper calls
 ``incr`` a hybrid.  After the budget is exhausted the tree is completed to
 depth K (re-applying all collected constraints) so the result is comparable
 with the other algorithms.
+
+Every step of the loop leans on the flat level-table tree: ``extend``
+appends one array-backed level in a single batched pass, pruning
+propagates alive-masks down the tables (compacting the builder's
+frontier payload with them), and the repeated ``to_space`` flattenings
+between rounds are vectorized gathers rather than per-leaf walks.
 """
 
 from __future__ import annotations

@@ -9,12 +9,17 @@ number of concurrent sessions over hashed-equal instances share one build.
 
 Cached values are *initial* :class:`~repro.tpo.space.OrderingSpace`
 objects.  Spaces are immutable — every answer produces a new space — so
-sharing one across sessions is safe, and the lazily computed
-``positions()`` matrix is shared too.  On insert the built tree is
-round-tripped through :mod:`repro.tpo.serialize` (``tree_to_dict`` /
-``tree_from_dict``), which drops builder engine caches and guarantees the
-cached state is exactly what a cold rebuild from the serialized form would
-produce — the property the manager's resume path relies on.
+sharing one across sessions is safe; the ``(L, N)`` ``positions()``
+matrix is computed eagerly on insert, so concurrent sessions over the
+same instance share one copy instead of racing to build their own (and
+``reweight``/``restrict`` now carry it into their derived spaces).  On
+insert the built tree is round-tripped through :mod:`repro.tpo.serialize`
+(``tree_to_dict`` / ``tree_from_dict``), which drops builder engine
+caches and guarantees the cached state is exactly what a cold rebuild
+from the serialized form would produce — the property the manager's
+resume path relies on.  Since the flat level-table refactor the
+round-trip is cheap: deserialization fills per-level arrays and
+``to_space`` is a batch of gathers, not a leaf walk.
 """
 
 from __future__ import annotations
@@ -83,6 +88,10 @@ class TPOCache:
         self.misses += 1
         payload = tree_to_dict(build())
         space = tree_from_dict(payload, list(distributions)).to_space()
+        # Warm the (L, N) positions matrix once, up front: every session
+        # sharing this entry reads it on its first agreement query, and
+        # derived spaces (reweight/restrict) inherit it.
+        space.positions()
         if self.capacity > 0:
             self._entries[key] = space
             while len(self._entries) > self.capacity:

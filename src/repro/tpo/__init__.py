@@ -1,7 +1,11 @@
 """Tree-of-possible-orderings substrate (S2 in DESIGN.md).
 
 Builds, extends, prunes, and flattens the TPO ``T_K`` of Soliman & Ilyas
-that the paper's uncertainty-reduction algorithms operate on.
+that the paper's uncertainty-reduction algorithms operate on.  The tree
+is stored as flat per-level ``(tuple_ids, parent_idx, probs)`` array
+tables (see :mod:`repro.tpo.tree`), and every engine extends the whole
+frontier in one batched pass (:mod:`repro.tpo.builders`); the pointer
+node API survives as read-only views.
 """
 
 from repro.tpo.builders import (
@@ -19,7 +23,7 @@ from repro.tpo.analysis import (
     question_impact_table,
     tuple_volatility,
 )
-from repro.tpo.node import ROOT_TUPLE, TPONode
+from repro.tpo.node import ROOT_TUPLE, TPONode, TPONodeView
 from repro.tpo.semantics import (
     answer_report,
     expected_ranks,
@@ -29,12 +33,14 @@ from repro.tpo.semantics import (
 )
 from repro.tpo.serialize import tree_from_dict, tree_to_dict, tree_to_dot
 from repro.tpo.space import DegenerateSpaceError, OrderingSpace
-from repro.tpo.tree import TPOTree
+from repro.tpo.tree import TPOLevel, TPOTree
 
 __all__ = [
     "TPONode",
+    "TPONodeView",
     "ROOT_TUPLE",
     "TPOTree",
+    "TPOLevel",
     "OrderingSpace",
     "DegenerateSpaceError",
     "TPOBuilder",

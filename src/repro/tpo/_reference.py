@@ -1,0 +1,157 @@
+"""The retired pointer-chasing grid engine, kept as oracle and baseline.
+
+Before the flat level-table refactor, :class:`~repro.tpo.builders.GridBuilder`
+grew a tree of :class:`~repro.tpo.node.TPONode` objects: a Python loop over
+the frontier, one ``TPONode`` allocation per child, and one exclude-one
+CDF-product sweep per parent.  This module preserves that exact numeric
+path — same recursion, same operation order, same ``min_probability``
+policy — for two jobs:
+
+* **parity oracle** — the engine cross-validation tests assert that the
+  flat batched path reproduces these leaf probabilities to ≤ 1e-9;
+* **regression baseline** — ``repro bench-engines`` gates the flat grid
+  engine at ≥ 4× the build throughput of this implementation.
+
+It is intentionally *not* registered in :data:`repro.api.ENGINES` and
+returns its own minimal pointer tree; production code should never import
+it outside tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.distributions.base import ScoreDistribution
+from repro.distributions.grid import Grid
+from repro.tpo.builders import TPOSizeError, _effective
+from repro.tpo.node import ROOT_TUPLE, TPONode
+from repro.tpo.space import OrderingSpace
+
+
+class PointerTPOTree:
+    """Minimal pointer-based TPO: just enough to build and flatten."""
+
+    def __init__(
+        self, distributions: Sequence[ScoreDistribution], k: int
+    ) -> None:
+        self.distributions = list(distributions)
+        self.k = min(k, len(self.distributions))
+        self.root = TPONode(ROOT_TUPLE, 1.0)
+        self.built_depth = 0
+
+    @property
+    def n_tuples(self) -> int:
+        return len(self.distributions)
+
+    @property
+    def is_complete(self) -> bool:
+        return self.built_depth >= self.k
+
+    def nodes_at_depth(self, depth: int) -> List[TPONode]:
+        current = [self.root]
+        for _ in range(depth):
+            current = [child for node in current for child in node.children]
+        return current
+
+    def leaves(self) -> List[TPONode]:
+        return self.nodes_at_depth(self.built_depth)
+
+    def renormalize(self) -> None:
+        leaves = self.leaves()
+        total = sum(leaf.probability for leaf in leaves)
+        for leaf in leaves:
+            leaf.probability /= total
+
+    def to_space(self) -> OrderingSpace:
+        leaves = self.leaves()
+        paths = np.array([leaf.prefix() for leaf in leaves], dtype=np.int32)
+        probs = np.array([leaf.probability for leaf in leaves], dtype=float)
+        return OrderingSpace(paths, probs, self.n_tuples)
+
+
+class ReferenceGridBuilder:
+    """The pointer-era grid engine, verbatim numeric path.
+
+    Matches the pre-refactor ``GridBuilder`` node for node: per-parent
+    Python loop, per-child state arrays, identical integration and
+    pruning.  See the module docstring for why it is preserved.
+    """
+
+    def __init__(
+        self,
+        resolution: int = 1024,
+        min_probability: float = 1e-9,
+        max_orderings: int = 200000,
+    ) -> None:
+        self.resolution = resolution
+        self.min_probability = min_probability
+        self.max_orderings = max_orderings
+
+    def build(
+        self, distributions: Sequence[ScoreDistribution], k: int
+    ) -> PointerTPOTree:
+        tree = PointerTPOTree(distributions, k)
+        dists = [_effective(d) for d in tree.distributions]
+        grid = Grid.for_distributions(dists, self.resolution)
+        densities = np.stack([grid.density(d) for d in dists])
+        cdfs = np.stack([grid.cdf(d) for d in dists])
+        while not tree.is_complete:
+            self._extend(tree, grid, densities, cdfs)
+        tree.renormalize()
+        return tree
+
+    def _extend(
+        self,
+        tree: PointerTPOTree,
+        grid: Grid,
+        densities: np.ndarray,
+        cdfs: np.ndarray,
+    ) -> None:
+        n = tree.n_tuples
+        created = 0
+        parents = tree.nodes_at_depth(tree.built_depth)
+        for node in parents:
+            prefix = node.prefix()
+            remaining = [t for t in range(n) if t not in set(prefix)]
+            if not remaining:
+                continue
+            if node.is_root:
+                tail = np.ones(grid.cell_count)
+            else:
+                tail = grid.upper_tail(node.state)
+            stacked = cdfs[remaining]
+            exclusive = _exclude_one_products_2d(stacked)
+            candidate_h = densities[remaining] * tail[None, :]
+            probs = (candidate_h * exclusive) @ grid.widths
+            for idx, t in enumerate(remaining):
+                if probs[idx] > self.min_probability:
+                    child = node.add_child(t, float(probs[idx]))
+                    child.state = candidate_h[idx]
+                    created += 1
+            if created > self.max_orderings:
+                raise TPOSizeError(
+                    f"TPO level {tree.built_depth + 1} holds {created} "
+                    f"orderings, above the limit of {self.max_orderings}"
+                )
+        for node in parents:
+            node.state = None
+        tree.built_depth += 1
+
+
+def _exclude_one_products_2d(stacked: np.ndarray) -> np.ndarray:
+    """Pointer-era 2-D exclude-one products (``out[i] = Π_{j≠i} rows[j]``)."""
+    m = stacked.shape[0]
+    if m == 1:
+        return np.ones_like(stacked)
+    prefix = np.ones_like(stacked)
+    suffix = np.ones_like(stacked)
+    for i in range(1, m):
+        prefix[i] = prefix[i - 1] * stacked[i - 1]
+    for i in range(m - 2, -1, -1):
+        suffix[i] = suffix[i + 1] * stacked[i + 1]
+    return prefix * suffix
+
+
+__all__ = ["PointerTPOTree", "ReferenceGridBuilder"]

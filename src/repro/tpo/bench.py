@@ -1,0 +1,206 @@
+"""Engine-construction benchmark: flat level-table vs pointer baseline.
+
+Building ``T_K`` is the dominant cold-cache cost of every service session
+and every experiment-grid cell, so the flat refactor of the grid engine is
+gated the same way the batched selection step and the service layer are:
+
+* **parity** — the flat :class:`~repro.tpo.builders.GridBuilder` must
+  reproduce the pointer-era
+  :class:`~repro.tpo._reference.ReferenceGridBuilder` leaf probabilities
+  to ≤ 1e-9 (same leaves, same order, same masses);
+* **throughput** — flat grid build must be ≥ 4× faster than the pointer
+  baseline on the full-size instance.
+
+Monte Carlo build throughput is measured alongside (informational, no
+gate — its group-by was batched in the same refactor but has no preserved
+baseline).  Exit status is non-zero when a gate fails, so CI can gate on
+it; ``--json PATH`` writes the measurements as a provenance-stamped
+artifact (``BENCH_engines.json`` in CI) for regression tracking.
+
+Run:  PYTHONPATH=src python benchmarks/bench_engines.py [--smoke] [--json PATH]
+      (or: python -m repro bench-engines [--smoke] [--json PATH])
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.tpo._reference import ReferenceGridBuilder
+from repro.tpo.builders import GridBuilder, MonteCarloBuilder
+from repro.tpo.space import OrderingSpace
+from repro.utils.provenance import artifact_stamp
+from repro.workloads.synthetic import uniform_intervals
+
+SPEEDUP_FLOOR = 4.0
+PARITY_ATOL = 1e-9
+
+
+def best_of(callable_, repetitions: int) -> float:
+    """Minimum wall-clock of ``repetitions`` runs (noise-robust)."""
+    timings = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        callable_()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def leaf_parity(flat: OrderingSpace, reference: OrderingSpace) -> Dict[str, Any]:
+    """Leaf-table agreement of the two grid paths.
+
+    The flat path preserves the pointer-era depth-first leaf order
+    (parent-major levels, candidates ascending), so the comparison is
+    positional: same paths row for row, masses within ``PARITY_ATOL``.
+    """
+    same_shape = flat.paths.shape == reference.paths.shape
+    same_order = bool(
+        same_shape and np.array_equal(flat.paths, reference.paths)
+    )
+    if same_order:
+        max_error = float(
+            np.max(np.abs(flat.probabilities - reference.probabilities))
+        )
+    else:
+        max_error = float("inf")
+    return {
+        "leaves": int(flat.size),
+        "identical_leaf_order": same_order,
+        "max_abs_error": max_error,
+        "within_tolerance": same_order and max_error <= PARITY_ATOL,
+    }
+
+
+def run(
+    n: int = 18,
+    k: int = 6,
+    width: float = 0.35,
+    resolution: int = 800,
+    mc_samples: int = 200000,
+    repetitions: int = 3,
+    json_path: Optional[str] = None,
+    smoke: bool = False,
+) -> int:
+    """Run the benchmark; returns the number of failed gates."""
+    if smoke:
+        n, k, width, resolution = 10, 4, 0.25, 320
+        mc_samples, repetitions = 20000, 1
+    workload = uniform_intervals(n, width=width, rng=2016)
+
+    flat_builder = GridBuilder(resolution=resolution, max_orderings=500000)
+    reference_builder = ReferenceGridBuilder(
+        resolution=resolution, max_orderings=500000
+    )
+    mc_builder = MonteCarloBuilder(
+        samples=mc_samples, seed=2016, max_orderings=500000
+    )
+
+    flat_space = flat_builder.build(workload, k).to_space()
+    reference_space = reference_builder.build(workload, k).to_space()
+    parity = leaf_parity(flat_space, reference_space)
+    print(
+        f"instance: N={n} K={k} width={width} resolution={resolution} → "
+        f"L={flat_space.size} orderings"
+    )
+    print(
+        f"parity   : leaf order identical={parity['identical_leaf_order']}, "
+        f"max |Δp|={parity['max_abs_error']:.3g}"
+    )
+
+    flat_time = best_of(
+        lambda: flat_builder.build(workload, k), repetitions
+    )
+    reference_time = best_of(
+        lambda: reference_builder.build(workload, k), repetitions
+    )
+    mc_time = best_of(lambda: mc_builder.build(workload, k), repetitions)
+    speedup = reference_time / flat_time if flat_time > 0 else float("inf")
+    print(f"grid flat    : {flat_time:8.3f}s / build")
+    print(f"grid pointer : {reference_time:8.3f}s / build")
+    print(f"mc ({mc_samples} samples): {mc_time:8.3f}s / build")
+    print(f"speedup      : {speedup:6.2f}x (flat over pointer baseline)")
+
+    failures = 0
+    if not parity["within_tolerance"]:
+        print(f"  FAIL: grid paths disagree beyond {PARITY_ATOL}")
+        failures += 1
+    if not smoke and speedup < SPEEDUP_FLOOR:
+        print(f"  FAIL: speedup below the {SPEEDUP_FLOOR}x floor")
+        failures += 1
+
+    if json_path is not None:
+        artifact = {
+            "benchmark": "bench_engines",
+            **artifact_stamp(),
+            "config": {
+                "n": n,
+                "k": k,
+                "width": width,
+                "resolution": resolution,
+                "mc_samples": mc_samples,
+                "repetitions": repetitions,
+                "smoke": smoke,
+            },
+            "parity": parity,
+            "grid_flat_seconds": flat_time,
+            "grid_pointer_seconds": reference_time,
+            "mc_seconds": mc_time,
+            "speedup": speedup,
+            "gates": {
+                "parity_atol": PARITY_ATOL,
+                "speedup_floor": SPEEDUP_FLOOR,
+                "gated": not smoke,
+            },
+            "failures": failures,
+        }
+        Path(json_path).write_text(json.dumps(artifact, indent=2) + "\n")
+        print(f"wrote {json_path}")
+
+    print("PASS" if failures == 0 else f"{failures} check(s) FAILED")
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=18, help="number of tuples")
+    parser.add_argument("--k", type=int, default=6, help="top-K depth")
+    parser.add_argument("--width", type=float, default=0.35, help="pdf width")
+    parser.add_argument(
+        "--resolution", type=int, default=800, help="grid resolution"
+    )
+    parser.add_argument(
+        "--mc-samples", type=int, default=200000, help="Monte Carlo samples"
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=3, help="timing repetitions"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny instance, parity gate only (CI smoke / laptops)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write measurements as a JSON artifact (BENCH_engines.json)",
+    )
+    args = parser.parse_args(argv)
+    return run(
+        n=args.n,
+        k=args.k,
+        width=args.width,
+        resolution=args.resolution,
+        mc_samples=args.mc_samples,
+        repetitions=args.repetitions,
+        json_path=args.json,
+        smoke=args.smoke,
+    )
+
+
+__all__ = ["run", "main", "leaf_parity", "best_of"]

@@ -1,4 +1,4 @@
-"""TPO construction engines.
+"""TPO construction engines over the flat level-table tree.
 
 All builders implement the same level-by-level recursion for prefix-ranking
 probabilities (Li & Deshpande, PVLDB'10): with independent score variables,
@@ -7,9 +7,14 @@ the event "prefix ``t_1 ≻ … ≻ t_d`` is the top-d ranking" has probability
 ``Pr = ∫ h_d(x) · Π_{j ∉ prefix} F_j(x) dx``, where
 ``h_1 = f_{t_1}`` and ``h_{d+1}(x) = f_{t_{d+1}}(x) · ∫_x^∞ h_d(u) du``.
 
-``h_d`` — the *prefix density* — is stored on each node (``node.state``),
-which is what makes one-level extension (and hence the paper's ``incr``
-algorithm) cheap.
+``h_d`` — the *prefix density* — is what makes one-level extension (and
+hence the paper's ``incr`` algorithm) cheap.  Since the flat level-table
+refactor, it no longer lives on per-node objects: each engine keeps a
+payload *aligned with the frontier level's row order* in
+``tree.engine_cache`` (a ``(W, C)`` density matrix for the grid engine, a
+list of piecewise polynomials for the exact engine, a sample→node index
+vector for Monte Carlo) and extends the whole frontier in one batched
+pass — no Python loop over nodes on the numeric hot path.
 
 Three interchangeable engines:
 
@@ -19,6 +24,10 @@ Three interchangeable engines:
   the default workhorse.
 * :class:`MonteCarloBuilder` — empirical tree over joint score samples;
   used for cross-validation and very large instances.
+
+The retired pointer-chasing grid path survives in
+:mod:`repro.tpo._reference` as the parity oracle and the baseline of the
+``bench-engines`` regression gate.
 """
 
 from __future__ import annotations
@@ -36,7 +45,6 @@ from repro.distributions.piecewise import PiecewisePolynomial, product
 from repro.distributions.uniform import Uniform
 from repro.tpo.tree import TPOTree
 from repro.utils.rng import SeedLike, ensure_rng
-
 
 def _effective(dist: ScoreDistribution) -> ScoreDistribution:
     """Replace deterministic scores by negligible-width intervals.
@@ -117,6 +125,24 @@ class TPOBuilder(abc.ABC):
     def extend(self, tree: TPOTree) -> None:
         """Materialize one more level of ``tree``."""
 
+    def _remaining_candidates(self, tree: TPOTree) -> np.ndarray:
+        """``(W, N − depth)`` per-frontier-node candidate tuples, ascending.
+
+        Every depth-``d`` prefix holds ``d`` distinct tuples, so each
+        frontier node has exactly ``N − d`` candidates; row-major
+        ``np.nonzero`` of the absent-tuple mask yields them sorted, which
+        reproduces the pointer-era child order exactly.
+        """
+        n = tree.n_tuples
+        depth = tree.built_depth
+        if depth == 0:
+            return np.arange(n, dtype=np.intp).reshape(1, n)
+        paths = tree.paths_at_depth(depth)
+        width = paths.shape[0]
+        present = np.zeros((width, n), dtype=bool)
+        present[np.arange(width)[:, None], paths] = True
+        return np.nonzero(~present)[1].reshape(width, n - depth)
+
 
 # ----------------------------------------------------------------------
 # Grid engine
@@ -125,6 +151,14 @@ class TPOBuilder(abc.ABC):
 
 class GridBuilder(TPOBuilder):
     """Numeric TPO construction on a shared integration grid.
+
+    ``extend`` is one batched pass over the whole frontier: one
+    vectorized upper-tail sweep over the ``(W, C)`` prefix-density
+    matrix, one exclude-one cumulative-product integrand per distinct
+    candidate *set* (``m = N − depth`` candidates per node, ``C`` grid
+    cells), and one ``(W_g, C) × (C, m)`` matmul per set-group —
+    probabilities for every child of every frontier node with no
+    per-node Python work.
 
     Parameters
     ----------
@@ -159,64 +193,109 @@ class GridBuilder(TPOBuilder):
         depth = tree.built_depth
         if depth >= tree.k:
             return
-        n = tree.n_tuples
+        cells = grid.cell_count
+        remaining = self._remaining_candidates(tree)
+        width, m = remaining.shape
+        if depth == 0:
+            tails = np.ones((1, cells))
+        else:
+            tails = _upper_tail_rows(cache.frontier_h, grid)
+
+        # The child probability ∫ f_t · T_node · Π_{j≠t} F_j factors into
+        # (tail of the node) × (integrand of the candidate *set*): the
+        # exclude-one CDF products depend on which tuples remain, not on
+        # the order the prefix ranked them.  Group the frontier by
+        # candidate set, build each set's (m, C) integrand once, and all
+        # of a group's children drop out of a single (W_g, C) × (C, m)
+        # matmul — the per-node pointer loop becomes one GEMM per set.
+        sets, inverse = np.unique(remaining, axis=0, return_inverse=True)
+        order = np.argsort(inverse.ravel(), kind="stable")
+        bounds = np.append(
+            np.flatnonzero(np.diff(inverse.ravel()[order], prepend=-1)),
+            order.size,
+        )
+        probs = np.empty((width, m))
         created = 0
-        parents = tree.nodes_at_depth(depth)
-        for node in parents:
-            prefix = node.prefix()
-            remaining = [t for t in range(n) if t not in set(prefix)]
-            if not remaining:
-                continue
-            if node.is_root:
-                tail = np.ones(grid.cell_count)
-            else:
-                tail = grid.upper_tail(node.state)
-            # Exclude-one products of the remaining tuples' CDFs.
-            stacked = cache.cdfs[remaining]
-            exclusive = _exclude_one_products(stacked)
-            candidate_h = cache.densities[remaining] * tail[None, :]
-            probs = (candidate_h * exclusive) @ grid.widths
-            for idx, t in enumerate(remaining):
-                if probs[idx] > self.min_probability:
-                    child = node.add_child(t, float(probs[idx]))
-                    child.state = candidate_h[idx]
-                    created += 1
+        for group in range(sets.shape[0]):
+            rows = order[bounds[group] : bounds[group + 1]]
+            cand = sets[group]
+            integrand = (
+                cache.densities[cand]
+                * _exclude_one_products(cache.cdfs[cand])
+                * grid.widths
+            )
+            block = tails[rows] @ integrand.T  # (W_g, m)
+            probs[rows] = block
+            created += int(np.count_nonzero(block > self.min_probability))
             self._check_size(tree, created)
-        # Parent prefix densities are never needed again: free them so the
-        # live state is bounded by one level, not the whole tree.
-        for node in parents:
-            node.state = None
-        tree.built_depth += 1
+        keep_rows, keep_cols = np.nonzero(probs > self.min_probability)
+        child_tuples = remaining[keep_rows, keep_cols]
+        if depth + 1 < tree.k:
+            # Child prefix densities h_{d+1} = f_t · T(h_d), kept rows
+            # only.  The deepest level never extends again, so its (far
+            # widest) density matrix is never materialized at all.
+            cache.frontier_h = cache.densities[child_tuples] * tails[keep_rows]
+        else:
+            cache.frontier_h = None
+        tree.append_level(
+            child_tuples, keep_rows, probs[keep_rows, keep_cols]
+        )
 
 
 class _GridCache:
-    """Per-tree immutable numeric context for :class:`GridBuilder`."""
+    """Per-tree numeric context for :class:`GridBuilder`.
 
-    __slots__ = ("grid", "densities", "cdfs")
+    ``frontier_h`` is the ``(W, C)`` matrix of prefix densities of the
+    deepest level's nodes, row-aligned with that level — the only mutable
+    piece, replaced wholesale on every extension and compacted by
+    :meth:`prune_frontier` when the tree is pruned mid-build.
+    """
+
+    __slots__ = ("grid", "densities", "cdfs", "frontier_h")
 
     def __init__(self, grid: Grid, densities: np.ndarray, cdfs: np.ndarray):
         self.grid = grid
         self.densities = densities
         self.cdfs = cdfs
+        self.frontier_h: Optional[np.ndarray] = None
+
+    def prune_frontier(
+        self, alive: np.ndarray, index_map: np.ndarray
+    ) -> None:
+        """Drop the prefix-density rows of pruned frontier nodes."""
+        if self.frontier_h is not None:
+            self.frontier_h = self.frontier_h[alive]
 
 
 def _exclude_one_products(stacked: np.ndarray) -> np.ndarray:
-    """Row-wise products of all *other* rows: ``out[i] = Π_{j≠i} rows[j]``.
+    """Products of all *other* rows: ``out[…, i, :] = Π_{j≠i} rows[…, j, :]``.
 
-    Computed with prefix/suffix cumulative products in O(m·C); avoids the
-    numerically hazardous divide-by-row alternative (CDFs are 0 on the left
-    of each support).
+    Operates on the second-to-last axis of an ``(…, m, C)`` stack, so one
+    call covers every frontier node of a chunk.  Computed with
+    prefix/suffix cumulative products in O(m·C) per node; avoids the
+    numerically hazardous divide-by-row alternative (CDFs are 0 on the
+    left of each support).
     """
-    m = stacked.shape[0]
+    m = stacked.shape[-2]
     if m == 1:
         return np.ones_like(stacked)
     prefix = np.ones_like(stacked)
     suffix = np.ones_like(stacked)
     for i in range(1, m):
-        prefix[i] = prefix[i - 1] * stacked[i - 1]
+        prefix[..., i, :] = prefix[..., i - 1, :] * stacked[..., i - 1, :]
     for i in range(m - 2, -1, -1):
-        suffix[i] = suffix[i + 1] * stacked[i + 1]
+        suffix[..., i, :] = suffix[..., i + 1, :] * stacked[..., i + 1, :]
     return prefix * suffix
+
+
+def _upper_tail_rows(cell_values: np.ndarray, grid: Grid) -> np.ndarray:
+    """Row-wise :meth:`Grid.upper_tail` of a ``(W, C)`` density matrix."""
+    masses = cell_values * grid.widths
+    suffix = np.cumsum(masses[:, ::-1], axis=1)[:, ::-1]
+    after = np.concatenate(
+        [suffix[:, 1:], np.zeros((masses.shape[0], 1))], axis=1
+    )
+    return after + 0.5 * masses
 
 
 # ----------------------------------------------------------------------
@@ -232,7 +311,9 @@ class ExactBuilder(TPOBuilder):
     :meth:`~repro.distributions.base.ScoreDistribution.piecewise_pdf`.
     Intended for small instances (it is the test oracle for the other
     engines); cost grows with the product polynomial degrees, roughly
-    ``O(nodes · N² · pieces)``.
+    ``O(nodes · N² · pieces)``.  Per-frontier prefix densities are a list
+    of polynomials aligned with the top level's rows; the node loop stays
+    in Python because the polynomial calculus itself dominates.
     """
 
     def __init__(
@@ -260,46 +341,48 @@ class ExactBuilder(TPOBuilder):
         depth = tree.built_depth
         if depth >= tree.k:
             return
-        n = tree.n_tuples
-        created = 0
-        parents = tree.nodes_at_depth(depth)
-        for node in parents:
-            prefix = set(node.prefix())
-            remaining = [t for t in range(n) if t not in prefix]
-            if not remaining:
-                continue
-            tail = (
-                None
-                if node.is_root
-                else _upper_tail_poly(node.state, cache.lo, cache.hi)
-            )
-            for position, t in enumerate(remaining):
-                others = remaining[:position] + remaining[position + 1 :]
+        remaining = self._remaining_candidates(tree)
+        if depth == 0:
+            tails: List[Optional[PiecewisePolynomial]] = [None]
+        else:
+            tails = [
+                _upper_tail_poly(h, cache.lo, cache.hi)
+                for h in cache.frontier_polys
+            ]
+        tuple_ids: List[int] = []
+        parent_idx: List[int] = []
+        probs: List[float] = []
+        new_polys: List[PiecewisePolynomial] = []
+        for parent, (candidates, tail) in enumerate(zip(remaining, tails)):
+            for position, t in enumerate(candidates):
+                others = np.delete(candidates, position)
                 h_child = (
                     cache.pdfs[t] if tail is None else cache.pdfs[t] * tail
                 )
                 if h_child.is_zero():
                     continue
                 integrand = h_child
-                if others:
+                if others.size:
                     integrand = h_child * product(
                         [cache.cdfs[j] for j in others]
                     )
                 prob = integrand.definite_integral()
                 if prob > self.min_probability:
-                    child = node.add_child(t, float(prob))
-                    child.state = h_child
-                    created += 1
-            self._check_size(tree, created)
-        for node in parents:
-            node.state = None
-        tree.built_depth += 1
+                    tuple_ids.append(int(t))
+                    parent_idx.append(parent)
+                    probs.append(float(prob))
+                    new_polys.append(h_child)
+            self._check_size(tree, len(tuple_ids))
+        cache.frontier_polys = new_polys
+        tree.append_level(
+            np.asarray(tuple_ids), np.asarray(parent_idx), np.asarray(probs)
+        )
 
 
 class _ExactCache:
     """Per-tree symbolic context for :class:`ExactBuilder`."""
 
-    __slots__ = ("lo", "hi", "pdfs", "cdfs")
+    __slots__ = ("lo", "hi", "pdfs", "cdfs", "frontier_polys")
 
     def __init__(
         self,
@@ -312,6 +395,18 @@ class _ExactCache:
         self.hi = hi
         self.pdfs = pdfs
         self.cdfs = cdfs
+        self.frontier_polys: List[PiecewisePolynomial] = []
+
+    def prune_frontier(
+        self, alive: np.ndarray, index_map: np.ndarray
+    ) -> None:
+        """Drop the prefix-density polynomials of pruned frontier nodes."""
+        if self.frontier_polys:
+            self.frontier_polys = [
+                poly
+                for poly, keep in zip(self.frontier_polys, alive)
+                if keep
+            ]
 
 
 def _upper_tail_poly(
@@ -333,9 +428,12 @@ def _upper_tail_poly(
 class MonteCarloBuilder(TPOBuilder):
     """Empirical TPO over joint samples of the score vector.
 
-    Each node stores the indices of the samples consistent with its prefix,
-    so extension is a group-by over the next rank — the tree converges to
-    the exact one as ``samples → ∞`` at the usual ``O(1/√M)`` rate.
+    The engine cache maps every sample to the frontier node whose prefix
+    it is consistent with (``-1`` once dropped), so extension is one
+    global stable group-by over ``(node, next_tuple)`` keys — a single
+    argsort of the active samples replaces the pointer-era per-node
+    argsorts.  The tree converges to the exact one as ``samples → ∞`` at
+    the usual ``O(1/√M)`` rate.
     """
 
     def __init__(
@@ -361,7 +459,6 @@ class MonteCarloBuilder(TPOBuilder):
         matrix = matrix + rng.random(matrix.shape) * 1e-12
         ranks = np.argsort(-matrix, axis=1)[:, : tree.k]
         tree.engine_cache = _MonteCarloCache(ranks)
-        tree.root.state = np.arange(self.samples)
 
     def extend(self, tree: TPOTree) -> None:
         cache: _MonteCarloCache = tree.engine_cache
@@ -369,35 +466,61 @@ class MonteCarloBuilder(TPOBuilder):
         if depth >= tree.k:
             return
         total = cache.ranks.shape[0]
-        for node in tree.nodes_at_depth(depth):
-            sample_ids = node.state
-            if sample_ids is None or sample_ids.size == 0:
-                continue
-            next_tuples = cache.ranks[sample_ids, depth]
-            order = np.argsort(next_tuples, kind="stable")
-            sorted_tuples = next_tuples[order]
-            sorted_ids = sample_ids[order]
-            boundaries = np.flatnonzero(
-                np.diff(sorted_tuples, prepend=sorted_tuples[0] - 1)
-            )
-            boundaries = np.append(boundaries, sorted_tuples.size)
-            for b in range(len(boundaries) - 1):
-                lo, hi = boundaries[b], boundaries[b + 1]
-                t = int(sorted_tuples[lo])
-                prob = (hi - lo) / total
-                if prob > self.min_probability:
-                    child = node.add_child(t, float(prob))
-                    child.state = sorted_ids[lo:hi]
-        tree.built_depth += 1
+        n = tree.n_tuples
+        active = np.flatnonzero(cache.sample_node >= 0)
+        if active.size == 0:
+            tree.append_level(np.empty(0), np.empty(0), np.empty(0))
+            return
+        # One global stable group-by over (frontier node, next tuple).
+        keys = cache.sample_node[active] * n + cache.ranks[active, depth]
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        starts = np.flatnonzero(
+            np.diff(sorted_keys, prepend=sorted_keys[0] - 1)
+        )
+        counts = np.diff(np.append(starts, sorted_keys.size))
+        group_keys = sorted_keys[starts]
+        probs = counts / total
+        keep = probs > self.min_probability
+        self._check_size(tree, int(np.count_nonzero(keep)))
+        child_of_group = np.full(group_keys.size, -1, dtype=np.int64)
+        child_of_group[keep] = np.arange(int(np.count_nonzero(keep)))
+        # Reassign every active sample to its (possibly dropped) child.
+        group_per_sample = np.repeat(
+            np.arange(group_keys.size), counts
+        )
+        new_assignment = np.full(total, -1, dtype=np.int64)
+        new_assignment[active[order]] = child_of_group[group_per_sample]
+        cache.sample_node = new_assignment
+        tree.append_level(
+            (group_keys % n)[keep],
+            (group_keys // n)[keep],
+            probs[keep],
+        )
 
 
 class _MonteCarloCache:
-    """Per-tree sample context for :class:`MonteCarloBuilder`."""
+    """Per-tree sample context for :class:`MonteCarloBuilder`.
 
-    __slots__ = ("ranks",)
+    ``sample_node[s]`` is the frontier-level row index whose prefix sample
+    ``s`` realizes, or ``-1`` once the sample's prefix was dropped
+    (pruned, or below ``min_probability``).
+    """
+
+    __slots__ = ("ranks", "sample_node")
 
     def __init__(self, ranks: np.ndarray) -> None:
         self.ranks = ranks
+        self.sample_node = np.zeros(ranks.shape[0], dtype=np.int64)
+
+    def prune_frontier(
+        self, alive: np.ndarray, index_map: np.ndarray
+    ) -> None:
+        """Remap sample assignments through the level compaction."""
+        assigned = self.sample_node >= 0
+        remapped = self.sample_node.copy()
+        remapped[assigned] = index_map[self.sample_node[assigned]]
+        self.sample_node = remapped
 
 
 # ----------------------------------------------------------------------

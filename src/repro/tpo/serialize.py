@@ -3,31 +3,44 @@
 The dict form round-trips a built tree (structure + probabilities, not the
 engine caches); the DOT form is for eyeballing small trees, mirroring the
 figures of Soliman & Ilyas.
+
+The wire format is unchanged from the pointer-tree era — a nested
+``{"tuple", "p", "children"}`` payload — so cached artifacts and service
+event logs replay byte-identically across the flat level-table refactor.
+Internally, serialization converts directly between that nesting and the
+flat ``(tuple_ids, parent_idx, probs)`` level tables: ``tree_to_dict``
+links per-level dict rows through ``parent_idx`` (no recursion), and
+``tree_from_dict`` flattens the payload one breadth-first level at a
+time, which preserves the parent-major row order the tree requires.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.tpo.node import TPONode
+import numpy as np
+
+from repro.tpo.node import TPONodeView
 from repro.tpo.tree import TPOTree
 
 
 def tree_to_dict(tree: TPOTree) -> Dict:
     """Serialize structure and probabilities to plain Python data."""
-
-    def node_to_dict(node: TPONode) -> Dict:
-        return {
-            "tuple": node.tuple_index,
-            "p": node.probability,
-            "children": [node_to_dict(c) for c in node.children],
-        }
-
+    root: Dict = {"tuple": -1, "p": 1.0, "children": []}
+    parent_rows: List[Dict] = [root]
+    for level in tree.levels:
+        rows = [
+            {"tuple": int(t), "p": float(p), "children": []}
+            for t, p in zip(level.tuple_ids, level.probs)
+        ]
+        for row, parent in zip(rows, level.parent_idx):
+            parent_rows[parent]["children"].append(row)
+        parent_rows = rows
     return {
         "k": tree.k,
         "n_tuples": tree.n_tuples,
         "built_depth": tree.built_depth,
-        "root": node_to_dict(tree.root),
+        "root": root,
     }
 
 
@@ -39,17 +52,26 @@ def tree_from_dict(data: Dict, distributions) -> TPOTree:
     can be inspected and pruned but not extended.
     """
     tree = TPOTree(distributions, data["k"])
-    tree.built_depth = data["built_depth"]
-
-    def attach(parent: TPONode, payload: Dict) -> None:
-        child = parent.add_child(payload["tuple"], payload["p"])
-        for grandchild in payload["children"]:
-            attach(child, grandchild)
-
-    root_payload = data["root"]
-    tree.root.probability = root_payload["p"]
-    for child_payload in root_payload["children"]:
-        attach(tree.root, child_payload)
+    frontier = data["root"]["children"]
+    parent_of = [0] * len(frontier)
+    while frontier:
+        tree.append_level(
+            np.array([row["tuple"] for row in frontier], dtype=np.int32),
+            np.array(parent_of, dtype=np.intp),
+            np.array([row["p"] for row in frontier], dtype=float),
+        )
+        next_frontier: List[Dict] = []
+        next_parent: List[int] = []
+        for index, row in enumerate(frontier):
+            for child in row["children"]:
+                next_frontier.append(child)
+                next_parent.append(index)
+        frontier, parent_of = next_frontier, next_parent
+    if tree.built_depth != data["built_depth"]:
+        raise ValueError(
+            f"serialized built_depth {data['built_depth']} does not match "
+            f"the {tree.built_depth} materialized level(s)"
+        )
     return tree
 
 
@@ -66,10 +88,7 @@ def tree_to_dot(
     ]
     counter = 0
 
-    def name(node: TPONode, index: int) -> str:
-        return "root" if node.is_root else f"n{index}"
-
-    def label(node: TPONode) -> str:
+    def label(node: TPONodeView) -> str:
         if labels and 0 <= node.tuple_index < len(labels):
             text = labels[node.tuple_index]
         else:

@@ -209,22 +209,42 @@ class OrderingSpace:
     # ------------------------------------------------------------------
 
     def restrict(self, keep: np.ndarray) -> "OrderingSpace":
-        """Sub-space of the paths selected by boolean mask ``keep``."""
+        """Sub-space of the paths selected by boolean mask ``keep``.
+
+        An already-computed positions matrix is sliced into the child
+        (its rows depend on each path alone), so pruning never forces a
+        from-scratch ``(L, N)`` rebuild.  The prefix-group index cannot
+        carry over — dropping rows changes the grouping.
+        """
         keep = np.asarray(keep, dtype=bool)
         if keep.all():
             return self
-        return OrderingSpace(
+        child = OrderingSpace(
             self.paths[keep], self.probabilities[keep], self.n_tuples
         )
+        if self._positions is not None:
+            child._positions = self._positions[keep]
+        return child
 
     def reweight(self, weights: np.ndarray) -> "OrderingSpace":
-        """Multiply path masses by ``weights`` and renormalize."""
+        """Multiply path masses by ``weights`` and renormalize.
+
+        The child shares this space's ``paths`` array, so the positions
+        matrix and the prefix-group index — both functions of the paths
+        alone — carry over instead of being silently dropped (rebuilding
+        the ``(L, N)`` positions matrix after every noisy answer used to
+        dominate noisy-worker sessions).  The index dict is shared, so a
+        depth computed lazily by either space serves both.
+        """
         weights = np.asarray(weights, dtype=float)
         updated = self.probabilities * weights
         total = updated.sum()
         if total <= 0:
             raise DegenerateSpaceError("reweighting removed all mass")
-        return OrderingSpace(self.paths, updated, self.n_tuples)
+        child = OrderingSpace(self.paths, updated, self.n_tuples)
+        child._positions = self._positions
+        child._prefix_index = self._prefix_index
+        return child
 
     # ------------------------------------------------------------------
     # Summaries
@@ -274,8 +294,20 @@ class OrderingSpace:
         return cached
 
     def most_probable_ordering(self) -> np.ndarray:
-        """The single most probable top-K prefix (the paper's MPO)."""
-        return self.paths[int(np.argmax(self.probabilities))].copy()
+        """The single most probable top-K prefix (the paper's MPO).
+
+        Ties on the maximal mass resolve to the lexicographically
+        smallest path — the same deterministic policy as
+        :meth:`top_orderings`, so the MPO is stable across platforms and
+        numpy versions.
+        """
+        probabilities = self.probabilities
+        ties = np.flatnonzero(probabilities == probabilities.max())
+        if ties.size == 1:
+            return self.paths[ties[0]].copy()
+        tied_paths = self.paths[ties]
+        first = np.lexsort(tuple(tied_paths.T[::-1]))[0]
+        return tied_paths[first].copy()
 
     def rank_marginals(self) -> np.ndarray:
         """``(N, K)`` matrix of ``Pr(tuple i occupies rank k)``."""
@@ -346,8 +378,16 @@ class OrderingSpace:
         return self.paths[index].copy()
 
     def top_orderings(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
-        """The ``count`` most probable orderings and their masses."""
-        order = np.argsort(self.probabilities)[::-1][:count]
+        """The ``count`` most probable orderings and their masses.
+
+        Sorted by descending mass with equal-mass orderings in ascending
+        path (lexicographic) order — a deterministic total order, unlike
+        the reversed unstable argsort it replaces, whose tie order
+        depended on the platform's quicksort.  Mirrors the stable-tie
+        policy of :mod:`repro.uncertainty.representative`.
+        """
+        keys = tuple(self.paths.T[::-1]) + (-self.probabilities,)
+        order = np.lexsort(keys)[:count]
         return self.paths[order].copy(), self.probabilities[order].copy()
 
     # ------------------------------------------------------------------

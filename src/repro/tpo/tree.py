@@ -1,4 +1,4 @@
-"""The tree of possible orderings (TPO) ``T_K``.
+"""The tree of possible orderings (TPO) ``T_K`` as a flat level table.
 
 The tree is the *construction* view of the ordering space: builders grow it
 level by level (which the ``incr`` algorithm exploits), structural pruning
@@ -6,17 +6,63 @@ applies crowd answers to partially built trees, and
 :meth:`TPOTree.to_space` flattens the current leaves into the vectorized
 :class:`~repro.tpo.space.OrderingSpace` that policies and uncertainty
 measures consume.
+
+Internally the tree is **not** a pointer structure.  Each materialized
+level ``d`` is one :class:`TPOLevel` — a structure-of-arrays triple
+
+* ``tuple_ids``  — ``(W_d,)`` int32, the tuple ranked at depth ``d``;
+* ``parent_idx`` — ``(W_d,)`` intp index into level ``d − 1``
+  (non-decreasing, so every node's children are a contiguous slice);
+* ``probs``      — ``(W_d,)`` float64 prefix-ranking probabilities
+
+— which makes every structural operation a handful of numpy passes:
+``renormalize`` is a ``bincount`` sweep from the leaves up,
+``prune_with_answer`` propagates alive/winner-seen masks down the levels,
+and ``to_space`` is ``K`` vectorized gathers along the ``parent_idx``
+chains (no per-leaf walk).  Builders append whole levels at once with
+:meth:`append_level` and keep their per-frontier numeric payloads (prefix
+densities, sample assignments) in ``engine_cache``, aligned with the top
+level's row order.
+
+The pointer-era introspection API (``root``, ``leaves``,
+``nodes_at_depth``, ``iter_nodes``) survives as thin
+:class:`~repro.tpo.node.TPONodeView` facades over the level tables, so
+serialization, diagnostics, and tests keep working unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from repro.distributions.base import ScoreDistribution
-from repro.tpo.node import ROOT_TUPLE, TPONode
+from repro.tpo.node import TPONodeView
 from repro.tpo.space import DegenerateSpaceError, OrderingSpace
+
+
+class TPOLevel:
+    """One materialized level of a :class:`TPOTree` (plain array triple)."""
+
+    __slots__ = ("tuple_ids", "parent_idx", "probs")
+
+    def __init__(
+        self,
+        tuple_ids: np.ndarray,
+        parent_idx: np.ndarray,
+        probs: np.ndarray,
+    ) -> None:
+        self.tuple_ids = tuple_ids
+        self.parent_idx = parent_idx
+        self.probs = probs
+
+    @property
+    def width(self) -> int:
+        """Number of nodes in this level."""
+        return self.tuple_ids.size
+
+    def __repr__(self) -> str:
+        return f"TPOLevel(width={self.width})"
 
 
 class TPOTree:
@@ -39,9 +85,8 @@ class TPOTree:
             raise ValueError("need at least one tuple")
         self.distributions = list(distributions)
         self.k = min(k, len(self.distributions))
-        self.root = TPONode(ROOT_TUPLE, 1.0)
-        #: Depth to which the tree has been materialized so far.
-        self.built_depth = 0
+        #: Flat level tables; ``levels[d - 1]`` holds depth ``d``.
+        self.levels: List[TPOLevel] = []
         #: Engine-managed numeric context (set by the builder in use).
         self.engine_cache = None
 
@@ -55,51 +100,130 @@ class TPOTree:
         return len(self.distributions)
 
     @property
+    def built_depth(self) -> int:
+        """Depth to which the tree has been materialized so far."""
+        return len(self.levels)
+
+    @property
     def is_complete(self) -> bool:
         """True once all K levels are materialized."""
         return self.built_depth >= self.k
 
-    def iter_nodes(self) -> Iterator[TPONode]:
+    @property
+    def root(self) -> TPONodeView:
+        """View of the synthetic depth-0 root."""
+        return TPONodeView(self, 0, 0)
+
+    def iter_nodes(self) -> Iterator[TPONodeView]:
         """All nodes except the synthetic root (pre-order)."""
         for node in self.root.iter_subtree():
             if not node.is_root:
                 yield node
 
-    def nodes_at_depth(self, depth: int) -> List[TPONode]:
+    def nodes_at_depth(self, depth: int) -> List[TPONodeView]:
         """All nodes at exactly ``depth`` (1-based levels)."""
-        current = [self.root]
-        for _ in range(depth):
-            current = [child for node in current for child in node.children]
-        return current
+        if depth == 0:
+            return [self.root]
+        if depth > self.built_depth:
+            return []
+        return [
+            TPONodeView(self, depth, index)
+            for index in range(self.levels[depth - 1].width)
+        ]
 
-    def leaves(self) -> List[TPONode]:
+    def leaves(self) -> List[TPONodeView]:
         """Deepest materialized nodes (= paths of the current space)."""
         return self.nodes_at_depth(self.built_depth)
 
     def node_count(self) -> int:
         """Number of non-root nodes."""
-        return sum(1 for _ in self.iter_nodes())
+        return sum(level.width for level in self.levels)
 
     def ordering_count(self) -> int:
         """Number of possible orderings currently represented."""
-        return len(self.leaves())
+        if not self.levels:
+            return 1  # the root alone represents the empty prefix
+        return self.levels[-1].width
 
     def level_mass(self, depth: int) -> float:
         """Total probability mass at ``depth`` (≈1 up to numeric error)."""
-        return float(sum(n.probability for n in self.nodes_at_depth(depth)))
+        if depth == 0:
+            return 1.0
+        return float(self.levels[depth - 1].probs.sum())
+
+    # ------------------------------------------------------------------
+    # Level-table primitives
+    # ------------------------------------------------------------------
+
+    def append_level(
+        self,
+        tuple_ids: np.ndarray,
+        parent_idx: np.ndarray,
+        probs: np.ndarray,
+    ) -> None:
+        """Materialize one more level from builder output arrays.
+
+        ``parent_idx`` must be non-decreasing (parent-major row order);
+        this is what keeps every node's children a contiguous slice and
+        the leaf order identical to the pointer-era depth-first layout.
+        """
+        tuple_ids = np.asarray(tuple_ids, dtype=np.int32).reshape(-1)
+        parent_idx = np.asarray(parent_idx, dtype=np.intp).reshape(-1)
+        probs = np.asarray(probs, dtype=float).reshape(-1)
+        if not (tuple_ids.size == parent_idx.size == probs.size):
+            raise ValueError("level arrays must be aligned")
+        parent_width = self.levels[-1].width if self.levels else 1
+        if parent_idx.size:
+            if parent_idx.min() < 0 or parent_idx.max() >= parent_width:
+                raise ValueError(
+                    f"parent indices must lie in [0, {parent_width})"
+                )
+            if np.any(np.diff(parent_idx) < 0):
+                raise ValueError("parent_idx must be non-decreasing")
+        self.levels.append(TPOLevel(tuple_ids, parent_idx, probs))
+
+    def paths_at_depth(self, depth: int) -> np.ndarray:
+        """``(W_d, depth)`` prefix matrix of every node at ``depth``.
+
+        Reconstructed with ``depth`` vectorized gathers up the
+        ``parent_idx`` chains — this is the whole former "leaf walk".
+        """
+        if not 1 <= depth <= self.built_depth:
+            raise ValueError(
+                f"depth must lie in [1, {self.built_depth}], got {depth}"
+            )
+        width = self.levels[depth - 1].width
+        paths = np.empty((width, depth), dtype=np.int32)
+        index = np.arange(width)
+        for level_depth in range(depth, 0, -1):
+            level = self.levels[level_depth - 1]
+            paths[:, level_depth - 1] = level.tuple_ids[index]
+            index = level.parent_idx[index]
+        return paths
+
+    def path_of(self, depth: int, index: int) -> np.ndarray:
+        """The root-to-node prefix of one node (used by node views)."""
+        path = np.empty(depth, dtype=np.int32)
+        for level_depth in range(depth, 0, -1):
+            level = self.levels[level_depth - 1]
+            path[level_depth - 1] = level.tuple_ids[index]
+            index = int(level.parent_idx[index])
+        return path
 
     # ------------------------------------------------------------------
     # Conversion
     # ------------------------------------------------------------------
 
     def to_space(self) -> OrderingSpace:
-        """Flatten current leaves into an :class:`OrderingSpace`."""
+        """Flatten the current leaf table into an :class:`OrderingSpace`."""
         if self.built_depth == 0:
             raise ValueError("tree has no materialized levels yet")
-        leaves = self.leaves()
-        paths = np.array([leaf.prefix() for leaf in leaves], dtype=np.int32)
-        probs = np.array([leaf.probability for leaf in leaves], dtype=float)
-        return OrderingSpace(paths, probs, self.n_tuples)
+        top = self.levels[-1]
+        return OrderingSpace(
+            self.paths_at_depth(self.built_depth),
+            top.probs.copy(),
+            self.n_tuples,
+        )
 
     # ------------------------------------------------------------------
     # Structural updates (used by the incremental algorithm)
@@ -107,27 +231,28 @@ class TPOTree:
 
     def renormalize(self) -> None:
         """Rescale leaf masses to sum to 1; recompute internal masses."""
-        leaves = self.leaves()
-        total = sum(leaf.probability for leaf in leaves)
+        if not self.levels:
+            return
+        top = self.levels[-1]
+        total = float(top.probs.sum())
         if total <= 0:
             raise DegenerateSpaceError("tree has zero mass after pruning")
-        for leaf in leaves:
-            leaf.probability /= total
+        top.probs = top.probs / total
         self._recompute_internal()
 
     def _recompute_internal(self) -> None:
-        """Set every internal node's mass to the sum of its children."""
+        """Set every internal level's masses to its children's sums.
 
-        def recurse(node: TPONode, depth: int) -> float:
-            if depth == self.built_depth or node.is_leaf:
-                return node.probability
-            node.probability = sum(
-                recurse(child, depth + 1) for child in node.children
+        One ``bincount`` per level from the leaves up; interior nodes
+        whose entire subtree was pruned away end up with mass 0.
+        """
+        for depth in range(self.built_depth - 1, 0, -1):
+            child = self.levels[depth]
+            self.levels[depth - 1].probs = np.bincount(
+                child.parent_idx,
+                weights=child.probs,
+                minlength=self.levels[depth - 1].width,
             )
-            return node.probability
-
-        recurse(self.root, 0)
-        self.root.probability = 1.0
 
     def prune_with_answer(self, i: int, j: int, holds: bool) -> int:
         """Remove subtrees whose prefix contradicts the answer ``t_i ?≺ t_j``.
@@ -137,46 +262,56 @@ class TPOTree:
         higher.  Works on partially built trees; remaining mass is
         renormalized.  Returns the number of removed nodes.
 
+        Vectorized: alive/winner-seen masks propagate down the level
+        tables through one ``parent_idx`` gather per level, then each
+        level is compacted and its parent indices remapped.
+
         Atomic: a contradictory answer raises *before* any node is
         removed, so callers that swallow the error keep a usable tree (a
         half-pruned zero-mass tree used to crash the ``incr`` replay
         loop much later, in an unguarded ``renormalize``).
         """
         winner, loser = (i, j) if holds else (j, i)
+        if not self.levels:
+            return 0
 
-        def surviving_mass(node: TPONode, winner_seen: bool, depth: int) -> float:
-            if depth == self.built_depth:
-                return node.probability
-            total = 0.0
-            for child in node.children:
-                if child.tuple_index == loser and not winner_seen:
-                    continue
-                total += surviving_mass(
-                    child, winner_seen or child.tuple_index == winner, depth + 1
-                )
-            return total
+        alive_masks: List[np.ndarray] = []
+        parent_alive = np.ones(1, dtype=bool)
+        parent_seen = np.zeros(1, dtype=bool)
+        for level in self.levels:
+            p_alive = parent_alive[level.parent_idx]
+            p_seen = parent_seen[level.parent_idx]
+            killed = (level.tuple_ids == loser) & ~p_seen
+            alive = p_alive & ~killed
+            alive_masks.append(alive)
+            parent_alive = alive
+            parent_seen = p_seen | (level.tuple_ids == winner)
 
-        if (
-            self.built_depth > 0
-            and surviving_mass(self.root, False, 0) <= 0.0
-        ):
+        surviving = float(self.levels[-1].probs[alive_masks[-1]].sum())
+        if surviving <= 0.0:
             raise DegenerateSpaceError(
                 f"answer t{winner} ≺ t{loser} contradicts every ordering"
             )
 
-        def recurse(node: TPONode, winner_seen: bool) -> int:
-            count = 0
-            for child in list(node.children):
-                if child.tuple_index == loser and not winner_seen:
-                    count += sum(1 for _ in child.iter_subtree())
-                    node.remove_child(child)
-                    continue
-                count += recurse(
-                    child, winner_seen or child.tuple_index == winner
+        removed = int(sum(int((~mask).sum()) for mask in alive_masks))
+        if removed:
+            index_map: Optional[np.ndarray] = None
+            for level, alive in zip(self.levels, alive_masks):
+                parent = (
+                    level.parent_idx
+                    if index_map is None
+                    else index_map[level.parent_idx]
                 )
-            return count
-
-        removed = recurse(self.root, False)
+                keep = np.flatnonzero(alive)
+                index_map = np.full(alive.size, -1, dtype=np.intp)
+                index_map[keep] = np.arange(keep.size)
+                level.tuple_ids = level.tuple_ids[keep]
+                level.parent_idx = parent[keep]
+                level.probs = level.probs[keep]
+            # Frontier-aligned engine payloads must follow the compaction.
+            cache = self.engine_cache
+            if cache is not None and hasattr(cache, "prune_frontier"):
+                cache.prune_frontier(alive_masks[-1], index_map)
         self.renormalize()
         return removed
 
@@ -188,17 +323,18 @@ class TPOTree:
         Mirrors :meth:`OrderingSpace.reweight_by_answer` but acts in place
         on the tree, so the ``incr`` algorithm can keep extending it.
         """
+        if not self.levels:
+            return
+        paths = self.paths_at_depth(self.built_depth)
+        codes = _prefix_agreement_codes(paths, i, j)
         agree_value = 1 if holds else -1
-        for leaf in self.leaves():
-            prefix = leaf.prefix()
-            code = _prefix_agreement(prefix, i, j)
-            if code == agree_value:
-                weight = accuracy
-            elif code == 0:
-                weight = 0.5
-            else:
-                weight = 1.0 - accuracy
-            leaf.probability *= weight
+        weights = np.where(
+            codes == agree_value,
+            accuracy,
+            np.where(codes == 0, 0.5, 1.0 - accuracy),
+        )
+        top = self.levels[-1]
+        top.probs = top.probs * weights
         self.renormalize()
 
     # ------------------------------------------------------------------
@@ -207,24 +343,38 @@ class TPOTree:
         """Check structural invariants; raises :class:`AssertionError`.
 
         Invariants: every materialized level's mass is ~1; children masses
-        never exceed their parent's (up to tolerance); no tuple repeats
-        along a path.
+        never exceed their parent's (up to tolerance); parent indices are
+        in range and non-decreasing; no tuple repeats along a path.
         """
         for depth in range(1, self.built_depth + 1):
             mass = self.level_mass(depth)
             assert abs(mass - 1.0) <= tolerance, (
                 f"level {depth} mass {mass} differs from 1"
             )
-        for node in self.iter_nodes():
-            if node.children:
-                child_mass = sum(c.probability for c in node.children)
-                assert child_mass <= node.probability + tolerance, (
-                    f"children mass {child_mass} exceeds parent "
-                    f"{node.probability}"
+        for depth, level in enumerate(self.levels, start=1):
+            parent_width = self.levels[depth - 2].width if depth > 1 else 1
+            if level.width:
+                assert 0 <= level.parent_idx.min(), "negative parent index"
+                assert level.parent_idx.max() < parent_width, (
+                    f"level {depth} parent index out of range"
                 )
-            prefix = node.prefix()
-            assert len(set(prefix)) == len(prefix), (
-                f"path {prefix} repeats a tuple"
+                assert not np.any(np.diff(level.parent_idx) < 0), (
+                    f"level {depth} is not parent-major"
+                )
+            if depth > 1:
+                child_sums = np.bincount(
+                    level.parent_idx,
+                    weights=level.probs,
+                    minlength=parent_width,
+                )
+                parents = self.levels[depth - 2].probs
+                assert np.all(child_sums <= parents + tolerance), (
+                    f"level {depth} children mass exceeds parents"
+                )
+            paths = self.paths_at_depth(depth)
+            ordered = np.sort(paths, axis=1)
+            assert not np.any(ordered[:, 1:] == ordered[:, :-1]), (
+                f"a depth-{depth} path repeats a tuple"
             )
 
     def __repr__(self) -> str:
@@ -234,23 +384,18 @@ class TPOTree:
         )
 
 
-def _prefix_agreement(prefix: Tuple[int, ...], i: int, j: int) -> int:
-    """+1 / −1 / 0 stance of a prefix on ``t_i ≺ t_j`` (cf. OrderingSpace)."""
-    try:
-        pi = prefix.index(i)
-    except ValueError:
-        pi = None
-    try:
-        pj = prefix.index(j)
-    except ValueError:
-        pj = None
-    if pi is None and pj is None:
-        return 0
-    if pj is None:
-        return 1
-    if pi is None:
-        return -1
-    return 1 if pi < pj else -1
+def _prefix_agreement_codes(
+    paths: np.ndarray, i: int, j: int
+) -> np.ndarray:
+    """+1 / −1 / 0 stance of each prefix row on ``t_i ≺ t_j``.
+
+    Absent tuples rank strictly below present ones — the top-K prefix
+    semantics of :meth:`OrderingSpace.agreement_codes`.
+    """
+    depth = paths.shape[1]
+    pi = np.where(paths == i, np.arange(depth), depth).min(axis=1)
+    pj = np.where(paths == j, np.arange(depth), depth).min(axis=1)
+    return np.where(pi < pj, 1, np.where(pj < pi, -1, 0)).astype(np.int8)
 
 
-__all__ = ["TPOTree"]
+__all__ = ["TPOTree", "TPOLevel"]

@@ -163,3 +163,11 @@ class TestServiceCommands:
         out = capsys.readouterr().out
         assert "PASS" in out
         assert "resumed run identical: True" in out
+
+    def test_bench_engines_smoke(self, capsys, tmp_path):
+        artifact = str(tmp_path / "BENCH_engines.json")
+        code = main(["bench-engines", "--smoke", "--json", artifact])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "leaf order identical=True" in out

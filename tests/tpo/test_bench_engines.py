@@ -1,0 +1,30 @@
+"""Smoke tests for the engine-construction benchmark (no perf gates)."""
+
+import json
+
+from repro.tpo.bench import leaf_parity, run
+from repro.tpo.builders import GridBuilder
+from repro.tpo._reference import ReferenceGridBuilder
+from repro.workloads import uniform_intervals
+
+
+def test_smoke_run_passes_and_writes_artifact(tmp_path):
+    artifact_path = tmp_path / "BENCH_engines.json"
+    failures = run(smoke=True, json_path=str(artifact_path))
+    assert failures == 0
+    artifact = json.loads(artifact_path.read_text())
+    assert artifact["benchmark"] == "bench_engines"
+    assert {"git_sha", "date"} <= set(artifact)
+    assert artifact["parity"]["within_tolerance"] is True
+    assert artifact["gates"]["speedup_floor"] == 4.0
+    assert artifact["gates"]["gated"] is False  # smoke: parity gate only
+
+
+def test_leaf_parity_flags_disagreement():
+    workload = uniform_intervals(8, width=0.3, rng=4)
+    flat = GridBuilder(resolution=300).build(workload, 3).to_space()
+    other = ReferenceGridBuilder(resolution=360).build(workload, 3).to_space()
+    report = leaf_parity(flat, flat)
+    assert report["within_tolerance"] is True
+    cross = leaf_parity(flat, other)
+    assert cross["within_tolerance"] is False or cross["max_abs_error"] > 0

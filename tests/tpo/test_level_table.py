@@ -1,0 +1,149 @@
+"""Tests of the flat level-table tree internals and compat views."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Uniform
+from repro.tpo import GridBuilder, MonteCarloBuilder, TPOTree
+from repro.tpo.node import ROOT_TUPLE
+from repro.tpo.serialize import tree_from_dict, tree_to_dict
+
+
+class TestLevelTable:
+    def test_append_level_validates_alignment(self, overlapping_uniforms):
+        tree = TPOTree(overlapping_uniforms, 2)
+        with pytest.raises(ValueError, match="aligned"):
+            tree.append_level([0, 1], [0], [0.5, 0.5])
+
+    def test_append_level_validates_parent_range(self, overlapping_uniforms):
+        tree = TPOTree(overlapping_uniforms, 2)
+        with pytest.raises(ValueError, match="parent indices"):
+            tree.append_level([0], [3], [1.0])
+
+    def test_append_level_requires_parent_major_order(
+        self, overlapping_uniforms
+    ):
+        tree = TPOTree(overlapping_uniforms, 3)
+        tree.append_level([0, 1], [0, 0], [0.5, 0.5])
+        with pytest.raises(ValueError, match="non-decreasing"):
+            tree.append_level([1, 0], [1, 0], [0.5, 0.5])
+
+    def test_paths_at_depth_matches_views(self, small_tree):
+        for depth in range(1, small_tree.built_depth + 1):
+            paths = small_tree.paths_at_depth(depth)
+            prefixes = [
+                node.prefix() for node in small_tree.nodes_at_depth(depth)
+            ]
+            assert [tuple(row) for row in paths.tolist()] == prefixes
+
+    def test_views_walk_like_pointers(self, small_tree):
+        root = small_tree.root
+        assert root.is_root and root.tuple_index == ROOT_TUPLE
+        child = root.children[0]
+        assert child.parent.is_root
+        assert child.depth == 1
+        grandchildren = child.children
+        assert all(g.parent.tuple_index == child.tuple_index for g in grandchildren)
+        leaves = small_tree.leaves()
+        assert all(leaf.is_leaf for leaf in leaves)
+        # Pre-order traversal covers every non-root node exactly once.
+        visited = sum(1 for _ in small_tree.iter_nodes())
+        assert visited == small_tree.node_count()
+
+    def test_state_is_always_none_on_views(self, small_tree):
+        for node in small_tree.iter_nodes():
+            assert node.state is None
+
+
+class TestPruneFrontierInterplay:
+    """Extending after pruning must match pruning the full tree.
+
+    This pins the engine-cache compaction hook: pruning a partial tree
+    filters the frontier-aligned builder payload (grid prefix densities,
+    MC sample assignments), so subsequent extensions see a consistent
+    frontier.
+    """
+
+    @pytest.mark.parametrize(
+        "builder_factory",
+        [
+            lambda: GridBuilder(resolution=400),
+            lambda: MonteCarloBuilder(samples=30000, seed=3),
+        ],
+        ids=["grid", "mc"],
+    )
+    def test_prune_then_extend_equals_extend_then_prune(
+        self, overlapping_uniforms, builder_factory
+    ):
+        k = 3
+        full = builder_factory().build(overlapping_uniforms, k)
+        decided = None
+        probe = full.to_space()
+        for i, j in [(0, 1), (1, 2), (2, 3), (0, 2)]:
+            codes = probe.agreement_codes(i, j)
+            if (codes == -1).any() and (codes != -1).any():
+                decided = (i, j)
+                break
+        if decided is None:
+            pytest.skip("instance offers no partially decided pair")
+        i, j = decided
+        full.prune_with_answer(i, j, True)
+        full_space = full.to_space()
+
+        builder = builder_factory()
+        partial = builder.start(overlapping_uniforms, k)
+        builder.extend(partial)
+        builder.extend(partial)
+        partial.prune_with_answer(i, j, True)
+        builder.extend(partial)
+        # Replay the answer: deeper levels can reintroduce the loser.
+        partial.prune_with_answer(i, j, True)
+        partial_space = partial.to_space()
+
+        assert (
+            {tuple(p) for p in full_space.paths.tolist()}
+            == {tuple(p) for p in partial_space.paths.tolist()}
+        )
+        full_map = {
+            tuple(p): v
+            for p, v in zip(full_space.paths.tolist(), full_space.probabilities)
+        }
+        for path, value in zip(
+            partial_space.paths.tolist(), partial_space.probabilities
+        ):
+            assert value == pytest.approx(full_map[tuple(path)], abs=1e-9)
+
+
+class TestSerializeFlatRoundTrip:
+    def test_wire_format_is_unchanged(self, small_tree):
+        payload = tree_to_dict(small_tree)
+        assert set(payload) == {"k", "n_tuples", "built_depth", "root"}
+        assert payload["root"]["tuple"] == -1
+        assert payload["root"]["p"] == 1.0
+        first = payload["root"]["children"][0]
+        assert set(first) == {"tuple", "p", "children"}
+
+    def test_built_depth_mismatch_is_rejected(
+        self, small_tree, overlapping_uniforms
+    ):
+        payload = tree_to_dict(small_tree)
+        payload["built_depth"] = small_tree.built_depth + 1
+        with pytest.raises(ValueError, match="built_depth"):
+            tree_from_dict(payload, overlapping_uniforms)
+
+    def test_round_trip_preserves_level_tables(self, small_tree):
+        rebuilt = tree_from_dict(
+            tree_to_dict(small_tree), small_tree.distributions
+        )
+        for level, other in zip(small_tree.levels, rebuilt.levels):
+            np.testing.assert_array_equal(level.tuple_ids, other.tuple_ids)
+            np.testing.assert_array_equal(level.parent_idx, other.parent_idx)
+            np.testing.assert_allclose(level.probs, other.probs)
+
+
+def test_empty_tree_counts():
+    tree = TPOTree([Uniform(0, 1), Uniform(0, 1)], 2)
+    assert tree.built_depth == 0
+    assert tree.node_count() == 0
+    assert tree.ordering_count() == 1  # the empty prefix
+    assert tree.prune_with_answer(0, 1, True) == 0
