@@ -113,7 +113,7 @@ class Registry:
         factory: Optional[FactorySpec] = None,
         *,
         overwrite: bool = False,
-    ):
+    ) -> FactorySpec:
         """Register ``factory`` (callable or ``"module:attr"``) under ``name``.
 
         Usable directly (``registry.register("H", EntropyMeasure)``) or as
@@ -121,7 +121,7 @@ class Registry:
         name raises :class:`DuplicateNameError` unless ``overwrite=True``.
         """
         if factory is None:  # decorator form
-            def decorator(func):
+            def decorator(func: FactorySpec) -> FactorySpec:
                 self.register(name, func, overwrite=overwrite)
                 return func
 
@@ -165,7 +165,7 @@ class Registry:
             return resolved
         return factory
 
-    def create(self, name: str, *args, **kwargs) -> Any:
+    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
         """Instantiate the plugin ``name`` with the given arguments."""
         return self.get(name)(*args, **kwargs)
 

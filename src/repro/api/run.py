@@ -26,7 +26,7 @@ class PreparedSession:
     crowd: Any
     session: Any
 
-    def run(self):
+    def run(self) -> Any:
         """Run the configured policy against the configured budget."""
         return self.session.run(
             self.spec.policy.build(), self.spec.budget.questions
@@ -56,7 +56,7 @@ def prepare_session(
     return PreparedSession(spec, distributions, truth, crowd, session)
 
 
-def run_session(spec: SessionSpec, track_trajectory: bool = False):
+def run_session(spec: SessionSpec, track_trajectory: bool = False) -> Any:
     """Run one complete session described by ``spec``; returns the
     :class:`~repro.core.session.SessionResult`."""
     return prepare_session(spec, track_trajectory=track_trajectory).run()

@@ -27,7 +27,11 @@ TPO-cache keys, event-log replay, and grid-cell hashes are unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional
+
+if TYPE_CHECKING:  # deferred: specs must import nothing heavy at runtime
+    from repro.crowd.simulator import SimulatedCrowd
+    from repro.distributions.base import ScoreDistribution
 
 from repro.api.canonical import canonical_json, content_key
 from repro.api.catalog import (
@@ -131,7 +135,7 @@ class InstanceSpec:
 
     # -- construction --------------------------------------------------
 
-    def materialize(self):
+    def materialize(self) -> List[ScoreDistribution]:
         """The score distributions this spec describes.
 
         The RNG stream derives from the spec seed via the process-stable
@@ -181,7 +185,7 @@ class PolicySpec:
     def canonical_json(self) -> str:
         return canonical_json(self.to_dict())
 
-    def build(self):
+    def build(self) -> Any:
         """Instantiate the policy."""
         return POLICIES.create(self.name, **self.params)
 
@@ -220,7 +224,7 @@ class MeasureSpec:
     def canonical_json(self) -> str:
         return canonical_json(self.to_dict())
 
-    def build(self):
+    def build(self) -> Any:
         """Instantiate the measure."""
         return MEASURES.create(self.name, **self.params)
 
@@ -287,7 +291,7 @@ class CrowdSpec:
     def canonical_json(self) -> str:
         return canonical_json(self.to_dict())
 
-    def build(self, truth, rng=None):
+    def build(self, truth: Any, rng: Any = None) -> SimulatedCrowd:
         """A :class:`~repro.crowd.simulator.SimulatedCrowd` over ``truth``."""
         from repro.crowd.simulator import SimulatedCrowd
 
@@ -438,7 +442,7 @@ class SessionSpec:
 
     # -- construction --------------------------------------------------
 
-    def build_builder(self):
+    def build_builder(self) -> Any:
         """Instantiate the configured TPO construction engine."""
         return ENGINES.create(self.engine, **self.engine_params)
 

@@ -22,7 +22,10 @@ Subcommands cover the common workflows without writing Python:
   (``python -m repro bench-service --smoke``);
 * ``bench-engines`` — the TPO construction benchmark gating the flat
   level-table grid engine against the pointer baseline
-  (``python -m repro bench-engines --smoke``).
+  (``python -m repro bench-engines --smoke``);
+* ``lint`` — the domain-aware static analysis suite (rules
+  RPL001–RPL008 with a ratcheting baseline:
+  ``python -m repro lint --format github``).
 
 Everything is constructed through the typed :mod:`repro.api` specs — the
 CLI is just an argparse veneer over ``SessionSpec``.
@@ -233,6 +236,17 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_engines.add_argument("--repetitions", type=int, default=3)
     bench_engines.add_argument("--smoke", action="store_true")
     bench_engines.add_argument("--json", default=None, metavar="PATH")
+
+    lint = sub.add_parser(
+        "lint",
+        help=(
+            "run the domain-aware static analysis suite "
+            "(RPL001-RPL008, ratcheting baseline)"
+        ),
+    )
+    from repro.devtools.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -488,6 +502,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_bench_service(args)
     if args.command == "bench-engines":
         return _command_bench_engines(args)
+    if args.command == "lint":
+        from repro.devtools.lint.cli import run_lint
+
+        return run_lint(args)
     return 2  # unreachable: argparse enforces the choices
 
 

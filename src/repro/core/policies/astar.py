@@ -133,7 +133,7 @@ class AStarOfflinePolicy(OfflinePolicy):
             child_residuals = evaluator.rank_set_extensions(
                 space, codes, list(columns), children, self.pattern_cap
             )
-            for child, child_residual in zip(children, child_residuals):
+            for child, child_residual in zip(children, child_residuals, strict=True):
                 new_columns = columns + (child,)
                 heapq.heappush(
                     heap,

@@ -41,7 +41,7 @@ def weighted_vote(
     if not votes:
         raise ValueError("cannot aggregate an empty vote list")
     log_odds = 0.0
-    for vote, accuracy in zip(votes, accuracies):
+    for vote, accuracy in zip(votes, accuracies, strict=True):
         check_fraction("accuracy", accuracy)
         p = min(max(accuracy, 1e-9), 1.0 - 1e-9)
         weight = math.log(p / (1.0 - p))

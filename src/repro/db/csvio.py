@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from repro.db.table import UncertainTable
 from repro.distributions.gaussian import TruncatedGaussian
@@ -66,7 +66,7 @@ def _parse_row(row: Dict[str, str]) -> Dict[str, object]:
     return attributes
 
 
-def read_table(path: PathLike, name: str = None) -> UncertainTable:
+def read_table(path: PathLike, name: Optional[str] = None) -> UncertainTable:
     """Load an uncertain table from CSV (requires a ``key`` column)."""
     path = Path(path)
     table = UncertainTable(name or path.stem)

@@ -1,0 +1,15 @@
+"""Developer tooling that machine-checks the repo's own invariants.
+
+Two gates live here, both wired into CI next to the benchmark gates:
+
+* :mod:`repro.devtools.lint` — the domain-aware static analysis suite
+  (``repro lint``): AST rules RPL001–RPL008 encoding the correctness
+  conventions the code base relies on (derived seeding, canonical content
+  keys, frozen specs, non-blocking service handlers, dtype contracts,
+  torn-tail-safe JSONL appends, …) with a ratcheted JSONL baseline.
+* :mod:`repro.devtools.typecheck` — the mypy strict-typed-core gate over
+  ``repro.api`` / ``repro.tpo`` / ``repro.service`` / ``repro.utils``
+  with a ratcheted error-count baseline.
+
+Neither module is imported by the runtime system; they are tooling only.
+"""

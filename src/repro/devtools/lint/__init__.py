@@ -1,0 +1,32 @@
+"""Domain-aware static analysis for the reproduction (``repro lint``).
+
+The framework lives in :mod:`repro.devtools.lint.core` (shared AST walk,
+:class:`Checker`, :class:`Rule`, the :data:`LINT_RULES` registry), the
+built-in rules RPL001–RPL008 in :mod:`repro.devtools.lint.rules`, the
+ratcheting exception file in :mod:`repro.devtools.lint.baseline`, and the
+text/json/github renderers in :mod:`repro.devtools.lint.formats`.
+
+Importing this package registers the built-in rules.
+"""
+
+from repro.devtools.lint import rules as _rules  # noqa: F401  (registers rules)
+from repro.devtools.lint.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.devtools.lint.cli import main
+from repro.devtools.lint.core import LINT_RULES, Checker, Rule, Violation
+
+__all__ = [
+    "BaselineEntry",
+    "Checker",
+    "LINT_RULES",
+    "Rule",
+    "Violation",
+    "apply_baseline",
+    "load_baseline",
+    "main",
+    "save_baseline",
+]

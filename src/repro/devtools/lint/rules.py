@@ -1,0 +1,570 @@
+"""The built-in domain rules, RPL001–RPL008.
+
+Each rule encodes one correctness *convention* the code base relies on —
+things a generic linter cannot know, and that used to live only in review
+comments and docstrings.  The docstring of every rule class states the
+invariant and why breaking it is a real bug here, not a style nit; the
+README's "Static analysis" table is generated from these.
+
+Rules are path-aware: ``applies_to`` receives the repo-relative posix
+path, so e.g. the async-blocking rule only runs on ``src/repro/service/``
+and the dtype rule only on the flat-table hot paths.  Fixture self-tests
+exercise this by laying files out under a fake root with the mirrored
+layout (see ``tests/devtools/``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.core import (
+    LINT_RULES,
+    FileContext,
+    Rule,
+    Violation,
+    dotted_name,
+    is_first_party,
+)
+
+#: numpy.random attributes that are fine anywhere: types, and the
+#: explicitly-seeded constructor path.
+_NUMPY_RANDOM_OK = frozenset(
+    {"Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox"}
+)
+
+
+@LINT_RULES.register("RPL001")
+class SeededRngRule(Rule):
+    """RNG must be an explicitly passed, derived ``np.random.Generator``.
+
+    Process-stable reproducibility (parallel == serial, resume ==
+    uninterrupted) rests on every random stream being derived through
+    ``repro.utils.rng.derive_seed``.  The stdlib ``random`` module,
+    ``np.random.seed`` (hidden global state), the legacy ``np.random.*``
+    sampling functions, and a default-seeded ``np.random.default_rng()``
+    (fresh OS entropy per call) all silently break that contract.
+    """
+
+    code = "RPL001"
+    name = "derived-generator-rng"
+    rationale = (
+        "global or default-seeded RNG breaks process-stable seeding via "
+        "utils.rng.derive_seed"
+    )
+
+    def visit_node(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Violation]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield self.violation(
+                        node,
+                        ctx,
+                        "stdlib `random` is banned in src/: pass a "
+                        "np.random.Generator derived via derive_seed",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random" and node.level == 0:
+                yield self.violation(
+                    node,
+                    ctx,
+                    "stdlib `random` is banned in src/: pass a "
+                    "np.random.Generator derived via derive_seed",
+                )
+        elif isinstance(node, ast.Call):
+            resolved = ctx.resolve_numpy(dotted_name(node.func))
+            if not resolved or not resolved.startswith("numpy.random."):
+                return
+            attr = resolved[len("numpy.random."):]
+            if attr == "seed":
+                yield self.violation(
+                    node,
+                    ctx,
+                    "np.random.seed mutates hidden global state; derive a "
+                    "Generator via derive_seed instead",
+                )
+            elif attr == "default_rng":
+                if not node.args and not node.keywords:
+                    yield self.violation(
+                        node,
+                        ctx,
+                        "default-seeded np.random.default_rng() draws fresh "
+                        "OS entropy; seed it from derive_seed",
+                    )
+            elif "." not in attr and attr not in _NUMPY_RANDOM_OK:
+                yield self.violation(
+                    node,
+                    ctx,
+                    f"legacy np.random.{attr}() uses the global stream; "
+                    "use an explicitly passed Generator",
+                )
+
+
+@LINT_RULES.register("RPL002")
+class ContentKeyRule(Rule):
+    """All digests flow through ``repro.api.canonical.content_key``.
+
+    Cache keys, grid-cell ids, and TPO instance keys must be identical
+    across processes, machines, and releases; builtin ``hash()`` is
+    per-process salted, and an ad-hoc ``hashlib`` recipe forks the key
+    space the moment its serialization drifts from the canonical one.
+    The only sanctioned digest sites are ``api/canonical.py`` (the recipe)
+    and ``utils/rng.py`` (``derive_seed``'s label hashing).
+    """
+
+    code = "RPL002"
+    name = "canonical-content-keys"
+    rationale = (
+        "builtin hash() is salted per process; ad-hoc digests fork the "
+        "content-key space owned by api.canonical"
+    )
+
+    ALLOWED = frozenset(
+        {"src/repro/api/canonical.py", "src/repro/utils/rng.py"}
+    )
+
+    def visit_node(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Violation]:
+        if isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+                and len(node.args) == 1
+            ):
+                yield self.violation(
+                    node,
+                    ctx,
+                    "builtin hash() is process-salted and must never feed "
+                    "keys; use api.canonical.content_key",
+                )
+        if ctx.path in self.ALLOWED:
+            return
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "hashlib":
+                    yield self.violation(
+                        node,
+                        ctx,
+                        "ad-hoc hashlib digests are banned outside "
+                        "api/canonical.py; use content_key",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "hashlib" and node.level == 0:
+                yield self.violation(
+                    node,
+                    ctx,
+                    "ad-hoc hashlib digests are banned outside "
+                    "api/canonical.py; use content_key",
+                )
+
+
+@LINT_RULES.register("RPL003")
+class FrozenSpecRule(Rule):
+    """Frozen spec instances are immutable outside their own module.
+
+    ``repro.api`` specs hash to content keys at construction; mutating an
+    instance afterwards desynchronizes the object from every cache entry,
+    log line, and session key already derived from it.  Both the
+    back-door (``object.__setattr__``) and plain attribute assignment on
+    a name bound to a spec constructor are flagged.
+    ``object.__setattr__(self, …)`` is exempt: a frozen class
+    canonicalizing *itself* during ``__post_init__`` is the defining
+    module's prerogative (e.g. :class:`repro.questions.model.Question`).
+    """
+
+    code = "RPL003"
+    name = "frozen-spec-immutability"
+    rationale = (
+        "specs are hashed at construction; later mutation desyncs content "
+        "keys, caches, and event-log replay"
+    )
+
+    DEFINING_MODULE = "src/repro/api/specs.py"
+
+    def visit_node(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Violation]:
+        if ctx.path == self.DEFINING_MODULE:
+            return
+        if isinstance(node, ast.Call):
+            callee = dotted_name(node.func)
+            mutates_self = bool(
+                node.args
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id == "self"
+            )
+            if (
+                callee
+                and callee.endswith("object.__setattr__")
+                and not mutates_self
+            ):
+                yield self.violation(
+                    node,
+                    ctx,
+                    "object.__setattr__ on frozen instances is reserved "
+                    "for the defining module (api/specs.py)",
+                )
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and any(
+                        target.value.id in bound
+                        for bound in ctx.spec_bindings
+                    )
+                ):
+                    yield self.violation(
+                        node,
+                        ctx,
+                        f"attribute assignment on frozen spec "
+                        f"{target.value.id!r}; build a new spec instead",
+                    )
+
+
+#: Call targets that block the event loop (RPL004).
+_BLOCKING_CALLS = {
+    "open": "open() blocks the event loop; hop through run_in_executor",
+    "time.sleep": "time.sleep blocks the event loop; use asyncio.sleep",
+    "os.system": "os.system blocks the event loop",
+}
+_BLOCKING_PREFIXES = ("subprocess.",)
+_BLOCKING_METHODS = frozenset({"recv", "recv_into", "accept", "sendall"})
+
+
+@LINT_RULES.register("RPL004")
+class AsyncBlockingRule(Rule):
+    """No blocking calls directly inside ``async def`` bodies in service/.
+
+    The service is a single asyncio loop; one blocking ``open`` /
+    ``time.sleep`` / ``subprocess`` / socket ``recv`` in a handler stalls
+    *every* concurrent session, not just the caller.  Blocking work must
+    hop through ``loop.run_in_executor`` (the event-log flush path) or an
+    async primitive.  Nested synchronous ``def``s are exempt — executors
+    call those.
+    """
+
+    code = "RPL004"
+    name = "non-blocking-async-service"
+    rationale = (
+        "one blocking call in a handler stalls every concurrent session "
+        "on the single event loop"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return is_first_party(path) and path.startswith("src/repro/service/")
+
+    def visit_node(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Violation]:
+        if not isinstance(node, ast.Call) or not ctx.in_async_body:
+            return
+        callee = dotted_name(node.func)
+        if callee in _BLOCKING_CALLS:
+            yield self.violation(
+                node, ctx, f"blocking call in async body: {_BLOCKING_CALLS[callee]}"
+            )
+        elif callee and callee.startswith(_BLOCKING_PREFIXES):
+            yield self.violation(
+                node,
+                ctx,
+                f"blocking call in async body: {callee} blocks the event "
+                "loop; hop through run_in_executor",
+            )
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _BLOCKING_METHODS
+        ):
+            yield self.violation(
+                node,
+                ctx,
+                f"blocking socket-style .{node.func.attr}() in async body; "
+                "use the asyncio stream APIs",
+            )
+
+
+#: Allocation constructors whose dtype must be spelled out (RPL005).
+_DTYPE_REQUIRED = frozenset(
+    {"numpy.array", "numpy.zeros", "numpy.empty", "numpy.ones", "numpy.full"}
+)
+#: Hot-path files under the int32/intp/float64 level-table contract.
+_DTYPE_FILES = frozenset(
+    {
+        "src/repro/tpo/tree.py",
+        "src/repro/tpo/builders.py",
+        "src/repro/tpo/space.py",
+        "src/repro/questions/residual.py",
+    }
+)
+
+
+@LINT_RULES.register("RPL005")
+class ExplicitDtypeRule(Rule):
+    """Array allocations in the flat-table hot paths pass an explicit dtype.
+
+    The PR-5 level tables contract dtypes precisely (tuple_ids int32,
+    parent_idx intp, probs float64); a bare ``np.zeros(n)`` silently
+    picks float64 today and whatever the input promotes to tomorrow,
+    which is exactly how a 2x-memory int64 id column or a float32
+    precision regression sneaks past the 1e-9 parity gates.
+    """
+
+    code = "RPL005"
+    name = "explicit-hot-path-dtypes"
+    rationale = (
+        "the level tables contract int32/intp/float64; inferred dtypes "
+        "drift silently past the parity gates"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return path in _DTYPE_FILES
+
+    def visit_node(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Violation]:
+        if not isinstance(node, ast.Call):
+            return
+        resolved = ctx.resolve_numpy(dotted_name(node.func))
+        if resolved not in _DTYPE_REQUIRED:
+            return
+        short = resolved.replace("numpy.", "np.")
+        if any(kw.arg == "dtype" for kw in node.keywords):
+            return
+        # zeros/empty/ones/full accept dtype as the second (full: third)
+        # positional argument.
+        positional_slot = {"numpy.full": 3}.get(resolved, 2)
+        if resolved != "numpy.array" and len(node.args) >= positional_slot:
+            return
+        yield self.violation(
+            node,
+            ctx,
+            f"{short}(...) without an explicit dtype in a level-table hot "
+            "path; spell out int32/intp/float64",
+        )
+
+
+#: Deprecated pre-``repro.api`` entry points and the modules defining them.
+_DEPRECATED_SHIMS = frozenset(
+    {
+        "make_policy",
+        "get_measure",
+        "register_measure",
+        "available_measures",
+        "make_workload",
+        "make_builder",
+        "normalize_spec",
+        "materialize_instance",
+    }
+)
+#: Module-level registry aliases that must not be mutated like dicts.
+_REGISTRY_NAMES = frozenset(
+    {
+        "POLICIES",
+        "MEASURES",
+        "WORKLOADS",
+        "SCENARIOS",
+        "CROWD_MODELS",
+        "DISTRIBUTIONS",
+        "ENGINES",
+        "GENERATORS",
+        "LINT_RULES",
+    }
+)
+
+
+@LINT_RULES.register("RPL006")
+class NoDeprecatedShimRule(Rule):
+    """First-party code never imports the deprecated shims or pokes
+    registries as dicts.
+
+    The shims (``make_policy``, ``get_measure``, …) raise
+    ``DeprecationWarning`` — which CI promotes to an error — and bypass
+    the typed spec layer; subscript-assignment on a registry alias skips
+    collision detection and lazy resolution.  Use ``repro.api`` specs and
+    ``Registry.register``.
+    """
+
+    code = "RPL006"
+    name = "no-deprecated-entry-points"
+    rationale = (
+        "shims bypass the typed repro.api layer (and warn, which CI "
+        "escalates); dict-mutation skips registry collision detection"
+    )
+
+    #: Modules that define or re-export the shims for compatibility.
+    ALLOWED = frozenset(
+        {
+            "src/repro/__init__.py",
+            "src/repro/api/_deprecation.py",
+            "src/repro/core/__init__.py",
+            "src/repro/uncertainty/registry.py",
+            "src/repro/uncertainty/__init__.py",
+            "src/repro/workloads/synthetic.py",
+            "src/repro/workloads/__init__.py",
+            "src/repro/tpo/builders.py",
+            "src/repro/tpo/__init__.py",
+            "src/repro/service/manager.py",
+            "src/repro/service/__init__.py",
+        }
+    )
+
+    def visit_node(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Violation]:
+        if isinstance(node, ast.ImportFrom) and ctx.path not in self.ALLOWED:
+            if node.level or (node.module or "").startswith("repro"):
+                for alias in node.names:
+                    if alias.name in _DEPRECATED_SHIMS:
+                        yield self.violation(
+                            node,
+                            ctx,
+                            f"import of deprecated shim {alias.name!r}; "
+                            "construct through repro.api instead",
+                        )
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in _REGISTRY_NAMES
+                ):
+                    yield self.violation(
+                        node,
+                        ctx,
+                        f"direct mutation of registry "
+                        f"{target.value.id!r}; use .register() "
+                        "(collision-checked, lazy-path aware)",
+                    )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in _REGISTRY_NAMES
+                ):
+                    yield self.violation(
+                        node,
+                        ctx,
+                        f"direct deletion from registry "
+                        f"{target.value.id!r}; use .unregister()",
+                    )
+
+
+@LINT_RULES.register("RPL007")
+class TornTailAppendRule(Rule):
+    """Append-mode JSONL writes go through the torn-tail-safe helpers.
+
+    ``ResultStore`` / ``EventLog`` call ``ensure_trailing_newline`` before
+    every append so a record glued onto a killed run's torn final line can
+    never lose both records.  A raw ``open(path, "a")`` anywhere else
+    reintroduces exactly that corruption on the next crash.
+    """
+
+    code = "RPL007"
+    name = "torn-tail-safe-appends"
+    rationale = (
+        "raw append-mode writes glue records onto a torn tail after a "
+        "kill; EventLog/ResultStore heal it first"
+    )
+
+    ALLOWED = frozenset(
+        {"src/repro/experiments/store.py", "src/repro/service/manager.py"}
+    )
+
+    def visit_node(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Violation]:
+        if ctx.path in self.ALLOWED or not isinstance(node, ast.Call):
+            return
+        callee = dotted_name(node.func)
+        is_open = callee == "open" or (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "open"
+        )
+        if not is_open:
+            return
+        mode = None
+        offset = 1 if callee == "open" else 0
+        if len(node.args) >= 1 + offset:
+            mode = node.args[offset]
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if (
+            isinstance(mode, ast.Constant)
+            and isinstance(mode.value, str)
+            and "a" in mode.value
+        ):
+            yield self.violation(
+                node,
+                ctx,
+                "raw append-mode open(); route through the torn-tail-safe "
+                "EventLog/ResultStore helpers",
+            )
+
+
+@LINT_RULES.register("RPL008")
+class MutableDefaultRule(Rule):
+    """No mutable default arguments on public ``src/repro`` functions.
+
+    A shared ``[]`` / ``{}`` default on an API entry point leaks state
+    across calls — and across *sessions* in the long-lived service
+    process.  Use ``None`` and materialize inside.
+    """
+
+    code = "RPL008"
+    name = "no-mutable-public-defaults"
+    rationale = (
+        "shared mutable defaults leak state across calls in the "
+        "long-lived service process"
+    )
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._MUTABLE_CALLS
+        )
+
+    def visit_node(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Violation]:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        if node.name.startswith("_") and node.name != "__init__":
+            return
+        defaults = list(node.args.defaults) + [
+            default
+            for default in node.args.kw_defaults
+            if default is not None
+        ]
+        for default in defaults:
+            if self._is_mutable(default):
+                yield self.violation(
+                    default,
+                    ctx,
+                    f"mutable default argument on public function "
+                    f"{node.name!r}; default to None and materialize "
+                    "inside",
+                )
+
+
+__all__ = [
+    "SeededRngRule",
+    "ContentKeyRule",
+    "FrozenSpecRule",
+    "AsyncBlockingRule",
+    "ExplicitDtypeRule",
+    "NoDeprecatedShimRule",
+    "TornTailAppendRule",
+    "MutableDefaultRule",
+]

@@ -1,0 +1,171 @@
+"""Ratcheted mypy gate for the typed core (``python -m repro.devtools.typecheck``).
+
+The typed core — :mod:`repro.api`, :mod:`repro.tpo`, :mod:`repro.service`,
+:mod:`repro.utils` — is held to ``disallow_untyped_defs`` via the
+repo-root ``mypy.ini``; everything else is type-checked opportunistically.
+Because the error count cannot jump in a PR but may shrink, the gate is a
+*ratchet*: ``typecheck-baseline.json`` records ``max_errors``, the run
+fails when mypy reports more, and prints a reminder to lower the ceiling
+when it reports fewer.
+
+mypy is a dev-only dependency (``requirements-dev.txt``).  When it is not
+importable — minimal local environments — the gate prints a notice and
+exits 0 rather than failing setups that never asked for it; CI installs
+mypy, so the ceiling is always enforced where it matters.
+
+``--strict-report PATH`` instead runs mypy ``--strict`` over all of
+``src/repro`` and writes the full output to ``PATH`` (exit 0 always):
+the nightly workflow publishes that as an artifact, so the distance to
+full strictness stays visible without gating merges on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+DEFAULT_BASELINE = "typecheck-baseline.json"
+#: The packages held to the typed-core bar (mypy.ini mirrors this list).
+TYPED_CORE = (
+    "src/repro/api",
+    "src/repro/tpo",
+    "src/repro/service",
+    "src/repro/utils",
+)
+
+_SUMMARY = re.compile(r"Found (\d+) errors? in \d+ files?")
+
+
+def mypy_available() -> bool:
+    """Whether mypy can be invoked as ``python -m mypy``."""
+    try:
+        return importlib.util.find_spec("mypy") is not None
+    except (ImportError, ValueError):
+        return False
+
+
+def parse_error_count(output: str) -> int:
+    """The error count from mypy's summary line (0 when clean).
+
+    Counts ``error:`` lines as a fallback so a crash that still printed
+    diagnostics is not mistaken for a clean run.
+    """
+    match = _SUMMARY.search(output)
+    if match:
+        return int(match.group(1))
+    return sum(
+        1 for line in output.splitlines() if " error: " in f" {line} "
+    )
+
+
+def load_max_errors(path: Path) -> int:
+    """The ratchet ceiling from ``typecheck-baseline.json``."""
+    payload = json.loads(path.read_text())
+    ceiling = payload["max_errors"]
+    if not isinstance(ceiling, int) or ceiling < 0:
+        raise ValueError(f"max_errors must be a non-negative int: {ceiling!r}")
+    return ceiling
+
+
+def run_mypy(
+    targets: Sequence[str], root: Path, strict: bool = False
+) -> Tuple[int, str]:
+    """Run mypy over ``targets``; returns ``(exit_code, merged output)``."""
+    command: List[str] = [sys.executable, "-m", "mypy"]
+    if strict:
+        command += ["--strict", "--no-error-summary"]
+    else:
+        command += ["--config-file", str(root / "mypy.ini")]
+    command += list(targets)
+    completed = subprocess.run(
+        command,
+        cwd=root,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return completed.returncode, completed.stdout + completed.stderr
+
+
+def gate(root: Path, baseline_path: Path) -> int:
+    """Enforce the ratchet; returns the process exit code."""
+    ceiling = load_max_errors(baseline_path)
+    code, output = run_mypy(TYPED_CORE, root)
+    errors = parse_error_count(output)
+    if code not in (0, 1):  # 2 = mypy crashed / bad config — never "clean"
+        sys.stdout.write(output)
+        print(f"typecheck: mypy exited {code} (not a type-error exit)")
+        return 2
+    if errors > ceiling:
+        sys.stdout.write(output)
+        print(
+            f"typecheck: FAILED — {errors} error(s) > ratchet ceiling "
+            f"{ceiling} (see {baseline_path.name})"
+        )
+        return 1
+    print(f"typecheck: ok — {errors} error(s) <= ceiling {ceiling}")
+    if errors < ceiling:
+        print(
+            f"typecheck: ratchet can tighten — lower max_errors to "
+            f"{errors} in {baseline_path.name}"
+        )
+    return 0
+
+
+def strict_report(root: Path, report_path: Path) -> int:
+    """Write the full ``mypy --strict`` output for ``src/repro``; exit 0."""
+    code, output = run_mypy(["src/repro"], root, strict=True)
+    errors = parse_error_count(output)
+    report_path.parent.mkdir(parents=True, exist_ok=True)
+    report_path.write_text(
+        f"# mypy --strict report (exit {code}, {errors} errors)\n{output}"
+    )
+    print(
+        f"typecheck: strict report -> {report_path} "
+        f"({errors} error(s); informational only)"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.devtools.typecheck",
+        description="ratcheted mypy gate over the typed core",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root (default: current directory)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"ratchet file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--strict-report",
+        metavar="PATH",
+        default=None,
+        help="write a full --strict report to PATH instead of gating",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root).resolve()
+    if not mypy_available():
+        print(
+            "typecheck: mypy is not installed — skipping "
+            "(pip install -r requirements-dev.txt to enable the gate)"
+        )
+        return 0
+    if args.strict_report is not None:
+        return strict_report(root, Path(args.strict_report))
+    return gate(root, root / args.baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

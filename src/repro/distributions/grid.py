@@ -62,7 +62,7 @@ class Grid:
             hi = lo + 1e-9
         max_width = (hi - lo) / float(resolution)
         edges: List[float] = []
-        for left, right in zip(points[:-1], points[1:]):
+        for left, right in zip(points[:-1], points[1:], strict=True):
             span = right - left
             if span <= 0:
                 continue

@@ -52,14 +52,14 @@ class Mixture(ScoreDistribution):
     def pdf(self, x: ArrayLike) -> ArrayLike:
         x = np.asarray(x, dtype=float)
         total = np.zeros_like(x)
-        for weight, component in zip(self.weights, self.components):
+        for weight, component in zip(self.weights, self.components, strict=True):
             total += weight * np.asarray(component.pdf(x))
         return total
 
     def cdf(self, x: ArrayLike) -> ArrayLike:
         x = np.asarray(x, dtype=float)
         total = np.zeros_like(x)
-        for weight, component in zip(self.weights, self.components):
+        for weight, component in zip(self.weights, self.components, strict=True):
             total += weight * np.asarray(component.cdf(x))
         return np.clip(total, 0.0, 1.0)
 
@@ -107,14 +107,15 @@ class Mixture(ScoreDistribution):
 
     def piecewise_pdf(self, resolution: Optional[int] = None) -> PiecewisePolynomial:
         total = None
-        for weight, component in zip(self.weights, self.components):
+        for weight, component in zip(self.weights, self.components, strict=True):
             term = component.piecewise_pdf(resolution) * float(weight)
             total = term if total is None else total + term
         return total
 
     def __repr__(self) -> str:
         parts = ", ".join(
-            f"{w:.3g}·{c!r}" for w, c in zip(self.weights, self.components)
+            f"{w:.3g}·{c!r}"
+            for w, c in zip(self.weights, self.components, strict=True)
         )
         return f"Mixture({parts})"
 

@@ -24,7 +24,7 @@ with bounded support behave.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -191,7 +191,9 @@ class PiecewisePolynomial:
             running = float(_eval_horner(integrated, np.array([width]))[0])
         return PiecewisePolynomial(xs, new_coeffs)
 
-    def definite_integral(self, a: float = None, b: float = None) -> float:
+    def definite_integral(
+        self, a: Optional[float] = None, b: Optional[float] = None
+    ) -> float:
         """Integral of ``f`` over ``[a, b]`` (default: whole support)."""
         xs = self.breakpoints
         a = xs[0] if a is None else max(a, xs[0])
@@ -279,7 +281,7 @@ class PiecewisePolynomial:
         xs = self._merged_breakpoints(self, other, lower, upper)
         mine = self._refined_coefficients(xs)
         theirs = other._refined_coefficients(xs)
-        product = [np.convolve(a, b) for a, b in zip(mine, theirs)]
+        product = [np.convolve(a, b) for a, b in zip(mine, theirs, strict=True)]
         return PiecewisePolynomial(xs, product)
 
     __rmul__ = __mul__
@@ -291,7 +293,7 @@ class PiecewisePolynomial:
         mine = self._refined_coefficients(xs)
         theirs = other._refined_coefficients(xs)
         summed = []
-        for a, b in zip(mine, theirs):
+        for a, b in zip(mine, theirs, strict=True):
             size = max(len(a), len(b))
             s = np.zeros(size)
             s[: len(a)] += a
@@ -336,11 +338,11 @@ class PiecewisePolynomial:
         xs = list(self.breakpoints)
         coeffs = [c.copy() for c in self.coefficients]
         if lower < self.lower - MERGE_TOLERANCE:
-            xs = [lower] + xs
-            coeffs = [np.zeros(1)] + coeffs
+            xs = [lower, *xs]
+            coeffs = [np.zeros(1), *coeffs]
         if upper > self.upper + MERGE_TOLERANCE:
-            xs = xs + [upper]
-            coeffs = coeffs + [np.zeros(1)]
+            xs = [*xs, upper]
+            coeffs = [*coeffs, np.zeros(1)]
         return PiecewisePolynomial(np.asarray(xs), coeffs)
 
     def simplify(self, tolerance: float = 0.0) -> "PiecewisePolynomial":

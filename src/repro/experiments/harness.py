@@ -194,7 +194,7 @@ class ResultTable:
             groups.setdefault(key, []).append(row)
         aggregated = ResultTable()
         for key, members in groups.items():
-            record = dict(zip(group_keys, key))
+            record = dict(zip(group_keys, key, strict=True))
             record["reps"] = len(members)
             for value_key in value_keys:
                 values = np.asarray(
@@ -261,11 +261,11 @@ class ResultTable:
             max(len(c), *(len(line[i]) for line in body)) if body else len(c)
             for i, c in enumerate(columns)
         ]
-        header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+        header = "  ".join(c.ljust(w) for c, w in zip(columns, widths, strict=True))
         rule = "  ".join("-" * w for w in widths)
         lines = [header, rule]
         for line in body:
-            lines.append("  ".join(v.ljust(w) for v, w in zip(line, widths)))
+            lines.append("  ".join(v.ljust(w) for v, w in zip(line, widths, strict=True)))
         return "\n".join(lines)
 
     def __len__(self) -> int:

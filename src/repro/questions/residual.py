@@ -116,7 +116,9 @@ class ResidualEvaluator:
         Kept for verification; policies use the equivalent — and much
         faster — :meth:`rank_singles_batch`.
         """
-        return np.array([self.single(space, q) for q in questions])
+        return np.array(
+            [self.single(space, q) for q in questions], dtype=np.float64
+        )
 
     def rank_singles_batch(
         self,
@@ -137,7 +139,7 @@ class ResidualEvaluator:
         """
         count = len(questions)
         if count == 0:
-            return np.zeros(0)
+            return np.zeros(0, dtype=np.float64)
         if chunk is None:
             chunk = _rows_per_chunk(space.size)
         codes = self.codes_matrix(space, questions)
@@ -147,8 +149,8 @@ class ResidualEvaluator:
         # One float view of the stances yields both masses as matvecs:
         # p·codes = m_yes − m_no and p·|codes| = m_yes + m_no; converted
         # in column chunks so the float64 temporaries stay bounded.
-        signed = np.empty(count)
-        decisive = np.empty(count)
+        signed = np.empty(count, dtype=np.float64)
+        decisive = np.empty(count, dtype=np.float64)
         for start in range(0, count, chunk):
             block = slice(start, min(start + chunk, count))
             codes_float = codes[:, block].astype(np.float64)
@@ -156,7 +158,7 @@ class ResidualEvaluator:
             decisive[block] = p @ np.abs(codes_float)
         mass_yes = 0.5 * (decisive + signed)
         mass_no = 0.5 * (decisive - signed)
-        residuals = np.empty(count)
+        residuals = np.empty(count, dtype=np.float64)
         silent = decisive <= 0.0
         if np.any(silent):
             # Such questions cannot prune anything: residual = current U.
@@ -178,8 +180,8 @@ class ResidualEvaluator:
                 out[block] = self.measure.evaluate_restrictions(space, rows)
             return columns.size
 
-        u_yes = np.zeros(count)
-        u_no = np.zeros(count)
+        u_yes = np.zeros(count, dtype=np.float64)
+        u_no = np.zeros(count, dtype=np.float64)
         evaluated = evaluate_branch(no_stance, yes_branch, u_yes)
         evaluated += evaluate_branch(yes_stance, no_branch, u_no)
         self.evaluations += evaluated
@@ -340,7 +342,7 @@ class ResidualEvaluator:
         base_columns = list(base_columns)
         candidate_columns = list(candidate_columns)
         if not candidate_columns:
-            return np.zeros(0)
+            return np.zeros(0, dtype=np.float64)
         p = space.probabilities
         size = space.size
         if base_columns:
@@ -376,7 +378,7 @@ class ResidualEvaluator:
                     )
                 compat_cache[pattern_index] = row
             return row
-        results = np.empty(len(candidate_columns))
+        results = np.empty(len(candidate_columns), dtype=np.float64)
         current_uncertainty: Optional[float] = None
         chunk = _rows_per_chunk(size)
         for out_index, column in enumerate(candidate_columns):

@@ -128,7 +128,7 @@ def kwiksort_aggregation(
         pivot = items[pivot_index]
         above = [u for u in items if u != pivot and w[u, pivot] > 0.5]
         below = [u for u in items if u != pivot and w[u, pivot] <= 0.5]
-        return sort(above) + [pivot] + sort(below)
+        return [*sort(above), pivot, *sort(below)]
 
     return np.asarray(sort(candidates)[:k], dtype=np.int32)
 

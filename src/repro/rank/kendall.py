@@ -16,7 +16,7 @@ opposite, ``p`` when exactly one list is silent, and 0 otherwise.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -88,7 +88,7 @@ def _positions(ranking: Sequence[int], n_tuples: int, depth: int) -> np.ndarray:
 def topk_kendall(
     a: Sequence[int],
     b: Sequence[int],
-    n_tuples: int = None,
+    n_tuples: Optional[int] = None,
     penalty: float = DEFAULT_PENALTY,
     normalized: bool = True,
 ) -> float:
@@ -145,7 +145,7 @@ def max_topk_distance(
 def spearman_footrule(
     a: Sequence[int],
     b: Sequence[int],
-    n_tuples: int = None,
+    n_tuples: Optional[int] = None,
     normalized: bool = True,
 ) -> float:
     """Footrule distance for top-K lists (absent tuples at rank ``K``).

@@ -33,10 +33,11 @@ from __future__ import annotations
 
 import json
 import secrets
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.api._deprecation import warn_deprecated
 from repro.api.specs import InstanceSpec, as_instance_spec
@@ -49,6 +50,9 @@ from repro.service.cache import TPOCache, instance_key
 from repro.tpo.builders import GridBuilder, TPOBuilder
 from repro.uncertainty.base import UncertaintyMeasure
 from repro.uncertainty.entropy import EntropyMeasure
+
+#: Anything :class:`pathlib.Path` accepts for the event-log location.
+PathLike = Union[str, Path]
 
 
 class UnknownSessionError(KeyError):
@@ -109,7 +113,7 @@ class EventLog:
     mid-write) is skipped on load rather than poisoning the replay.
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path: PathLike) -> None:
         self.path = Path(path)
 
     def append(self, event: Dict[str, Any]) -> None:
@@ -119,6 +123,12 @@ class EventLog:
         with open(self.path, "a") as handle:
             handle.write(json.dumps(event, allow_nan=False) + "\n")
             handle.flush()
+
+    def flush(self) -> int:
+        """No-op: every :meth:`append` is already durable.  Returns the
+        number of events written (always 0 here); see
+        :class:`BufferedEventLog` for the deferred variant."""
+        return 0
 
     def load(self) -> List[Dict[str, Any]]:
         """All parseable events, in append order."""
@@ -137,6 +147,58 @@ class EventLog:
                 if isinstance(event, dict) and "event" in event:
                     events.append(event)
         return events
+
+
+class BufferedEventLog(EventLog):
+    """:class:`EventLog` whose appends buffer in memory until :meth:`flush`.
+
+    The asyncio server mutates sessions on the event-loop thread but must
+    never block it on disk I/O (lint rule RPL004).  With this variant,
+    :meth:`append` is a pure in-memory list append, and the handler awaits
+    one :meth:`flush` hop through the server's log executor *before*
+    responding — so the client-visible durability contract is unchanged
+    (a 200 means the event is on disk) while the loop never waits on a
+    file handle.
+
+    Appends keep their order; ``flush`` writes the whole backlog through a
+    single append-mode open with the same torn-tail healing as the eager
+    log.  Two locks keep the threads honest: ``_lock`` guards the buffer
+    (so the loop thread's ``append`` only ever waits for a list swap,
+    never for the disk), and ``_flush_lock`` serializes whole flushes (so
+    overlapping flushers cannot interleave batches out of order).
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        super().__init__(path)
+        self._pending: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._flush_lock = threading.Lock()
+
+    @property
+    def pending(self) -> int:
+        """Events buffered but not yet on disk."""
+        with self._lock:
+            return len(self._pending)
+
+    def append(self, event: Dict[str, Any]) -> None:
+        """Buffer one event (no disk I/O until :meth:`flush`)."""
+        with self._lock:
+            self._pending.append(event)
+
+    def flush(self) -> int:
+        """Write every buffered event durably; returns how many."""
+        with self._flush_lock:
+            with self._lock:
+                batch, self._pending = self._pending, []
+            if not batch:
+                return 0
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            ensure_trailing_newline(self.path)
+            with open(self.path, "a") as handle:
+                for event in batch:
+                    handle.write(json.dumps(event, allow_nan=False) + "\n")
+                handle.flush()
+            return len(batch)
 
 
 # ----------------------------------------------------------------------
@@ -181,7 +243,7 @@ class SessionManager:
     def __init__(
         self,
         cache: Optional[TPOCache] = None,
-        log_path=None,
+        log_path: Optional[PathLike] = None,
         builder: Optional[TPOBuilder] = None,
         measure: Optional[UncertaintyMeasure] = None,
         ranking_memo_size: int = 1024,
@@ -230,7 +292,7 @@ class SessionManager:
     # -- lifecycle -----------------------------------------------------
 
     def create_session(
-        self, spec, session_id: Optional[str] = None
+        self, spec: Any, session_id: Optional[str] = None
     ) -> str:
         """Create (and log) a session from an instance spec; returns its id.
 
@@ -249,7 +311,7 @@ class SessionManager:
         return sid
 
     def _create(
-        self, spec, session_id: Optional[str] = None
+        self, spec: Any, session_id: Optional[str] = None
     ) -> str:
         ispec = as_instance_spec(spec)
         spec = ispec.to_dict()
@@ -329,7 +391,7 @@ class SessionManager:
         ]
         rankings = self.evaluator.rank_singles_many(requests, keys=states)
         self.rankings_computed += len(states)
-        for state, residuals in zip(states, rankings):
+        for state, residuals in zip(states, rankings, strict=True):
             candidates, members = needed[state]
             ranking = (candidates, residuals)
             self.rankings_coalesced += len(members) - 1
@@ -433,8 +495,27 @@ class SessionManager:
 
     # -- durability ----------------------------------------------------
 
+    def defer_log_writes(self) -> bool:
+        """Swap the eager event log for a :class:`BufferedEventLog`.
+
+        After this, mutations buffer their events in memory and someone —
+        the asyncio server, via its log executor — must call
+        :meth:`flush_log` to make them durable.  Idempotent; returns
+        whether a log is configured at all.
+        """
+        if self._log is not None and not isinstance(
+            self._log, BufferedEventLog
+        ):
+            self._log = BufferedEventLog(self._log.path)
+        return self._log is not None
+
+    def flush_log(self) -> int:
+        """Durably write any buffered events; returns how many were
+        written (0 for the eager log, which never buffers)."""
+        return self._log.flush() if self._log is not None else 0
+
     @classmethod
-    def resume(cls, log_path, **kwargs) -> "SessionManager":
+    def resume(cls, log_path: PathLike, **kwargs: Any) -> "SessionManager":
         """Rebuild a manager from its event log and keep logging to it.
 
         Replays every parseable event in order (create → answers →
@@ -483,6 +564,7 @@ __all__ = [
     "SessionManager",
     "ManagedSession",
     "EventLog",
+    "BufferedEventLog",
     "UnknownSessionError",
     "ClosedSessionError",
     "normalize_spec",

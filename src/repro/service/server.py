@@ -39,13 +39,21 @@ sessions in identical states share a single ranking pass — the asyncio
 face of the manager's cross-session batching.
 
 The manager is synchronous and only touched from the event-loop thread, so
-no locking is needed anywhere.
+no locking is needed anywhere — with one deliberate exception: the durable
+event log.  :func:`start_server` swaps the manager's eager
+:class:`~repro.service.manager.EventLog` for a
+:class:`~repro.service.manager.BufferedEventLog`, so mutating handlers
+append in memory (no disk I/O on the loop thread — lint rule RPL004) and
+then await one flush hop through a single-thread executor *before*
+responding.  A 200 still means the event is on disk; the buffered log's
+own lock covers the loop-thread/executor-thread handoff.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import __version__
@@ -251,12 +259,25 @@ class Context:
         body: Any,
         params: Dict[str, str],
         versioned: bool,
+        log_executor: Optional[ThreadPoolExecutor] = None,
     ) -> None:
         self.manager = manager
         self.batcher = batcher
         self.body = body
         self.params = params
         self.versioned = versioned
+        self.log_executor = log_executor
+
+    async def flush_log(self) -> None:
+        """Durably write buffered event-log appends, off the loop thread.
+
+        Mutating handlers await this before responding so the wire
+        contract stays "200 ⇒ logged", while the actual ``open``/``write``
+        happens on the (single-thread) log executor, never the loop.
+        """
+        await asyncio.get_running_loop().run_in_executor(
+            self.log_executor, self.manager.flush_log
+        )
 
 
 async def _handle_healthz(ctx: Context) -> Dict[str, Any]:
@@ -315,6 +336,7 @@ async def _handle_create_session(ctx: Context) -> Dict[str, Any]:
         # know about (e.g. {"params": {"bogus": 1}}) — still the client's
         # fault, not a 500.
         raise HttpError(400, str(exc)) from None
+    await ctx.flush_log()
     return CreateSessionResponse(session_id=sid).to_payload()
 
 
@@ -347,12 +369,14 @@ async def _handle_answer(ctx: Context) -> Dict[str, Any]:
         if isinstance(exc, ClosedSessionError):
             raise
         raise HttpError(400, str(exc)) from None
+    await ctx.flush_log()
     return AnswerResponse.from_summary(summary).to_payload()
 
 
 async def _handle_close(ctx: Context) -> Dict[str, Any]:
     sid = ctx.params["session_id"]
     ctx.manager.close_session(sid)
+    await ctx.flush_log()
     return CloseSessionResponse(session_id=sid).to_payload()
 
 
@@ -366,7 +390,10 @@ class Route:
     """
 
     def __init__(
-        self, pattern: str, handlers: Dict[str, Any], versioned_only=False
+        self,
+        pattern: str,
+        handlers: Dict[str, Any],
+        versioned_only: bool = False,
     ) -> None:
         self.pattern = pattern
         self.segments = pattern.split("/")
@@ -378,7 +405,7 @@ class Route:
         if len(segments) != len(self.segments):
             return None
         params: Dict[str, str] = {}
-        for expected, actual in zip(self.segments, segments):
+        for expected, actual in zip(self.segments, segments, strict=True):
             if expected.startswith("{") and expected.endswith("}"):
                 params[expected[1:-1]] = actual
             elif expected != actual:
@@ -407,6 +434,7 @@ async def _route(
     body: Any,
     manager: SessionManager,
     batcher: NextQuestionBatcher,
+    log_executor: Optional[ThreadPoolExecutor] = None,
 ) -> Tuple[Dict[str, Any], bool]:
     """Dispatch one request; returns ``(payload, versioned)``."""
     segments = [s for s in path.split("/") if s]
@@ -431,7 +459,9 @@ async def _route(
                     allow=route.handlers,
                 )
             sid = params.get("session_id")
-            ctx = Context(manager, batcher, body, params, versioned)
+            ctx = Context(
+                manager, batcher, body, params, versioned, log_executor
+            )
             return await handler(ctx), versioned
         raise HttpError(404, f"no route for {method} {path}")
     except ProtocolError as exc:
@@ -457,6 +487,7 @@ async def _handle_connection(
     writer: asyncio.StreamWriter,
     manager: SessionManager,
     batcher: NextQuestionBatcher,
+    log_executor: Optional[ThreadPoolExecutor] = None,
 ) -> None:
     status, payload = 500, {"error": "internal error"}
     headers: Dict[str, str] = {}
@@ -471,7 +502,7 @@ async def _handle_connection(
         ]
         body = await _read_body(reader, content_length)
         payload, versioned = await _route(
-            method, path, body, manager, batcher
+            method, path, body, manager, batcher, log_executor
         )
         status = 200
     except HttpError as exc:
@@ -502,11 +533,27 @@ async def start_server(
     manager: SessionManager, host: str = "127.0.0.1", port: int = 8080
 ) -> "asyncio.AbstractServer":
     """Bind the service; the caller drives ``serve_forever`` (or tests
-    poke it and close)."""
-    batcher = NextQuestionBatcher(manager)
+    poke it and close).
 
-    async def handler(reader, writer):
-        await _handle_connection(reader, writer, manager, batcher)
+    Also moves the manager's event log into deferred mode
+    (:meth:`SessionManager.defer_log_writes`) with a dedicated
+    single-thread executor doing the actual disk writes — handlers append
+    in memory and await the flush, so the event loop never blocks on the
+    log file.
+    """
+    batcher = NextQuestionBatcher(manager)
+    log_executor: Optional[ThreadPoolExecutor] = None
+    if manager.defer_log_writes():
+        log_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-eventlog"
+        )
+
+    async def handler(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await _handle_connection(
+            reader, writer, manager, batcher, log_executor
+        )
 
     return await asyncio.start_server(handler, host=host, port=port)
 

@@ -9,7 +9,7 @@ they power the example scripts and are handy in notebooks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -86,7 +86,7 @@ def profile_space(space: OrderingSpace) -> SpaceProfile:
 
 def question_impact_table(
     space: OrderingSpace,
-    measure=None,
+    measure: Optional["UncertaintyMeasure"] = None,
     top: int = 10,
 ) -> List[Tuple["Question", float, float]]:
     """Rank candidate questions by expected uncertainty reduction.

@@ -27,7 +27,7 @@ import argparse
 import json
 import time
 from pathlib import Path
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -41,7 +41,7 @@ SPEEDUP_FLOOR = 4.0
 PARITY_ATOL = 1e-9
 
 
-def best_of(callable_, repetitions: int) -> float:
+def best_of(callable_: Callable[[], Any], repetitions: int) -> float:
     """Minimum wall-clock of ``repetitions`` runs (noise-robust)."""
     timings = []
     for _ in range(repetitions):

@@ -33,7 +33,7 @@ The retired pointer-chasing grid path survives in
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
@@ -197,7 +197,7 @@ class GridBuilder(TPOBuilder):
         remaining = self._remaining_candidates(tree)
         width, m = remaining.shape
         if depth == 0:
-            tails = np.ones((1, cells))
+            tails = np.ones((1, cells), dtype=np.float64)
         else:
             tails = _upper_tail_rows(cache.frontier_h, grid)
 
@@ -214,7 +214,7 @@ class GridBuilder(TPOBuilder):
             np.flatnonzero(np.diff(inverse.ravel()[order], prepend=-1)),
             order.size,
         )
-        probs = np.empty((width, m))
+        probs = np.empty((width, m), dtype=np.float64)
         created = 0
         for group in range(sets.shape[0]):
             rows = order[bounds[group] : bounds[group + 1]]
@@ -253,7 +253,9 @@ class _GridCache:
 
     __slots__ = ("grid", "densities", "cdfs", "frontier_h")
 
-    def __init__(self, grid: Grid, densities: np.ndarray, cdfs: np.ndarray):
+    def __init__(
+        self, grid: Grid, densities: np.ndarray, cdfs: np.ndarray
+    ) -> None:
         self.grid = grid
         self.densities = densities
         self.cdfs = cdfs
@@ -293,7 +295,8 @@ def _upper_tail_rows(cell_values: np.ndarray, grid: Grid) -> np.ndarray:
     masses = cell_values * grid.widths
     suffix = np.cumsum(masses[:, ::-1], axis=1)[:, ::-1]
     after = np.concatenate(
-        [suffix[:, 1:], np.zeros((masses.shape[0], 1))], axis=1
+        [suffix[:, 1:], np.zeros((masses.shape[0], 1), dtype=np.float64)],
+        axis=1,
     )
     return after + 0.5 * masses
 
@@ -353,7 +356,7 @@ class ExactBuilder(TPOBuilder):
         parent_idx: List[int] = []
         probs: List[float] = []
         new_polys: List[PiecewisePolynomial] = []
-        for parent, (candidates, tail) in enumerate(zip(remaining, tails)):
+        for parent, (candidates, tail) in enumerate(zip(remaining, tails, strict=True)):
             for position, t in enumerate(candidates):
                 others = np.delete(candidates, position)
                 h_child = (
@@ -404,7 +407,7 @@ class _ExactCache:
         if self.frontier_polys:
             self.frontier_polys = [
                 poly
-                for poly, keep in zip(self.frontier_polys, alive)
+                for poly, keep in zip(self.frontier_polys, alive, strict=True)
                 if keep
             ]
 
@@ -469,7 +472,11 @@ class MonteCarloBuilder(TPOBuilder):
         n = tree.n_tuples
         active = np.flatnonzero(cache.sample_node >= 0)
         if active.size == 0:
-            tree.append_level(np.empty(0), np.empty(0), np.empty(0))
+            tree.append_level(
+                np.empty(0, dtype=np.int32),
+                np.empty(0, dtype=np.intp),
+                np.empty(0, dtype=np.float64),
+            )
             return
         # One global stable group-by over (frontier node, next tuple).
         keys = cache.sample_node[active] * n + cache.ranks[active, depth]
@@ -525,7 +532,7 @@ class _MonteCarloCache:
 
 # ----------------------------------------------------------------------
 
-def make_builder(engine: str = "grid", **kwargs) -> TPOBuilder:
+def make_builder(engine: str = "grid", **kwargs: Any) -> TPOBuilder:
     """Deprecated shim: use ``repro.api.ENGINES.create`` instead."""
     warn_deprecated("repro.tpo.make_builder", "repro.api.ENGINES.create")
     return ENGINES.create(engine, **kwargs)

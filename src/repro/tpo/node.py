@@ -15,7 +15,10 @@ pointer-based node for hand-built trees in tests and tools.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # circular at runtime: tree.py imports this module
+    from repro.tpo.tree import TPOTree
 
 import numpy as np
 
@@ -138,7 +141,7 @@ class TPONodeView:
 
     __slots__ = ("_tree", "_depth", "_index")
 
-    def __init__(self, tree, depth: int, index: int) -> None:
+    def __init__(self, tree: "TPOTree", depth: int, index: int) -> None:
         self._tree = tree
         self._depth = depth
         self._index = index

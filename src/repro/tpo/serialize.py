@@ -16,10 +16,11 @@ time, which preserves the parent-major row order the tree requires.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.distributions.base import ScoreDistribution
 from repro.tpo.node import TPONodeView
 from repro.tpo.tree import TPOTree
 
@@ -31,9 +32,9 @@ def tree_to_dict(tree: TPOTree) -> Dict:
     for level in tree.levels:
         rows = [
             {"tuple": int(t), "p": float(p), "children": []}
-            for t, p in zip(level.tuple_ids, level.probs)
+            for t, p in zip(level.tuple_ids, level.probs, strict=True)
         ]
-        for row, parent in zip(rows, level.parent_idx):
+        for row, parent in zip(rows, level.parent_idx, strict=True):
             parent_rows[parent]["children"].append(row)
         parent_rows = rows
     return {
@@ -44,7 +45,9 @@ def tree_to_dict(tree: TPOTree) -> Dict:
     }
 
 
-def tree_from_dict(data: Dict, distributions) -> TPOTree:
+def tree_from_dict(
+    data: Dict, distributions: Sequence[ScoreDistribution]
+) -> TPOTree:
     """Rebuild a tree from :func:`tree_to_dict` output.
 
     ``distributions`` must be the same family used when serializing (the
@@ -77,7 +80,7 @@ def tree_from_dict(data: Dict, distributions) -> TPOTree:
 
 def tree_to_dot(
     tree: TPOTree,
-    labels: List[str] = None,
+    labels: Optional[List[str]] = None,
     max_nodes: int = 500,
 ) -> str:
     """Graphviz DOT rendering (truncated after ``max_nodes`` nodes)."""

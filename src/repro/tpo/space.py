@@ -311,7 +311,7 @@ class OrderingSpace:
 
     def rank_marginals(self) -> np.ndarray:
         """``(N, K)`` matrix of ``Pr(tuple i occupies rank k)``."""
-        marginals = np.zeros((self.n_tuples, self.depth))
+        marginals = np.zeros((self.n_tuples, self.depth), dtype=np.float64)
         for rank in range(self.depth):
             np.add.at(
                 marginals[:, rank], self.paths[:, rank], self.probabilities
@@ -336,8 +336,8 @@ class OrderingSpace:
         p = self.probabilities
         paths = self.paths.astype(np.int64)
         flat_bins = n * n
-        strict = np.zeros(flat_bins)
-        present_mass = np.zeros(n)
+        strict = np.zeros(flat_bins, dtype=np.float64)
+        present_mass = np.zeros(n, dtype=np.float64)
         for r in range(self.depth):
             present_mass += np.bincount(paths[:, r], weights=p, minlength=n)
             for s in range(r + 1, self.depth):

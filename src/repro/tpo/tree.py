@@ -296,7 +296,7 @@ class TPOTree:
         removed = int(sum(int((~mask).sum()) for mask in alive_masks))
         if removed:
             index_map: Optional[np.ndarray] = None
-            for level, alive in zip(self.levels, alive_masks):
+            for level, alive in zip(self.levels, alive_masks, strict=True):
                 parent = (
                     level.parent_idx
                     if index_map is None

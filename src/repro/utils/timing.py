@@ -10,7 +10,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, Tuple, TypeVar
+from typing import Any, Callable, Dict, Iterator, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -60,14 +60,16 @@ class Stopwatch:
         self.counts.clear()
 
 
-def timed(fn: Callable[..., T], *args, **kwargs) -> Tuple[T, float]:
+def timed(fn: Callable[..., T], *args: Any, **kwargs: Any) -> Tuple[T, float]:
     """Run ``fn`` and return ``(result, cpu_seconds)``."""
     start = time.process_time()
     result = fn(*args, **kwargs)
     return result, time.process_time() - start
 
 
-def timed_wall(fn: Callable[..., T], *args, **kwargs) -> Tuple[T, float]:
+def timed_wall(
+    fn: Callable[..., T], *args: Any, **kwargs: Any
+) -> Tuple[T, float]:
     """Run ``fn`` and return ``(result, wall_seconds)``.
 
     Wall clock, not CPU: the right metric for multi-process work, where the

@@ -60,7 +60,7 @@ def jittered_widths(
     generator = ensure_rng(rng)
     centers = generator.random(n) * span
     factors = 1.0 + jitter * (2.0 * generator.random(n) - 1.0)
-    return [Uniform(c, c + width * f) for c, f in zip(centers, factors)]
+    return [Uniform(c, c + width * f) for c, f in zip(centers, factors, strict=True)]
 
 
 def gaussian_scores(
@@ -91,7 +91,7 @@ def triangular_scores(
     skews = generator.random(n)
     return [
         Triangular(lo, lo + s * width, lo + width)
-        for lo, s in zip(lowers, skews)
+        for lo, s in zip(lowers, skews, strict=True)
     ]
 
 

@@ -1,0 +1,12 @@
+"""Fixture: every way to break process-stable seeding."""
+
+import random
+
+import numpy as np
+
+
+def sample(n):
+    rng = np.random.default_rng()
+    np.random.seed(0)
+    values = np.random.rand(n)
+    return random.choice(list(values))

@@ -1,0 +1,11 @@
+"""Fixture: the sanctioned derived-Generator idiom."""
+
+import numpy as np
+
+from repro.utils.rng import derive_seed
+
+
+def sample(n, rng: np.random.Generator):
+    seq = np.random.SeedSequence(derive_seed(7, "sample"))
+    child = np.random.default_rng(seq)
+    return child.random(n) + rng.random(n)

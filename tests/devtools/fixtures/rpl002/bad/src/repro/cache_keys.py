@@ -1,0 +1,9 @@
+"""Fixture: ad-hoc digests feeding a cache key."""
+
+import hashlib
+
+
+def cache_key(spec):
+    salted = hash((spec["n"], spec["k"]))
+    digest = hashlib.sha1(repr(spec).encode()).hexdigest()
+    return f"{salted}-{digest}"

@@ -1,0 +1,7 @@
+"""Fixture: everyone else routes through the canonical recipe."""
+
+from repro.api.canonical import content_key
+
+
+def cache_key(spec):
+    return content_key(spec)

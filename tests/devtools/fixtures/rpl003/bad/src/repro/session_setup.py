@@ -1,0 +1,14 @@
+"""Fixture: mutating frozen specs after construction."""
+
+from repro.api.specs import InstanceSpec
+
+
+def grow(spec):
+    object.__setattr__(spec, "n", spec.n + 1)
+    return spec
+
+
+def rebuild():
+    spec = InstanceSpec(n=5, k=2, workload="uniform", seed=0)
+    spec.n = 10
+    return spec

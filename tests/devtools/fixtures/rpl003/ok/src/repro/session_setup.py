@@ -1,0 +1,23 @@
+"""Fixture: specs are replaced, never mutated; self-canonicalization
+in a frozen class's own __post_init__ is the defining module's right."""
+
+import dataclasses
+
+from repro.api.specs import InstanceSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class Window:
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            lo, hi = self.hi, self.lo
+            object.__setattr__(self, "lo", lo)
+            object.__setattr__(self, "hi", hi)
+
+
+def rebuild():
+    spec = InstanceSpec(n=5, k=2, workload="uniform", seed=0)
+    return dataclasses.replace(spec, n=10)

@@ -1,0 +1,16 @@
+"""Fixture: blocking calls directly inside service coroutine bodies."""
+
+import subprocess
+import time
+
+
+async def handle_dump(request):
+    with open("dump.json") as handle:
+        payload = handle.read()
+    time.sleep(0.05)
+    subprocess.run(["sync"])
+    return payload
+
+
+async def handle_socket(sock):
+    return sock.recv(4096)

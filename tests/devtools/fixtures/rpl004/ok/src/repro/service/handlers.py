@@ -1,0 +1,19 @@
+"""Fixture: blocking work hops through an executor; nested sync defs
+are the executor's job and therefore exempt."""
+
+import asyncio
+
+
+async def handle_dump(request, loop):
+    def _read():
+        with open("dump.json") as handle:
+            return handle.read()
+
+    payload = await loop.run_in_executor(None, _read)
+    await asyncio.sleep(0.05)
+    return payload
+
+
+def load_config(path):
+    with open(path) as handle:
+        return handle.read()

@@ -1,0 +1,11 @@
+"""Fixture: dtype-less allocations in a level-table hot path."""
+
+import numpy as np
+
+
+def allocate(width):
+    tuple_ids = np.empty(width)
+    probs = np.zeros((width, 3))
+    seeds = np.array([1, 2, 3])
+    pad = np.ones(width)
+    return tuple_ids, probs, seeds, pad

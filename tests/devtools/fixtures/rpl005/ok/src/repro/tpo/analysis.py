@@ -1,0 +1,7 @@
+"""Fixture: files outside the hot-path set may rely on inference."""
+
+import numpy as np
+
+
+def summarize(values):
+    return np.zeros(3) + np.asarray(values).mean()

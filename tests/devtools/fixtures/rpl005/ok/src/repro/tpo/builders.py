@@ -1,0 +1,11 @@
+"""Fixture: the contract dtypes spelled out (kwarg or positional)."""
+
+import numpy as np
+
+
+def allocate(width):
+    tuple_ids = np.empty(width, dtype=np.int32)
+    parent_idx = np.zeros(width, np.intp)
+    probs = np.array([1.0, 2.0], dtype=np.float64)
+    mirror = np.empty_like(probs)
+    return tuple_ids, parent_idx, probs, mirror

@@ -1,0 +1,10 @@
+"""Fixture: deprecated shims and raw registry pokes."""
+
+from repro.core import make_policy
+from repro.api.catalog import POLICIES
+
+
+def install(factory):
+    POLICIES["mine"] = factory
+    del POLICIES["mine"]
+    return make_policy("naive")

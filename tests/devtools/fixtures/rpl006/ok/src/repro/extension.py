@@ -1,0 +1,9 @@
+"""Fixture: the typed repro.api front door."""
+
+from repro.api.catalog import POLICIES
+from repro.api.specs import PolicySpec
+
+
+def install(factory):
+    POLICIES.register("mine", factory, overwrite=True)
+    return PolicySpec("naive")

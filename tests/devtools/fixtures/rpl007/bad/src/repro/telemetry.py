@@ -1,0 +1,8 @@
+"""Fixture: a raw append-mode JSONL write (torn-tail unsafe)."""
+
+import json
+
+
+def log_event(path, event):
+    with open(path, "a") as handle:
+        handle.write(json.dumps(event) + "\n")

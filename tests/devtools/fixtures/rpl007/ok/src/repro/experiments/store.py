@@ -1,0 +1,8 @@
+"""Fixture: the helper module itself is the sanctioned append site."""
+
+import json
+
+
+def append_line(path, record):
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record) + "\n")

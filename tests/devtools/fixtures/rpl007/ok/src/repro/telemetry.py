@@ -1,0 +1,12 @@
+"""Fixture: appends route through the torn-tail-safe helper class."""
+
+from repro.service.manager import EventLog
+
+
+def log_event(path, event):
+    EventLog(path).append(event)
+
+
+def read_events(path):
+    with open(path) as handle:
+        return handle.readlines()

@@ -1,0 +1,12 @@
+"""Fixture: None defaults materialized inside."""
+
+
+def rank(items, weights=None, cache=None):
+    weights = [] if weights is None else weights
+    cache = {} if cache is None else cache
+    cache[len(items)] = weights
+    return sorted(items)
+
+
+def configure(*, options=None):
+    return dict(options or {})

@@ -1,0 +1,113 @@
+"""Tests for the ratcheted mypy gate (``repro.devtools.typecheck``).
+
+mypy is a dev-only dependency the container may not have, so everything
+here except the final integration test runs without it: output parsing,
+ceiling loading, the missing-mypy skip path, and the committed baseline's
+shape are all plain unit tests.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import typecheck
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestParseErrorCount:
+    def test_summary_line_wins(self):
+        output = (
+            "src/repro/api/specs.py:10: error: Missing return  [no-untyped-def]\n"
+            "Found 7 errors in 3 files (checked 41 source files)\n"
+        )
+        assert typecheck.parse_error_count(output) == 7
+
+    def test_single_error_summary(self):
+        assert (
+            typecheck.parse_error_count(
+                "Found 1 error in 1 file (checked 2 source files)\n"
+            )
+            == 1
+        )
+
+    def test_clean_run(self):
+        assert (
+            typecheck.parse_error_count(
+                "Success: no issues found in 41 source files\n"
+            )
+            == 0
+        )
+
+    def test_fallback_counts_error_lines(self):
+        # A crash that still printed diagnostics must not read as clean.
+        output = (
+            "src/a.py:1: error: boom  [misc]\n"
+            "src/b.py:2: error: boom  [misc]\n"
+            "Traceback (most recent call last):\n"
+        )
+        assert typecheck.parse_error_count(output) == 2
+
+
+class TestBaseline:
+    def test_load_max_errors(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"max_errors": 12}))
+        assert typecheck.load_max_errors(path) == 12
+
+    @pytest.mark.parametrize("bad", [-1, "12", 1.5, None])
+    def test_rejects_non_counting_ceilings(self, tmp_path, bad):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"max_errors": bad}))
+        with pytest.raises((ValueError, TypeError)):
+            typecheck.load_max_errors(path)
+
+    def test_committed_baseline_is_valid(self):
+        ceiling = typecheck.load_max_errors(
+            REPO_ROOT / typecheck.DEFAULT_BASELINE
+        )
+        assert ceiling >= 0
+
+    def test_typed_core_targets_exist(self):
+        for target in typecheck.TYPED_CORE:
+            assert (REPO_ROOT / target).is_dir(), target
+
+
+class TestMissingMypy:
+    def test_gate_skips_cleanly_without_mypy(self, monkeypatch, capsys):
+        monkeypatch.setattr(typecheck, "mypy_available", lambda: False)
+        assert typecheck.main(["--root", str(REPO_ROOT)]) == 0
+        out = capsys.readouterr().out
+        assert "mypy is not installed" in out
+        assert "skipping" in out
+
+    def test_strict_report_also_skips(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setattr(typecheck, "mypy_available", lambda: False)
+        report = tmp_path / "report.txt"
+        assert (
+            typecheck.main(
+                ["--root", str(REPO_ROOT), "--strict-report", str(report)]
+            )
+            == 0
+        )
+        assert not report.exists()
+
+
+@pytest.mark.skipif(
+    not typecheck.mypy_available(), reason="mypy not installed"
+)
+class TestIntegration:
+    def test_gate_is_green_on_the_repo(self):
+        assert typecheck.main(["--root", str(REPO_ROOT)]) == 0
+
+    def test_strict_report_writes_artifact(self, tmp_path):
+        report = tmp_path / "strict.txt"
+        assert (
+            typecheck.main(
+                ["--root", str(REPO_ROOT), "--strict-report", str(report)]
+            )
+            == 0
+        )
+        assert report.exists()
+        assert "mypy --strict report" in report.read_text()

@@ -107,7 +107,7 @@ class TestRunGrid:
         serial = run_grid(tiny_grid(), workers=0)
         parallel = run_grid(tiny_grid(), workers=2)
         assert len(serial.table) == len(parallel.table)
-        for a, b in zip(serial.table.rows, parallel.table.rows):
+        for a, b in zip(serial.table.rows, parallel.table.rows, strict=True):
             assert rows_match(a, b), (a, b)
 
     def test_fig1a_parallel_equals_serial(self):
@@ -116,7 +116,7 @@ class TestRunGrid:
         grid = fig1a.grid(fast=True).filter(budgets=[0, 5])
         serial = run_grid(grid, workers=0)
         parallel = run_grid(grid, workers=4)
-        for a, b in zip(serial.table.rows, parallel.table.rows):
+        for a, b in zip(serial.table.rows, parallel.table.rows, strict=True):
             assert rows_match(a, b), (a, b)
 
     def test_resume_requires_store(self):
@@ -144,7 +144,7 @@ class TestResumability:
         second = run_grid(tiny_grid(), store=store, resume=True)
         assert second.executed == []
         assert len(second.skipped) == 4
-        for a, b in zip(first.table.rows, second.table.rows):
+        for a, b in zip(first.table.rows, second.table.rows, strict=True):
             assert rows_match(a, b, ignore=())  # stored rows verbatim
 
     def test_interrupted_run_resumes_only_missing_cells(self, tmp_path):
@@ -163,7 +163,7 @@ class TestResumability:
         assert set(resumed.skipped) == surviving
         assert set(resumed.executed) == set(grid.cell_ids()) - surviving
         # Merged results equal the clean run cell-for-cell.
-        for a, b in zip(clean.table.rows, resumed.table.rows):
+        for a, b in zip(clean.table.rows, resumed.table.rows, strict=True):
             assert rows_match(a, b), (a, b)
         # And the store is whole again.
         assert ResultStore(path).completed_ids() == set(grid.cell_ids())
@@ -198,5 +198,5 @@ class TestDriverGrids:
         table = incr_ablation.run(fast=True)
         report = run_grid(incr_ablation.grid(fast=True))
         assert len(table) == len(report.table)
-        for a, b in zip(table.rows, report.table.rows):
+        for a, b in zip(table.rows, report.table.rows, strict=True):
             assert rows_match(a, b), (a, b)

@@ -54,7 +54,7 @@ class TestConvergence:
             for b in (0, 4, 8, 16)
         ]
         # Reliable answers only remove wrong orderings: monotone decay.
-        for earlier, later in zip(distances, distances[1:]):
+        for earlier, later in zip(distances, distances[1:], strict=False):
             assert later <= earlier + 1e-9
 
 

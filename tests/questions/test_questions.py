@@ -100,7 +100,7 @@ class TestSingleResidual:
         questions = informative_questions(toy_space)
         residuals = evaluator.rank_singles(toy_space, questions)
         assert residuals.shape == (len(questions),)
-        for question, value in zip(questions, residuals):
+        for question, value in zip(questions, residuals, strict=True):
             assert value == pytest.approx(
                 evaluator.single(toy_space, question)
             )

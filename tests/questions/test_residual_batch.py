@@ -274,7 +274,7 @@ class TestRankSinglesMany:
         spaces = [random_space(seed) for seed in (1, 2, 3)]
         requests = [(s, all_pair_questions(s)) for s in spaces]
         results = evaluator.rank_singles_many(requests)
-        for (space, questions), values in zip(requests, results):
+        for (space, questions), values in zip(requests, results, strict=True):
             np.testing.assert_allclose(
                 values,
                 evaluator.rank_singles_batch(space, questions),

@@ -35,7 +35,7 @@ class TestCostModel:
                 p * topk_kendall(list(w), list(sigma), n_tuples=4, normalized=False)
                 for w, p in zip(
                     skewed_space.paths, skewed_space.probabilities
-                )
+                , strict=True)
             )
             assert costs.total(list(sigma)) == pytest.approx(manual)
 
@@ -96,7 +96,7 @@ class TestHeuristics:
     def test_copeland_returns_valid_list(self, skewed_space):
         result = copeland_aggregation(skewed_space, 3)
         assert len(result) == 3
-        assert len(set(int(t) for t in result)) == 3
+        assert len({int(t) for t in result}) == 3
 
     def test_kwiksort_returns_valid_list(self, skewed_space):
         result = kwiksort_aggregation(skewed_space, 3)

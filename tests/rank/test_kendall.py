@@ -107,7 +107,7 @@ class TestExpectedDistance:
         reference = [0, 1]
         manual = sum(
             p * topk_kendall(list(path), reference, n_tuples=4)
-            for path, p in zip(toy_space.paths, toy_space.probabilities)
+            for path, p in zip(toy_space.paths, toy_space.probabilities, strict=True)
         )
         value = expected_topk_distance(toy_space, reference)
         assert value == pytest.approx(manual)

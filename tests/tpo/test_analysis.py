@@ -33,7 +33,7 @@ class TestProfile:
             later >= earlier - 1e-9
             for earlier, later in zip(
                 profile.level_entropies, profile.level_entropies[1:]
-            )
+            , strict=False)
         )
 
     def test_format_is_readable(self, small_space):

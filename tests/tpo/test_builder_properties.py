@@ -49,9 +49,9 @@ def test_grid_and_mc_agree_on_top1_mass(dists, k):
     )
     _, grid_level1 = grid_space.prefix_groups(1)
     grid_top = {
-        int(p[0]): m for p, m in zip(*grid_space.prefix_groups(1))
+        int(p[0]): m for p, m in zip(*grid_space.prefix_groups(1), strict=True)
     }
-    mc_top = {int(p[0]): m for p, m in zip(*mc_space.prefix_groups(1))}
+    mc_top = {int(p[0]): m for p, m in zip(*mc_space.prefix_groups(1), strict=True)}
     for tuple_index in set(grid_top) | set(mc_top):
         assert grid_top.get(tuple_index, 0.0) == pytest.approx(
             mc_top.get(tuple_index, 0.0), abs=0.02
@@ -72,9 +72,9 @@ def test_deeper_trees_refine_shallower(dists):
     shallow = builder.build(dists, 1).to_space()
     deep = builder.build(dists, min(2, len(dists))).to_space()
     shallow_masses = {
-        int(p[0]): m for p, m in zip(*shallow.prefix_groups(1))
+        int(p[0]): m for p, m in zip(*shallow.prefix_groups(1), strict=True)
     }
-    deep_masses = {int(p[0]): m for p, m in zip(*deep.prefix_groups(1))}
+    deep_masses = {int(p[0]): m for p, m in zip(*deep.prefix_groups(1), strict=True)}
     for tuple_index in set(shallow_masses) | set(deep_masses):
         # Agreement is bounded by the midpoint-rule integration error of
         # the deeper level plus renormalization, not machine precision.

@@ -18,7 +18,7 @@ def space_map(space):
     """Path → probability dict for engine comparisons."""
     return {
         tuple(int(t) for t in path): float(p)
-        for path, p in zip(space.paths, space.probabilities)
+        for path, p in zip(space.paths, space.probabilities, strict=True)
     }
 
 

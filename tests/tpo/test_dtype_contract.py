@@ -1,0 +1,57 @@
+"""Regression tests for explicit hot-path dtypes (lint rule RPL005).
+
+Every array the tpo/residual hot paths allocate now names its dtype
+instead of riding NumPy defaults.  These tests pin the resulting dtypes
+at the public entry points, so a reintroduced bare ``np.zeros(...)`` (or
+a platform where the default drifts) fails loudly rather than silently
+changing numeric behavior or the level-table contract
+(tuple_ids int32 / parent_idx intp / probs float64).
+"""
+
+import numpy as np
+
+from repro.questions.candidates import all_pair_questions
+from repro.questions.residual import ResidualEvaluator
+from repro.tpo.builders import GridBuilder
+from repro.uncertainty.entropy import EntropyMeasure
+
+
+class TestSpaceDtypes:
+    def test_rank_marginals_is_float64(self, toy_space):
+        marginals = toy_space.rank_marginals()
+        assert marginals.dtype == np.float64
+        assert marginals.shape == (4, 2)
+
+    def test_pairwise_order_masses_are_float64(self, toy_space):
+        less, tied_absent = toy_space.pairwise_order_masses()
+        assert less.dtype == np.float64
+        assert tied_absent.dtype == np.float64
+
+
+class TestBuilderDtypes:
+    def test_built_level_table_contract(self, overlapping_uniforms):
+        tree = GridBuilder(resolution=128).build(overlapping_uniforms, 3)
+        for level in tree.levels:
+            assert level.tuple_ids.dtype == np.int32
+            assert level.parent_idx.dtype == np.intp
+            assert level.probs.dtype == np.float64
+
+    def test_space_probabilities_are_float64(self, small_space):
+        assert small_space.probabilities.dtype == np.float64
+
+
+class TestResidualDtypes:
+    def test_rank_singles_scalar_and_batch_are_float64(self, toy_space):
+        evaluator = ResidualEvaluator(EntropyMeasure())
+        questions = all_pair_questions(toy_space)
+        assert questions, "toy space should have candidate questions"
+        scalar = evaluator.rank_singles(toy_space, questions)
+        batch = evaluator.rank_singles_batch(toy_space, questions)
+        assert scalar.dtype == np.float64
+        assert batch.dtype == np.float64
+        np.testing.assert_allclose(scalar, batch, atol=1e-9)
+
+    def test_rank_singles_empty_is_float64(self, toy_space):
+        evaluator = ResidualEvaluator(EntropyMeasure())
+        assert evaluator.rank_singles(toy_space, []).dtype == np.float64
+        assert evaluator.rank_singles_batch(toy_space, []).dtype == np.float64

@@ -52,7 +52,7 @@ def mixed_workloads(draw):
 def space_map(space):
     return {
         tuple(int(t) for t in path): float(p)
-        for path, p in zip(space.paths, space.probabilities)
+        for path, p in zip(space.paths, space.probabilities, strict=True)
     }
 
 

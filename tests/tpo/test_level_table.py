@@ -106,11 +106,11 @@ class TestPruneFrontierInterplay:
         )
         full_map = {
             tuple(p): v
-            for p, v in zip(full_space.paths.tolist(), full_space.probabilities)
+            for p, v in zip(full_space.paths.tolist(), full_space.probabilities, strict=True)
         }
         for path, value in zip(
             partial_space.paths.tolist(), partial_space.probabilities
-        ):
+        , strict=True):
             assert value == pytest.approx(full_map[tuple(path)], abs=1e-9)
 
 
@@ -135,7 +135,7 @@ class TestSerializeFlatRoundTrip:
         rebuilt = tree_from_dict(
             tree_to_dict(small_tree), small_tree.distributions
         )
-        for level, other in zip(small_tree.levels, rebuilt.levels):
+        for level, other in zip(small_tree.levels, rebuilt.levels, strict=True):
             np.testing.assert_array_equal(level.tuple_ids, other.tuple_ids)
             np.testing.assert_array_equal(level.parent_idx, other.parent_idx)
             np.testing.assert_allclose(level.probs, other.probs)

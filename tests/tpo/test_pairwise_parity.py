@@ -57,7 +57,7 @@ def test_stance_marginals_match_dense_reference(seed):
     space = random_space(seed)
     for ours, reference in zip(
         stance_marginals(space), dense_stance_marginals(space)
-    ):
+    , strict=True):
         np.testing.assert_allclose(ours, reference, rtol=0.0, atol=1e-12)
 
 

@@ -99,7 +99,7 @@ class TestConditioning:
 class TestSummaries:
     def test_prefix_groups_level1(self, toy_space):
         prefixes, masses = toy_space.prefix_groups(1)
-        lookup = {int(p[0]): m for p, m in zip(prefixes, masses)}
+        lookup = {int(p[0]): m for p, m in zip(prefixes, masses, strict=True)}
         assert lookup[0] == pytest.approx(0.6)
         assert lookup[1] == pytest.approx(0.3)
         assert lookup[2] == pytest.approx(0.1)

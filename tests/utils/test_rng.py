@@ -36,7 +36,7 @@ def test_spawn_rngs_are_independent_and_reproducible():
     streams_a = spawn_rngs(3, 4)
     streams_b = spawn_rngs(3, 4)
     assert len(streams_a) == 4
-    for left, right in zip(streams_a, streams_b):
+    for left, right in zip(streams_a, streams_b, strict=True):
         assert np.allclose(left.random(3), right.random(3))
     # Distinct children differ.
     fresh = spawn_rngs(3, 2)

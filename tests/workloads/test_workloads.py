@@ -33,7 +33,7 @@ class TestSyntheticGenerators:
     def test_reproducible_with_seed(self):
         a = uniform_intervals(5, rng=42)
         b = uniform_intervals(5, rng=42)
-        for left, right in zip(a, b):
+        for left, right in zip(a, b, strict=True):
             assert left.support == right.support
 
     def test_uniform_width_is_respected(self):
