@@ -40,6 +40,7 @@ from repro.api.catalog import (
     MEASURES,
     POLICIES,
     SCENARIOS,
+    STORES,
     WORKLOADS,
     all_registries,
 )
@@ -51,12 +52,15 @@ from repro.api.registry import (
 )
 from repro.api.run import PreparedSession, prepare_session, run_session
 from repro.api.specs import (
+    SHARD_STRATEGIES,
     BudgetSpec,
     CrowdSpec,
     InstanceSpec,
     MeasureSpec,
     PolicySpec,
+    ServeSpec,
     SessionSpec,
+    StoreSpec,
     as_instance_spec,
 )
 
@@ -77,6 +81,7 @@ __all__ = [
     "CROWD_MODELS",
     "DISTRIBUTIONS",
     "ENGINES",
+    "STORES",
     "all_registries",
     # specs
     "InstanceSpec",
@@ -85,6 +90,9 @@ __all__ = [
     "CrowdSpec",
     "BudgetSpec",
     "SessionSpec",
+    "StoreSpec",
+    "ServeSpec",
+    "SHARD_STRATEGIES",
     "as_instance_spec",
     # execution
     "PreparedSession",

@@ -99,6 +99,14 @@ ENGINES.register("grid", "repro.tpo.builders:GridBuilder")
 ENGINES.register("exact", "repro.tpo.builders:ExactBuilder")
 ENGINES.register("mc", "repro.tpo.builders:MonteCarloBuilder")
 
+#: Cross-process cold-tier store backends (binary TPO payloads).
+STORES = Registry("store backend")
+STORES.register("memory", "repro.service.store:MemoryColdTier")
+STORES.register("disk-npz", "repro.service.store:DiskNpzColdTier")
+STORES.register(
+    "shared-memory", "repro.service.store:SharedMemoryColdTier"
+)
+
 
 def all_registries() -> Dict[str, Registry]:
     """Every catalog registry, keyed by its plural enumeration name.
@@ -113,6 +121,7 @@ def all_registries() -> Dict[str, Registry]:
         "crowd_models": CROWD_MODELS,
         "distributions": DISTRIBUTIONS,
         "engines": ENGINES,
+        "stores": STORES,
     }
 
 
@@ -124,5 +133,6 @@ __all__ = [
     "CROWD_MODELS",
     "DISTRIBUTIONS",
     "ENGINES",
+    "STORES",
     "all_registries",
 ]

@@ -39,6 +39,7 @@ from repro.api.catalog import (
     ENGINES,
     MEASURES,
     POLICIES,
+    STORES,
     WORKLOADS,
 )
 from repro.utils.validation import check_fraction
@@ -447,6 +448,204 @@ class SessionSpec:
         return ENGINES.create(self.engine, **self.engine_params)
 
 
+#: Shard strategies the serve runtime understands (session key → worker).
+SHARD_STRATEGIES = ("blake2b",)
+
+
+@dataclass(frozen=True)
+class StoreSpec:
+    """The TPO store a serve worker runs: hot LRU, optional cold tier.
+
+    ``backend`` is either ``"none"`` — the historical single-process
+    configuration, a bare :class:`~repro.service.cache.TPOCache` of
+    ``hot_capacity`` entries — or a name from the ``STORES`` registry
+    (``memory``/``disk-npz``/``shared-memory``), in which case
+    :meth:`build` yields a :class:`~repro.service.store.TwoTierStore`
+    whose per-worker hot cache sits over the shared cold tier.  ``path``
+    is the cold-tier directory (required for ``disk-npz``, ignored by
+    the in-process backends); ``params`` passes backend keyword
+    arguments through verbatim (e.g. ``prefix`` for ``shared-memory``).
+    """
+
+    backend: str = "none"
+    hot_capacity: int = 64
+    path: Optional[str] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.backend != "none" and self.backend not in STORES:
+            STORES.get(self.backend)  # raises UnknownNameError
+        hot = int(self.hot_capacity)
+        if hot < 0:
+            raise ValueError(f"hot_capacity must be >= 0, got {hot}")
+        object.__setattr__(self, "hot_capacity", hot)
+        if self.path is not None:
+            object.__setattr__(self, "path", str(self.path))
+        if self.backend == "disk-npz" and self.path is None:
+            raise ValueError("disk-npz store needs a path")
+        object.__setattr__(
+            self, "params", _canonical_params(self.params, "store")
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "hot_capacity": self.hot_capacity,
+            "path": self.path,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "StoreSpec":
+        if isinstance(payload, str):  # shorthand: just the backend name
+            return cls(backend=payload)
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"store spec must be a dict or backend name, "
+                f"got {type(payload).__name__}"
+            )
+        _require_keys(
+            payload,
+            {"backend", "hot_capacity", "path", "params"},
+            "store spec",
+        )
+        return cls(
+            backend=payload.get("backend", "none"),
+            hot_capacity=payload.get("hot_capacity", 64),
+            path=payload.get("path"),
+            params=payload.get("params", {}),
+        )
+
+    def canonical_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    def content_key(self) -> str:
+        """BLAKE2b content address of this store configuration."""
+        return content_key(self.to_dict())
+
+    def build(self) -> Any:
+        """The configured store: a bare ``TPOCache`` for ``"none"``,
+        otherwise a ``TwoTierStore`` over the registered cold tier."""
+        from repro.service.cache import TPOCache
+
+        hot = TPOCache(capacity=self.hot_capacity)
+        if self.backend == "none":
+            return hot
+        from repro.service.store import TwoTierStore
+
+        kwargs = dict(self.params)
+        if self.backend == "disk-npz":
+            kwargs["path"] = self.path
+        cold = STORES.create(self.backend, **kwargs)
+        return TwoTierStore(hot=hot, cold=cold)
+
+
+@dataclass(frozen=True)
+class ServeSpec:
+    """One ``repro serve`` deployment, declaratively.
+
+    ``workers == 1`` is the historical single-process service (one
+    asyncio loop, behavior unchanged); ``workers > 1`` runs the sharded
+    runtime of :mod:`repro.service.sharding` — a router on
+    ``host:port`` over ``workers`` session-manager processes, sessions
+    assigned by ``shard_by`` of the session key, TPOs shared through
+    :attr:`store`.  The CLI's ``repro serve`` flags are a thin parser
+    over this spec.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 1
+    shard_by: str = "blake2b"
+    store: StoreSpec = field(default_factory=StoreSpec)
+    log: Optional[str] = None
+    resolution: int = 1024
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ValueError("serve spec needs a host")
+        port = int(self.port)
+        if not 0 <= port <= 65535:
+            raise ValueError(f"port must be in [0, 65535], got {port}")
+        object.__setattr__(self, "port", port)
+        workers = int(self.workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        object.__setattr__(self, "workers", workers)
+        if self.shard_by not in SHARD_STRATEGIES:
+            raise ValueError(
+                f"unknown shard strategy {self.shard_by!r}; "
+                f"expected one of {list(SHARD_STRATEGIES)}"
+            )
+        if not isinstance(self.store, StoreSpec):
+            object.__setattr__(
+                self, "store", StoreSpec.from_dict(self.store)
+            )
+        if self.log is not None:
+            object.__setattr__(self, "log", str(self.log))
+        resolution = int(self.resolution)
+        if resolution < 2:
+            raise ValueError(
+                f"resolution must be >= 2, got {resolution}"
+            )
+        object.__setattr__(self, "resolution", resolution)
+        if self.workers > 1 and self.store.backend in ("none", "memory"):
+            # A fleet without a cross-process tier silently rebuilds
+            # every TPO per worker; require an explicit shared backend.
+            raise ValueError(
+                f"workers={self.workers} needs a cross-process store "
+                f"backend (disk-npz or shared-memory), "
+                f"got {self.store.backend!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "host": self.host,
+            "port": self.port,
+            "workers": self.workers,
+            "shard_by": self.shard_by,
+            "store": self.store.to_dict(),
+            "log": self.log,
+            "resolution": self.resolution,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "ServeSpec":
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"serve spec must be a dict, got {type(payload).__name__}"
+            )
+        _require_keys(
+            payload,
+            {
+                "host",
+                "port",
+                "workers",
+                "shard_by",
+                "store",
+                "log",
+                "resolution",
+            },
+            "serve spec",
+        )
+        return cls(
+            host=payload.get("host", "127.0.0.1"),
+            port=payload.get("port", 8080),
+            workers=payload.get("workers", 1),
+            shard_by=payload.get("shard_by", "blake2b"),
+            store=StoreSpec.from_dict(payload.get("store", {})),
+            log=payload.get("log"),
+            resolution=payload.get("resolution", 1024),
+        )
+
+    def canonical_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    def content_key(self) -> str:
+        """BLAKE2b content address of this deployment configuration."""
+        return content_key(self.to_dict())
+
+
 def as_instance_spec(value: Any) -> InstanceSpec:
     """Coerce an :class:`InstanceSpec` or wire-shaped dict into a spec."""
     if isinstance(value, InstanceSpec):
@@ -461,5 +660,8 @@ __all__: List[str] = [
     "CrowdSpec",
     "BudgetSpec",
     "SessionSpec",
+    "StoreSpec",
+    "ServeSpec",
+    "SHARD_STRATEGIES",
     "as_instance_spec",
 ]

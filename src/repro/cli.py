@@ -36,7 +36,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro import __version__
 from repro.api import (
@@ -209,6 +209,36 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1024,
         help="grid-builder resolution for session TPOs",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes; >1 runs the sharded router runtime "
+            "(sessions placed by BLAKE2b of the session id)"
+        ),
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        choices=["none", "memory", "disk-npz", "shared-memory"],
+        help=(
+            "cold-tier store backend behind the per-worker hot cache "
+            "(default: none for --workers 1, disk-npz otherwise)"
+        ),
+    )
+    serve.add_argument(
+        "--store-path",
+        default=None,
+        metavar="DIR",
+        help="cold-tier directory for the disk-npz backend",
+    )
+    serve.add_argument(
+        "--shard-by",
+        default="blake2b",
+        choices=["blake2b"],
+        help="session-to-worker placement strategy",
+    )
 
     bench_service = sub.add_parser(
         "bench-service",
@@ -221,6 +251,17 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_service.add_argument("--k", type=int, default=4)
     bench_service.add_argument("--width", type=float, default=0.35)
     bench_service.add_argument("--resolution", type=int, default=640)
+    bench_service.add_argument(
+        "--multi",
+        action="store_true",
+        help="benchmark the sharded multi-worker runtime instead",
+    )
+    bench_service.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker processes for --multi",
+    )
     bench_service.add_argument("--smoke", action="store_true")
     bench_service.add_argument("--json", default=None, metavar="PATH")
 
@@ -423,28 +464,68 @@ def _command_inspect(args) -> int:
     return 0
 
 
+def _serve_spec_from_args(args) -> Any:
+    """The ``repro serve`` flags are a thin parser over ``ServeSpec``."""
+    from repro.api.specs import ServeSpec, StoreSpec
+
+    backend = args.store
+    if backend is None:
+        # A fleet without a shared tier would rebuild every TPO per
+        # worker; the single process keeps its historical plain cache.
+        backend = "disk-npz" if args.workers > 1 else "none"
+    path = args.store_path
+    if backend == "disk-npz" and path is None:
+        path = (
+            f"{args.log}.store" if args.log else "repro-tpo-store"
+        )
+    store = StoreSpec(
+        backend=backend, hot_capacity=args.cache_capacity, path=path
+    )
+    return ServeSpec(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        shard_by=args.shard_by,
+        store=store,
+        log=args.log,
+        resolution=args.resolution,
+    )
+
+
 def _command_serve(args) -> int:
     import asyncio
 
-    from repro.service.cache import TPOCache
     from repro.service.manager import SessionManager
     from repro.service.server import serve
 
     if args.resume and args.log is None:
         print("--resume requires --log", file=sys.stderr)
         return 2
+    try:
+        spec = _serve_spec_from_args(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if spec.workers > 1:
+        from repro.service.sharding import run_sharded
+
+        try:
+            run_sharded(spec, resume=args.resume)
+        except KeyboardInterrupt:
+            print("service stopped")
+        return 0
     kwargs = dict(
-        cache=TPOCache(capacity=args.cache_capacity),
-        builder=GridBuilder(resolution=args.resolution),
+        cache=spec.store.build(),
+        builder=GridBuilder(resolution=spec.resolution),
     )
     if args.resume:
-        manager = SessionManager.resume(args.log, **kwargs)
+        manager = SessionManager.resume(spec.log, **kwargs)
         restored = len(manager.session_ids(status=None))
-        print(f"restored {restored} session(s) from {args.log}")
+        print(f"restored {restored} session(s) from {spec.log}")
     else:
-        manager = SessionManager(log_path=args.log, **kwargs)
+        manager = SessionManager(log_path=spec.log, **kwargs)
     try:
-        asyncio.run(serve(manager, host=args.host, port=args.port))
+        asyncio.run(serve(manager, host=spec.host, port=spec.port))
     except KeyboardInterrupt:
         print("service stopped")
     return 0
@@ -452,18 +533,33 @@ def _command_serve(args) -> int:
 
 def _command_bench_service(args) -> int:
     from repro.service.bench import run as run_bench
+    from repro.service.bench import run_multi
 
-    failures = run_bench(
-        sessions=args.sessions,
-        instances=args.instances,
-        answers=args.answers,
-        n=args.n,
-        k=args.k,
-        width=args.width,
-        resolution=args.resolution,
-        json_path=args.json,
-        smoke=args.smoke,
-    )
+    if args.multi:
+        failures = run_multi(
+            sessions=args.sessions,
+            instances=args.instances,
+            answers=args.answers,
+            n=args.n,
+            k=args.k,
+            width=args.width,
+            resolution=args.resolution,
+            workers=args.workers,
+            json_path=args.json,
+            smoke=args.smoke,
+        )
+    else:
+        failures = run_bench(
+            sessions=args.sessions,
+            instances=args.instances,
+            answers=args.answers,
+            n=args.n,
+            k=args.k,
+            width=args.width,
+            resolution=args.resolution,
+            json_path=args.json,
+            smoke=args.smoke,
+        )
     return 1 if failures else 0
 
 

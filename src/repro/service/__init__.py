@@ -11,11 +11,19 @@ Runs many crowdsourcing sessions against shared, cached state:
   and cross-session coalescing of next-question rankings;
 * :mod:`repro.service.server` — a dependency-free asyncio HTTP front end
   (``repro serve``);
-* :mod:`repro.service.bench` — the throughput/cache-hit benchmark behind
+* :mod:`repro.service.store` — the two-tier TPO store: a per-worker hot
+  :class:`TPOCache` over a cross-process content-addressed cold tier of
+  binary (npz) level tables, so a fleet builds each TPO once;
+* :mod:`repro.service.sharding` — the multi-worker runtime behind
+  ``repro serve --workers N``: a router that shards sessions across
+  worker processes by BLAKE2b of the session key, with per-shard event
+  logs and crash-restart resume;
+* :mod:`repro.service.bench` — the throughput/cache-hit benchmarks behind
   ``repro bench-service`` and ``benchmarks/bench_service.py``.
 """
 
 from repro.service.cache import TPOCache, instance_key
 from repro.service.manager import SessionManager
+from repro.service.store import TwoTierStore
 
-__all__ = ["TPOCache", "SessionManager", "instance_key"]
+__all__ = ["TPOCache", "SessionManager", "TwoTierStore", "instance_key"]

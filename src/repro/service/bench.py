@@ -18,6 +18,15 @@ equivalence check — the manager is dropped mid-run, resumed from its
 event log, and must finish every session with results identical to an
 uninterrupted run.
 
+The multi-worker variant (``--multi`` / ``bench-service-multi`` in CI)
+drives the same instance mix through a sharded fleet: N worker processes,
+sessions placed by :func:`repro.service.sharding.shard_for`, TPOs shared
+through a disk-npz cold tier.  Its gates: ≥ 2× sessions/sec at 4 workers
+vs the single-process run, cold-tier hit rate ≥ 50 % across workers,
+fleet results identical to the single-process run, and kill-one-worker /
+resume equivalence (one shard is interrupted mid-run, the whole fleet is
+resumed from its per-shard event logs, merged results bit-identical).
+
 Run:  PYTHONPATH=src python benchmarks/bench_service.py [--smoke] [--json PATH]
 """
 
@@ -25,11 +34,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import tempfile
 import time
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.api.canonical import content_key
 from repro.api.specs import InstanceSpec
 from repro.crowd.oracle import GroundTruth
 from repro.crowd.simulator import SimulatedCrowd
@@ -41,6 +53,8 @@ from repro.utils.rng import derive_seed, ensure_rng
 
 HIT_RATE_FLOOR = 0.85
 SPEEDUP_FLOOR = 3.0
+MULTI_SPEEDUP_FLOOR = 2.0
+COLD_HIT_RATE_FLOOR = 0.5
 
 
 def instance_specs(
@@ -100,16 +114,19 @@ def create_sessions(
 def drive_sessions(
     manager: SessionManager,
     plan: Sequence[Tuple[str, int]],
-    crowds: Sequence[SimulatedCrowd],
+    crowds: Sequence[Union[SimulatedCrowd, "SessionCrowd"]],
     answers_per_session: int,
     coalesce: bool = True,
     stop_after: Optional[int] = None,
 ) -> int:
     """Answer questions in waves until every session hits its budget.
 
-    Returns the number of answers submitted by this call.  ``coalesce``
-    switches between the service path (one ``next_questions`` call per
-    wave) and the baseline path (one ``next_question`` call per session).
+    Returns the number of answers submitted by this call.  ``crowds`` is
+    any table of ``.ask(question)`` answer sources — per-instance
+    :class:`SimulatedCrowd` rows or per-session :class:`SessionCrowd`
+    rows, indexed by the plan's second element.  ``coalesce`` switches
+    between the service path (one ``next_questions`` call per wave) and
+    the baseline path (one ``next_question`` call per session).
     ``stop_after`` aborts mid-run after that many submissions — the
     benchmark's "kill the manager" hook.
     """
@@ -237,6 +254,413 @@ def _resume_check(
         "reference_answers": total_reference,
         "identical": resumed_results == reference,
     }
+
+
+# ----------------------------------------------------------------------
+# Multi-worker variant
+# ----------------------------------------------------------------------
+
+
+class SessionCrowd:
+    """Deterministic per-session crowd: a pure function of the question.
+
+    The answer to ``(i, j)`` depends only on ``(salt, i, j)`` — never on
+    call order — so it is identical across processes, interleavings, and
+    resume replays.  A per-session ``salt`` makes different sessions of
+    the same instance answer differently (a BLAKE2b-derived fraction of
+    answers is flipped and submitted at sub-certain accuracy, so flips
+    reweight rather than contradict): their states diverge, which is
+    what makes multi-worker ranking work actually parallel instead of a
+    replica of the same shared states on every worker.
+    """
+
+    def __init__(
+        self,
+        truth: GroundTruth,
+        salt: str,
+        flip_percent: int = 25,
+        accuracy: float = 0.9,
+    ) -> None:
+        self.truth = truth
+        self.salt = salt
+        self.flip_percent = int(flip_percent)
+        self.accuracy = float(accuracy)
+
+    def ask(self, question: Any) -> "SessionCrowd._Answer":
+        digest = content_key(
+            [self.salt, int(question.i), int(question.j)], digest_size=2
+        )
+        flip = int(digest, 16) % 100 < self.flip_percent
+        return self._Answer(
+            holds=self.truth.holds(question) ^ flip,
+            accuracy=self.accuracy,
+        )
+
+    class _Answer:
+        def __init__(self, holds: bool, accuracy: float) -> None:
+            self.holds = holds
+            self.accuracy = accuracy
+
+
+def _session_crowds(
+    specs: Sequence[Dict[str, Any]], plan: Sequence[Tuple[str, int]]
+) -> List[SessionCrowd]:
+    """One :class:`SessionCrowd` per plan entry, in plan order."""
+    truths: Dict[int, GroundTruth] = {}
+    crowds = []
+    for sid, spec_index in plan:
+        if spec_index not in truths:
+            spec = specs[spec_index]
+            distributions = InstanceSpec.from_dict(spec).materialize()
+            truths[spec_index] = GroundTruth.sample(
+                distributions,
+                ensure_rng(derive_seed(spec["seed"], "truth")),
+            )
+        crowds.append(SessionCrowd(truths[spec_index], salt=sid))
+    return crowds
+
+
+def _drive_with_session_crowds(
+    manager: SessionManager,
+    specs: Sequence[Dict[str, Any]],
+    plan: Sequence[Tuple[str, int]],
+    answers: int,
+    stop_after: Optional[int] = None,
+) -> int:
+    """Drive ``plan`` with per-session crowds (positional crowd table)."""
+    crowds = _session_crowds(specs, plan)
+    drive_plan = [(sid, pos) for pos, (sid, _) in enumerate(plan)]
+    return drive_sessions(
+        manager, drive_plan, crowds, answers, stop_after=stop_after
+    )
+
+
+def _timed_single_reference(
+    specs: Sequence[Dict[str, Any]],
+    sessions: int,
+    answers: int,
+    resolution: int,
+) -> Dict[str, Any]:
+    """Single-process reference pass driven by per-session crowds.
+
+    The mirror of :func:`_timed_run` with ``cached=True``, but answering
+    through the same :class:`SessionCrowd` table the fleet workers use —
+    the fleet/single comparison is only meaningful when both sides see
+    the identical answer stream.
+    """
+    manager = SessionManager(
+        cache=TPOCache(capacity=2 * len(specs)),
+        builder=_fresh_builder(resolution),
+        ranking_memo_size=1024,
+    )
+    start = time.perf_counter()
+    plan = create_sessions(manager, specs, sessions)
+    submitted = _drive_with_session_crowds(manager, specs, plan, answers)
+    wall = time.perf_counter() - start
+    return {
+        "wall_seconds": wall,
+        "sessions_per_sec": sessions / wall if wall > 0 else float("inf"),
+        "answers_submitted": submitted,
+        "cache": manager.cache.stats(),
+        "rankings": manager.stats()["rankings"],
+        "results": session_results(manager, plan),
+    }
+
+
+def _multi_plans(
+    sessions: int, instances: int, workers: int
+) -> List[List[Tuple[int, int]]]:
+    """Per-worker session plans under BLAKE2b sharding.
+
+    Entries are ``(session_index, spec_index)``; the session id is always
+    ``s{index:04d}``, so the merged fleet plan is exactly the
+    single-process plan — which is what makes fleet results directly
+    comparable session by session.
+    """
+    from repro.service.sharding import shard_for
+
+    plans: List[List[Tuple[int, int]]] = [[] for _ in range(workers)]
+    for index in range(sessions):
+        shard = shard_for(f"s{index:04d}", workers)
+        plans[shard].append((index, index % instances))
+    return plans
+
+
+def _run_bench_worker(config: Dict[str, Any]) -> Dict[str, Any]:
+    """One fleet worker: build a two-tier store, create (or resume) its
+    shard of the sessions, drive them, report wall + stats + results.
+
+    Module-level so every multiprocessing start method can pickle it.
+    """
+    from repro.service.store import DiskNpzColdTier, TwoTierStore
+
+    specs = config["specs"]
+    plan = [(f"s{index:04d}", spec) for index, spec in config["plan"]]
+    builder = _fresh_builder(config["resolution"])
+    store = TwoTierStore(
+        hot=TPOCache(capacity=config["hot_capacity"]),
+        cold=DiskNpzColdTier(config["store_dir"]),
+    )
+    log_path = config.get("log_path")
+    start = time.perf_counter()
+    if config.get("resume"):
+        manager = SessionManager.resume(
+            log_path, cache=store, builder=builder
+        )
+        submitted = _drive_with_session_crowds(
+            manager, specs, plan, config["answers"]
+        )
+    else:
+        manager = SessionManager(
+            cache=store, builder=builder, log_path=log_path
+        )
+        for sid, spec_index in plan:
+            manager.create_session(specs[spec_index], session_id=sid)
+        submitted = _drive_with_session_crowds(
+            manager,
+            specs,
+            plan,
+            config["answers"],
+            stop_after=config.get("stop_after"),
+        )
+    wall = time.perf_counter() - start
+    return {
+        "shard": config["shard"],
+        "wall_seconds": wall,
+        "answers_submitted": submitted,
+        "sessions": len(plan),
+        "store": manager.cache.stats(),
+        "results": session_results(manager, plan),
+    }
+
+
+def _pool(workers: int) -> ProcessPoolExecutor:
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+    return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+
+def _run_fleet(
+    specs: Sequence[Dict[str, Any]],
+    plans: Sequence[Sequence[Tuple[int, int]]],
+    answers: int,
+    resolution: int,
+    store_dir: Path,
+    log_base: Optional[Path] = None,
+    resume: bool = False,
+    stop_shard: Optional[int] = None,
+    stop_after: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Run every worker's pass concurrently; returns per-worker reports."""
+    from repro.service.sharding import worker_log_path
+
+    configs = []
+    for shard, plan in enumerate(plans):
+        configs.append(
+            {
+                "shard": shard,
+                "specs": list(specs),
+                "plan": list(plan),
+                "answers": answers,
+                "resolution": resolution,
+                "hot_capacity": 2 * len(specs),
+                "store_dir": str(store_dir),
+                "log_path": (
+                    str(worker_log_path(log_base, shard))
+                    if log_base is not None
+                    else None
+                ),
+                "resume": resume,
+                "stop_after": (
+                    stop_after if shard == stop_shard else None
+                ),
+            }
+        )
+    with _pool(len(plans)) as pool:
+        return list(pool.map(_run_bench_worker, configs))
+
+
+def _merge_fleet(
+    reports: Sequence[Dict[str, Any]],
+) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, Any]]:
+    """Merged per-session results + aggregated store counters."""
+    results: Dict[str, Dict[str, Any]] = {}
+    cold_hits = cold_waited = builds = 0
+    store_bytes = 0
+    for report in reports:
+        results.update(report["results"])
+        store = report["store"]
+        cold_hits += store.get("cold_hits", 0)
+        cold_waited += store.get("cold_waited", 0)
+        builds += store.get("builds", 0)
+        store_bytes = max(
+            store_bytes, store.get("cold", {}).get("bytes", 0)
+        )
+    shared = cold_hits + cold_waited
+    consults = shared + builds
+    return results, {
+        "cold_hits": cold_hits,
+        "cold_waited": cold_waited,
+        "builds": builds,
+        "cold_hit_rate": shared / consults if consults else 0.0,
+        "store_bytes": store_bytes,
+    }
+
+
+def run_multi(
+    sessions: int = 64,
+    instances: int = 8,
+    answers: int = 20,
+    n: int = 24,
+    k: int = 4,
+    width: float = 0.35,
+    resolution: int = 640,
+    workers: int = 4,
+    json_path: Optional[str] = None,
+    smoke: bool = False,
+) -> int:
+    """Multi-worker benchmark; returns the number of failed gates."""
+    if smoke:
+        sessions, instances, answers = 8, 2, 5
+        n, k, resolution = 12, 3, 256
+        workers = min(workers, 2)
+    if instances > sessions:
+        raise ValueError("need at least one session per instance")
+    specs = instance_specs(instances, n, k, width)
+    plans = _multi_plans(sessions, instances, workers)
+    print(
+        f"service bench (multi): {sessions} sessions over {instances} "
+        f"instances (N={n}, K={k}, width={width}), {answers} answers "
+        f"each, {workers} workers"
+    )
+
+    single = _timed_single_reference(specs, sessions, answers, resolution)
+    print(
+        f"single   : {single['wall_seconds']:7.2f}s  "
+        f"{single['sessions_per_sec']:8.2f} sessions/s  "
+        f"(1 process, shared cache)"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        reports = _run_fleet(
+            specs, plans, answers, resolution, Path(tmp) / "cold"
+        )
+    fleet_wall = max(r["wall_seconds"] for r in reports)
+    fleet_rate = sessions / fleet_wall if fleet_wall > 0 else float("inf")
+    multi_results, store = _merge_fleet(reports)
+    speedup = fleet_rate / single["sessions_per_sec"]
+    print(
+        f"fleet    : {fleet_wall:7.2f}s  {fleet_rate:8.2f} sessions/s  "
+        f"cold-tier hit-rate {store['cold_hit_rate']:.1%}  "
+        f"({store['builds']} builds, "
+        f"{store['cold_hits'] + store['cold_waited']} shared)"
+    )
+    print(f"speedup  : {speedup:6.2f}x over single-process")
+
+    failures = 0
+    if multi_results != single["results"]:
+        print("  FAIL: fleet run changed session outcomes")
+        failures += 1
+    if not smoke:
+        if speedup < MULTI_SPEEDUP_FLOOR:
+            print(
+                f"  FAIL: speedup below the {MULTI_SPEEDUP_FLOOR}x floor"
+            )
+            failures += 1
+        if store["cold_hit_rate"] < COLD_HIT_RATE_FLOOR:
+            print(
+                f"  FAIL: cold-tier hit rate below the "
+                f"{COLD_HIT_RATE_FLOOR:.0%} floor"
+            )
+            failures += 1
+
+    # Kill one worker mid-run, then resume the whole fleet from its
+    # per-shard event logs: merged results must be bit-identical.
+    stop_shard = max(range(workers), key=lambda w: len(plans[w]))
+    shard_sids = [f"s{i:04d}" for i, _ in plans[stop_shard]]
+    shard_reference = sum(
+        single["results"][sid]["questions_asked"] for sid in shard_sids
+    )
+    stop_after = max(1, shard_reference // 2)
+    with tempfile.TemporaryDirectory() as tmp:
+        log_base = Path(tmp) / "events.jsonl"
+        _run_fleet(
+            specs,
+            plans,
+            answers,
+            resolution,
+            Path(tmp) / "cold",
+            log_base=log_base,
+            stop_shard=stop_shard,
+            stop_after=stop_after,
+        )
+        resumed = _run_fleet(
+            specs,
+            plans,
+            answers,
+            resolution,
+            Path(tmp) / "cold",
+            log_base=log_base,
+            resume=True,
+        )
+    resumed_results, _ = _merge_fleet(resumed)
+    identical = resumed_results == single["results"]
+    print(
+        f"resume   : shard {stop_shard} killed after {stop_after} of "
+        f"{shard_reference} answers, resumed fleet identical: {identical}"
+    )
+    if not identical:
+        print("  FAIL: resumed fleet differs from the uninterrupted run")
+        failures += 1
+
+    if json_path is not None:
+        single.pop("results")
+        for report in reports:
+            report.pop("results")
+        artifact = {
+            "benchmark": "bench_service_multi",
+            **artifact_stamp(),
+            "config": {
+                "sessions": sessions,
+                "instances": instances,
+                "answers_per_session": answers,
+                "n": n,
+                "k": k,
+                "width": width,
+                "resolution": resolution,
+                "workers": workers,
+                "smoke": smoke,
+            },
+            "single": single,
+            "fleet": {
+                "wall_seconds": fleet_wall,
+                "sessions_per_sec": fleet_rate,
+                "workers": reports,
+                "store": store,
+            },
+            "speedup": speedup,
+            "cold_hit_rate": store["cold_hit_rate"],
+            "gates": {
+                "speedup_floor": MULTI_SPEEDUP_FLOOR,
+                "cold_hit_rate_floor": COLD_HIT_RATE_FLOOR,
+                "gated": not smoke,
+            },
+            "resume": {
+                "checked": True,
+                "stop_shard": stop_shard,
+                "interrupted_after_answers": stop_after,
+                "reference_answers": shard_reference,
+                "identical": identical,
+            },
+            "failures": failures,
+        }
+        Path(json_path).write_text(json.dumps(artifact, indent=2) + "\n")
+        print(f"wrote {json_path}")
+
+    print("PASS" if failures == 0 else f"{failures} check(s) FAILED")
+    return failures
 
 
 def run(
@@ -368,6 +792,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--resolution", type=int, default=640, help="grid-builder resolution"
     )
     parser.add_argument(
+        "--multi",
+        action="store_true",
+        help="benchmark the sharded multi-worker runtime instead",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker processes for --multi",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="tiny instance, no perf gates (CI smoke / laptops)",
@@ -379,6 +814,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="write measurements as a JSON artifact (BENCH_service.json)",
     )
     args = parser.parse_args(argv)
+    if args.multi:
+        return run_multi(
+            sessions=args.sessions,
+            instances=args.instances,
+            answers=args.answers,
+            n=args.n,
+            k=args.k,
+            width=args.width,
+            resolution=args.resolution,
+            workers=args.workers,
+            json_path=args.json,
+            smoke=args.smoke,
+        )
     return run(
         sessions=args.sessions,
         instances=args.instances,
@@ -394,12 +842,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 __all__ = [
     "run",
+    "run_multi",
     "main",
     "instance_specs",
     "make_crowds",
+    "SessionCrowd",
     "create_sessions",
     "drive_sessions",
     "session_results",
     "HIT_RATE_FLOOR",
     "SPEEDUP_FLOOR",
+    "MULTI_SPEEDUP_FLOOR",
+    "COLD_HIT_RATE_FLOOR",
 ]

@@ -25,7 +25,7 @@ round-trip is cheap: deserialization fills per-level arrays and
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.api.canonical import content_key
 from repro.distributions.base import ScoreDistribution
@@ -52,9 +52,12 @@ class TPOCache:
     ----------
     capacity:
         Maximum number of cached instances; least-recently-used entries
-        are evicted beyond it.  ``0`` disables caching entirely (every
-        lookup misses and nothing is stored) — the configuration the
-        service benchmark uses as its baseline.
+        are evicted beyond it.  ``0`` is the well-defined **disabled**
+        configuration: the cache is a pure pass-through — every lookup
+        misses, :meth:`insert` is a no-op, and the eviction counter never
+        moves (no insert-then-immediately-evict churn) — which is what
+        the service benchmark uses as its baseline and what
+        ``repro serve --cache-capacity 0`` means.
     """
 
     def __init__(self, capacity: int = 64) -> None:
@@ -68,6 +71,37 @@ class TPOCache:
 
     # ------------------------------------------------------------------
 
+    @property
+    def enabled(self) -> bool:
+        """Whether this cache stores anything at all (capacity > 0)."""
+        return self.capacity > 0
+
+    def lookup(self, key: str) -> Optional[OrderingSpace]:
+        """The cached space for ``key`` (counting a hit), or ``None``
+        (counting a miss).  A disabled cache always misses."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        return None
+
+    def insert(self, key: str, space: OrderingSpace) -> None:
+        """Store ``space`` under ``key`` (evicting LRU entries beyond
+        capacity).  No-op when the cache is disabled."""
+        if not self.enabled:
+            return
+        # Warm the (L, N) positions matrix once, up front: every session
+        # sharing this entry reads it on its first agreement query, and
+        # derived spaces (reweight/restrict) inherit it.
+        space.positions()
+        self._entries[key] = space
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
     def get_space(
         self,
         key: str,
@@ -80,23 +114,13 @@ class TPOCache:
         ``distributions`` are needed to rebuild the tree from its
         serialized form (the dict stores only tuple indices).
         """
-        entry = self._entries.get(key)
+        entry = self.lookup(key)
         if entry is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
             return entry
-        self.misses += 1
         payload = tree_to_dict(build())
         space = tree_from_dict(payload, list(distributions)).to_space()
-        # Warm the (L, N) positions matrix once, up front: every session
-        # sharing this entry reads it on its first agreement query, and
-        # derived spaces (reweight/restrict) inherit it.
         space.positions()
-        if self.capacity > 0:
-            self._entries[key] = space
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+        self.insert(key, space)
         return space
 
     # ------------------------------------------------------------------
@@ -110,6 +134,7 @@ class TPOCache:
     def stats(self) -> Dict[str, Any]:
         """Counters for monitoring endpoints and benchmark artifacts."""
         return {
+            "enabled": self.enabled,
             "capacity": self.capacity,
             "entries": len(self._entries),
             "hits": self.hits,

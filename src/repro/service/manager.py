@@ -37,7 +37,10 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Union
+
+if TYPE_CHECKING:  # avoid importing the store stack at runtime
+    from repro.service.store import SpaceStore
 
 from repro.api._deprecation import warn_deprecated
 from repro.api.specs import InstanceSpec, as_instance_spec
@@ -242,7 +245,7 @@ class SessionManager:
 
     def __init__(
         self,
-        cache: Optional[TPOCache] = None,
+        cache: Optional["SpaceStore"] = None,
         log_path: Optional[PathLike] = None,
         builder: Optional[TPOBuilder] = None,
         measure: Optional[UncertaintyMeasure] = None,

@@ -40,6 +40,8 @@ ERROR_CODES: Dict[int, str] = {
     409: "conflict",
     413: "payload_too_large",
     500: "internal",
+    502: "bad_gateway",
+    503: "unavailable",
 }
 
 #: HTTP reason phrases for the statuses the service emits.
@@ -51,6 +53,8 @@ REASON_PHRASES: Dict[int, str] = {
     409: "Conflict",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
 }
 
 
@@ -266,6 +270,148 @@ class CloseSessionResponse:
 
 
 @dataclass(frozen=True)
+class TopologyInfo:
+    """Where one process sits in a serve deployment.
+
+    ``role`` is ``"single"`` (the historical one-process service),
+    ``"router"`` (the front end of a sharded fleet), or ``"worker"``
+    (one shard of it, in which case ``shard`` says which).
+    """
+
+    role: str = "single"
+    workers: int = 1
+    shard: Optional[int] = None
+    strategy: str = "blake2b"
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "role": self.role,
+            "workers": self.workers,
+            "strategy": self.strategy,
+        }
+        if self.shard is not None:
+            payload["shard"] = self.shard
+        return payload
+
+
+@dataclass(frozen=True)
+class StatsResponse:
+    """``GET /v1/stats`` on one process — typed service counters.
+
+    The flat key set is the historical ``/stats`` shape (``sessions`` /
+    ``cache`` / ``rankings`` / ``evaluations`` / ``contradictions`` /
+    ``replay_skipped`` plus the batcher's ``next_batches`` /
+    ``next_requests``) so existing dashboards keep working; ``store``
+    aliases the cache block (which for a two-tier store carries
+    ``hot``/``cold``/``cold_hit_rate``/per-tier byte counts), and
+    ``topology`` says which process of which fleet answered.
+    """
+
+    sessions: Dict[str, int]
+    cache: Dict[str, Any]
+    rankings: Dict[str, int]
+    evaluations: int
+    contradictions: int
+    replay_skipped: int
+    next_batches: int
+    next_requests: int
+    topology: TopologyInfo = field(default_factory=TopologyInfo)
+
+    @classmethod
+    def from_manager_stats(
+        cls,
+        stats: Mapping[str, Any],
+        next_batches: int,
+        next_requests: int,
+        topology: Optional[TopologyInfo] = None,
+    ) -> "StatsResponse":
+        return cls(
+            sessions=dict(stats["sessions"]),
+            cache=dict(stats["cache"]),
+            rankings=dict(stats["rankings"]),
+            evaluations=stats["evaluations"],
+            contradictions=stats["contradictions"],
+            replay_skipped=stats["replay_skipped"],
+            next_batches=next_batches,
+            next_requests=next_requests,
+            topology=topology if topology is not None else TopologyInfo(),
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "sessions": dict(self.sessions),
+            "cache": dict(self.cache),
+            "store": dict(self.cache),
+            "rankings": dict(self.rankings),
+            "evaluations": self.evaluations,
+            "contradictions": self.contradictions,
+            "replay_skipped": self.replay_skipped,
+            "next_batches": self.next_batches,
+            "next_requests": self.next_requests,
+            "topology": self.topology.to_payload(),
+        }
+
+
+@dataclass(frozen=True)
+class ClusterStatsResponse:
+    """``GET /v1/stats`` on a sharded router — the fleet, aggregated.
+
+    ``workers`` holds each worker's own :class:`StatsResponse` payload
+    (tagged with its shard); the top-level blocks are fleet totals —
+    summed session counts and batcher counters, plus a ``store`` block
+    with hot/cold hit rates and stored bytes across all workers.
+    """
+
+    topology: TopologyInfo
+    workers: List[Dict[str, Any]]
+
+    def to_payload(self) -> Dict[str, Any]:
+        sessions: Dict[str, int] = {}
+        next_batches = 0
+        next_requests = 0
+        hot_hits = hot_misses = 0
+        cold_hits = cold_waited = builds = 0
+        store_bytes = 0
+        for worker in self.workers:
+            for status, count in worker.get("sessions", {}).items():
+                sessions[status] = sessions.get(status, 0) + count
+            next_batches += worker.get("next_batches", 0)
+            next_requests += worker.get("next_requests", 0)
+            cache = worker.get("cache", {})
+            hot = cache.get("hot", cache)
+            hot_hits += hot.get("hits", 0)
+            hot_misses += hot.get("misses", 0)
+            cold_hits += cache.get("cold_hits", 0)
+            cold_waited += cache.get("cold_waited", 0)
+            builds += cache.get("builds", 0)
+            store_bytes += cache.get("cold", {}).get("bytes", 0)
+        hot_lookups = hot_hits + hot_misses
+        cold_shared = cold_hits + cold_waited
+        cold_consults = cold_shared + builds
+        return {
+            "topology": self.topology.to_payload(),
+            "sessions": sessions,
+            "next_batches": next_batches,
+            "next_requests": next_requests,
+            "store": {
+                "hot_hits": hot_hits,
+                "hot_misses": hot_misses,
+                "hot_hit_rate": (
+                    hot_hits / hot_lookups if hot_lookups else 0.0
+                ),
+                "cold_hits": cold_hits,
+                "cold_waited": cold_waited,
+                "builds": builds,
+                "cold_hit_rate": (
+                    cold_shared / cold_consults if cold_consults else 0.0
+                ),
+                "bytes": store_bytes,
+            },
+            "workers": [dict(worker) for worker in self.workers],
+        }
+
+
+@dataclass(frozen=True)
 class MetaResponse:
     """``GET /v1/meta`` — what this service instance can build and serve."""
 
@@ -273,6 +419,7 @@ class MetaResponse:
     version: str
     plugins: Dict[str, List[str]]
     endpoints: List[Dict[str, str]]
+    topology: TopologyInfo = field(default_factory=TopologyInfo)
 
     def to_payload(self) -> Dict[str, Any]:
         return {
@@ -280,6 +427,7 @@ class MetaResponse:
             "version": self.version,
             "plugins": {k: list(v) for k, v in self.plugins.items()},
             "endpoints": [dict(e) for e in self.endpoints],
+            "topology": self.topology.to_payload(),
         }
 
 
@@ -298,4 +446,7 @@ __all__ = [
     "SnapshotResponse",
     "CloseSessionResponse",
     "MetaResponse",
+    "TopologyInfo",
+    "StatsResponse",
+    "ClusterStatsResponse",
 ]

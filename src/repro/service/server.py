@@ -77,6 +77,8 @@ from repro.service.protocol import (
     ProtocolError,
     SessionListResponse,
     SnapshotResponse,
+    StatsResponse,
+    TopologyInfo,
 )
 
 MAX_BODY_BYTES = 1 << 20  # a spec or an answer is tiny; reject abuse early.
@@ -260,6 +262,7 @@ class Context:
         params: Dict[str, str],
         versioned: bool,
         log_executor: Optional[ThreadPoolExecutor] = None,
+        topology: Optional[TopologyInfo] = None,
     ) -> None:
         self.manager = manager
         self.batcher = batcher
@@ -267,6 +270,7 @@ class Context:
         self.params = params
         self.versioned = versioned
         self.log_executor = log_executor
+        self.topology = topology if topology is not None else TopologyInfo()
 
     async def flush_log(self) -> None:
         """Durably write buffered event-log appends, off the loop thread.
@@ -299,14 +303,17 @@ async def _handle_meta(ctx: Context) -> Dict[str, Any]:
         version=__version__,
         plugins=plugins,
         endpoints=endpoints,
+        topology=ctx.topology,
     ).to_payload()
 
 
 async def _handle_stats(ctx: Context) -> Dict[str, Any]:
-    stats = ctx.manager.stats()
-    stats["next_batches"] = ctx.batcher.batches
-    stats["next_requests"] = ctx.batcher.requests
-    return stats
+    return StatsResponse.from_manager_stats(
+        ctx.manager.stats(),
+        next_batches=ctx.batcher.batches,
+        next_requests=ctx.batcher.requests,
+        topology=ctx.topology,
+    ).to_payload()
 
 
 async def _handle_list_sessions(ctx: Context) -> Dict[str, Any]:
@@ -435,6 +442,7 @@ async def _route(
     manager: SessionManager,
     batcher: NextQuestionBatcher,
     log_executor: Optional[ThreadPoolExecutor] = None,
+    topology: Optional[TopologyInfo] = None,
 ) -> Tuple[Dict[str, Any], bool]:
     """Dispatch one request; returns ``(payload, versioned)``."""
     segments = [s for s in path.split("/") if s]
@@ -460,7 +468,13 @@ async def _route(
                 )
             sid = params.get("session_id")
             ctx = Context(
-                manager, batcher, body, params, versioned, log_executor
+                manager,
+                batcher,
+                body,
+                params,
+                versioned,
+                log_executor,
+                topology,
             )
             return await handler(ctx), versioned
         raise HttpError(404, f"no route for {method} {path}")
@@ -488,6 +502,7 @@ async def _handle_connection(
     manager: SessionManager,
     batcher: NextQuestionBatcher,
     log_executor: Optional[ThreadPoolExecutor] = None,
+    topology: Optional[TopologyInfo] = None,
 ) -> None:
     status, payload = 500, {"error": "internal error"}
     headers: Dict[str, str] = {}
@@ -502,7 +517,7 @@ async def _handle_connection(
         ]
         body = await _read_body(reader, content_length)
         payload, versioned = await _route(
-            method, path, body, manager, batcher, log_executor
+            method, path, body, manager, batcher, log_executor, topology
         )
         status = 200
     except HttpError as exc:
@@ -530,7 +545,10 @@ async def _handle_connection(
 
 
 async def start_server(
-    manager: SessionManager, host: str = "127.0.0.1", port: int = 8080
+    manager: SessionManager,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    topology: Optional[TopologyInfo] = None,
 ) -> "asyncio.AbstractServer":
     """Bind the service; the caller drives ``serve_forever`` (or tests
     poke it and close).
@@ -539,7 +557,9 @@ async def start_server(
     (:meth:`SessionManager.defer_log_writes`) with a dedicated
     single-thread executor doing the actual disk writes — handlers append
     in memory and await the flush, so the event loop never blocks on the
-    log file.
+    log file.  ``topology`` is what ``/v1/meta`` and ``/v1/stats`` report
+    as this process's place in the deployment (defaults to the
+    single-process role).
     """
     batcher = NextQuestionBatcher(manager)
     log_executor: Optional[ThreadPoolExecutor] = None
@@ -552,17 +572,22 @@ async def start_server(
         reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         await _handle_connection(
-            reader, writer, manager, batcher, log_executor
+            reader, writer, manager, batcher, log_executor, topology
         )
 
     return await asyncio.start_server(handler, host=host, port=port)
 
 
 async def serve(
-    manager: SessionManager, host: str = "127.0.0.1", port: int = 8080
+    manager: SessionManager,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    topology: Optional[TopologyInfo] = None,
 ) -> None:
     """Run the service until cancelled (the ``repro serve`` entry point)."""
-    server = await start_server(manager, host=host, port=port)
+    server = await start_server(
+        manager, host=host, port=port, topology=topology
+    )
     addresses = ", ".join(
         f"{sock.getsockname()[0]}:{sock.getsockname()[1]}"
         for sock in server.sockets or []

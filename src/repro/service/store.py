@@ -1,0 +1,653 @@
+"""Two-tier TPO store: per-worker hot LRU over a cross-process cold tier.
+
+The multi-worker runtime (:mod:`repro.service.sharding`) runs one
+:class:`~repro.service.manager.SessionManager` per worker process.  Each
+worker keeps its own hot :class:`~repro.service.cache.TPOCache` of
+deserialized :class:`~repro.tpo.space.OrderingSpace` objects, but a TPO
+built by *any* worker should be paid for once per fleet, not once per
+process — that is the cold tier's job.
+
+A **cold tier** (:class:`ColdTier`) is a content-addressed map from the
+existing BLAKE2b instance keys (:func:`repro.service.cache.instance_key`
+— unchanged by this module) to the binary level-table serialization of
+:mod:`repro.tpo.serialize` (``tree_to_npz`` / ``tree_from_npz``).  Three
+backends ship, registered in the ``STORES`` registry of
+:mod:`repro.api.catalog`:
+
+``memory``
+    An in-process dict of npz byte strings.  Not shared across
+    processes; useful for single-worker deployments and tests, and as
+    the reference implementation of the tier contract.
+``disk-npz``
+    One atomic (tmp+rename, fsynced) ``<key>.npz`` file per instance in
+    a shared directory, memmap-loaded so concurrent workers share
+    physical pages.  Torn or corrupt files are treated as misses and
+    deleted rather than poisoning the fleet — the same discipline the
+    event log applies to torn JSONL tails.  Cross-process single-flight:
+    a ``<key>.lock`` file (``O_CREAT | O_EXCL``) elects one builder; the
+    losers poll for the winner's artifact instead of burning CPU on a
+    duplicate build.
+``shared-memory``
+    POSIX shared-memory segments (:mod:`multiprocessing.shared_memory`),
+    one per instance, holding the same npz bytes behind a small
+    commit-marker header so a reader never parses a half-written
+    payload.  Zero filesystem traffic; segments created by this process
+    are unlinked by :meth:`~SharedMemoryColdTier.close`.
+
+:class:`TwoTierStore` composes a hot cache with a cold tier behind the
+exact ``get_space(key, distributions, build)`` interface the session
+manager already speaks, so it is a drop-in replacement for a bare
+:class:`TPOCache`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Protocol, Sequence, Union
+
+from repro.distributions.base import ScoreDistribution
+from repro.service.cache import TPOCache
+from repro.tpo.serialize import (
+    TPOSerializationError,
+    tree_from_npz,
+    tree_from_npz_bytes,
+    tree_to_npz,
+    tree_to_npz_bytes,
+)
+from repro.tpo.space import OrderingSpace
+from repro.tpo.tree import TPOTree
+
+PathLike = Union[str, Path]
+
+
+class SpaceStore(Protocol):
+    """What the session manager needs from a TPO store.
+
+    Both the bare :class:`~repro.service.cache.TPOCache` and
+    :class:`TwoTierStore` satisfy this.
+    """
+
+    def get_space(
+        self,
+        key: str,
+        distributions: Sequence[ScoreDistribution],
+        build: Callable[[], TPOTree],
+    ) -> OrderingSpace: ...
+
+    def stats(self) -> Dict[str, Any]: ...
+
+    @property
+    def hit_rate(self) -> float: ...
+
+
+# ----------------------------------------------------------------------
+# Cold tiers
+# ----------------------------------------------------------------------
+
+
+class ColdTier:
+    """Base class for cross-process content-addressed TPO storage.
+
+    Subclasses implement :meth:`_load` / :meth:`_store`; the base class
+    provides uniform hit/miss/torn accounting and the (optional)
+    single-flight build-lock hooks.  ``get`` returns a rebuilt
+    :class:`TPOTree` or ``None``; ``put`` persists a tree and returns it
+    *as re-read from the stored payload*, which is what keeps the "cached
+    state equals a cold rebuild" invariant the manager's resume path
+    relies on.
+    """
+
+    #: Registry name of the backend (overridden per subclass).
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.torn = 0
+        self.puts = 0
+
+    # -- backend primitives -------------------------------------------
+
+    def _load(
+        self, key: str, distributions: Sequence[ScoreDistribution]
+    ) -> Optional[TPOTree]:
+        raise NotImplementedError
+
+    def _store(self, key: str, tree: TPOTree) -> TPOTree:
+        raise NotImplementedError
+
+    def _discard_damaged(self, key: str) -> None:
+        """Drop a payload that failed to decode (best-effort)."""
+
+    # -- tier interface ------------------------------------------------
+
+    def get(
+        self, key: str, distributions: Sequence[ScoreDistribution]
+    ) -> Optional[TPOTree]:
+        """The stored tree for ``key``, or ``None`` on miss.
+
+        A damaged payload (torn mid-copy, truncated by a crash) counts
+        as a miss, is discarded, and bumps the ``torn`` counter.
+        """
+        try:
+            tree = self._load(key, distributions)
+        except TPOSerializationError:
+            self.torn += 1
+            self._discard_damaged(key)
+            tree = None
+        if tree is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return tree
+
+    def put(self, key: str, tree: TPOTree) -> TPOTree:
+        """Persist ``tree`` under ``key``; returns the stored round-trip."""
+        self.puts += 1
+        return self._store(key, tree)
+
+    # -- single-flight build coordination ------------------------------
+
+    def begin_build(self, key: str) -> bool:
+        """Try to become the one builder for ``key``.
+
+        ``True`` means this caller holds the build lock and must call
+        :meth:`end_build` when done; ``False`` means another process is
+        already building — poll :meth:`wait_for`.  The default tier has
+        no cross-process contention, so everyone "wins".
+        """
+        return True
+
+    def end_build(self, key: str) -> None:
+        """Release the build lock taken by :meth:`begin_build`."""
+
+    def wait_for(
+        self,
+        key: str,
+        distributions: Sequence[ScoreDistribution],
+        timeout: float,
+    ) -> Optional[TPOTree]:
+        """Wait up to ``timeout`` seconds for another builder's artifact."""
+        return None
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def entry_count(self) -> int:
+        """How many instances the tier currently holds."""
+        raise NotImplementedError
+
+    def stored_bytes(self) -> int:
+        """Total serialized payload size currently held, in bytes."""
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters for ``/v1/stats`` and the benchmark artifacts."""
+        lookups = self.hits + self.misses
+        return {
+            "backend": self.name,
+            "entries": self.entry_count(),
+            "bytes": self.stored_bytes(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "torn": self.torn,
+            "puts": self.puts,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
+    def close(self) -> None:
+        """Release backend resources (files stay; shm segments unlink)."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(entries={self.entry_count()}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+class MemoryColdTier(ColdTier):
+    """In-process cold tier: a dict of npz byte payloads.
+
+    Goes through the same binary serialization as the shared backends so
+    behavior (and round-trip guarantees) are identical — it just cannot
+    cross a process boundary.
+    """
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._payloads: Dict[str, bytes] = {}
+
+    def _load(
+        self, key: str, distributions: Sequence[ScoreDistribution]
+    ) -> Optional[TPOTree]:
+        payload = self._payloads.get(key)
+        if payload is None:
+            return None
+        return tree_from_npz_bytes(payload, distributions)
+
+    def _store(self, key: str, tree: TPOTree) -> TPOTree:
+        payload = tree_to_npz_bytes(tree)
+        self._payloads[key] = payload
+        return tree_from_npz_bytes(payload, tree.distributions)
+
+    def _discard_damaged(self, key: str) -> None:
+        self._payloads.pop(key, None)
+
+    def entry_count(self) -> int:
+        return len(self._payloads)
+
+    def stored_bytes(self) -> int:
+        return sum(len(payload) for payload in self._payloads.values())
+
+
+def _check_key(key: str) -> str:
+    """Reject keys that could escape the store directory or collide."""
+    if not key or not all(ch.isalnum() or ch in "-_" for ch in key):
+        raise ValueError(f"invalid store key {key!r}")
+    return key
+
+
+class DiskNpzColdTier(ColdTier):
+    """Shared-directory cold tier of atomic, memmap-loaded npz files.
+
+    Parameters
+    ----------
+    path:
+        Directory holding one ``<key>.npz`` per instance (created on
+        first write).  Point every worker of a fleet at the same
+        directory.
+    mmap:
+        Memory-map level tables on load (default) so concurrent readers
+        share pages; pass ``False`` to force heap copies (e.g. when the
+        directory is about to be deleted).
+    lock_timeout:
+        How long :meth:`wait_for` polls for another process's build
+        before giving up and building locally anyway.
+    """
+
+    name = "disk-npz"
+
+    def __init__(
+        self,
+        path: PathLike,
+        mmap: bool = True,
+        lock_timeout: float = 30.0,
+        poll_interval: float = 0.02,
+    ) -> None:
+        super().__init__()
+        self.root = Path(path)
+        self.mmap = bool(mmap)
+        self.lock_timeout = float(lock_timeout)
+        self.poll_interval = float(poll_interval)
+
+    def _file(self, key: str) -> Path:
+        return self.root / f"{_check_key(key)}.npz"
+
+    def _lock(self, key: str) -> Path:
+        return self.root / f"{_check_key(key)}.lock"
+
+    def _load(
+        self, key: str, distributions: Sequence[ScoreDistribution]
+    ) -> Optional[TPOTree]:
+        path = self._file(key)
+        if not path.exists():
+            return None
+        return tree_from_npz(path, distributions, mmap=self.mmap)
+
+    def _store(self, key: str, tree: TPOTree) -> TPOTree:
+        path = tree_to_npz(tree, self._file(key))
+        return tree_from_npz(path, tree.distributions, mmap=self.mmap)
+
+    def _discard_damaged(self, key: str) -> None:
+        try:
+            self._file(key).unlink()
+        except OSError:
+            pass
+
+    # -- single flight -------------------------------------------------
+
+    def begin_build(self, key: str) -> bool:
+        self.root.mkdir(parents=True, exist_ok=True)
+        lock = self._lock(key)
+        try:
+            descriptor = os.open(
+                lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            try:
+                # A lock older than the timeout is a crashed builder:
+                # steal it rather than stalling the fleet forever.
+                age = time.time() - lock.stat().st_mtime
+                if age > self.lock_timeout:
+                    lock.unlink()
+                    return self.begin_build(key)
+            except OSError:
+                pass
+            return False
+        os.write(descriptor, str(os.getpid()).encode("ascii"))
+        os.close(descriptor)
+        return True
+
+    def end_build(self, key: str) -> None:
+        try:
+            self._lock(key).unlink()
+        except OSError:
+            pass
+
+    def wait_for(
+        self,
+        key: str,
+        distributions: Sequence[ScoreDistribution],
+        timeout: float,
+    ) -> Optional[TPOTree]:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            tree = self.get(key, distributions)
+            if tree is not None:
+                return tree
+            if not self._lock(key).exists():
+                # The builder released (or died) without producing the
+                # artifact; one more look, then let the caller build.
+                return self.get(key, distributions)
+            time.sleep(self.poll_interval)
+        return None
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _files(self) -> list:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.npz"))
+
+    def entry_count(self) -> int:
+        return len(self._files())
+
+    def stored_bytes(self) -> int:
+        total = 0
+        for path in self._files():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+
+#: Header layout of a shared-memory payload: commit magic + payload size.
+_SHM_MAGIC = b"RTPO\x01\x00\x00\x00"
+_SHM_HEADER = len(_SHM_MAGIC) + 8
+
+
+class SharedMemoryColdTier(ColdTier):
+    """Cold tier over named POSIX shared-memory segments.
+
+    Each instance key maps to one segment (``<prefix>-<key>``) holding
+    the npz payload behind a 16-byte header.  The payload bytes are
+    written first and the commit magic last, so an attaching reader that
+    sees the magic is guaranteed a complete payload — a torn writer
+    leaves a segment without magic, which reads as a miss.
+
+    Segment names are deterministic, so any process that knows the
+    instance key can attach.  Segments created by this process are
+    tracked and unlinked by :meth:`close`; attach-only processes never
+    unlink.  (On Python < 3.13 the stdlib resource tracker may warn
+    about attached segments at interpreter exit; the runtime closes its
+    tiers before that point.)
+    """
+
+    name = "shared-memory"
+
+    def __init__(self, prefix: str = "repro-tpo") -> None:
+        super().__init__()
+        if not prefix or not all(
+            ch.isalnum() or ch in "-_" for ch in prefix
+        ):
+            raise ValueError(f"invalid shared-memory prefix {prefix!r}")
+        self.prefix = prefix
+        self._owned: Dict[str, Any] = {}
+
+    def _segment_name(self, key: str) -> str:
+        return f"{self.prefix}-{_check_key(key)}"
+
+    def _attach(self, key: str) -> Optional[Any]:
+        from multiprocessing import shared_memory
+
+        try:
+            return shared_memory.SharedMemory(name=self._segment_name(key))
+        except FileNotFoundError:
+            return None
+
+    def _load(
+        self, key: str, distributions: Sequence[ScoreDistribution]
+    ) -> Optional[TPOTree]:
+        segment = self._attach(key)
+        if segment is None:
+            return None
+        try:
+            view = segment.buf
+            if bytes(view[: len(_SHM_MAGIC)]) != _SHM_MAGIC:
+                raise TPOSerializationError(
+                    f"shared-memory segment for {key!r} is uncommitted"
+                )
+            size = int.from_bytes(
+                bytes(view[len(_SHM_MAGIC) : _SHM_HEADER]), "little"
+            )
+            if size <= 0 or _SHM_HEADER + size > len(view):
+                raise TPOSerializationError(
+                    f"shared-memory segment for {key!r} has a bad size"
+                )
+            payload = bytes(view[_SHM_HEADER : _SHM_HEADER + size])
+        finally:
+            if key not in self._owned:
+                segment.close()
+        return tree_from_npz_bytes(payload, distributions)
+
+    def _store(self, key: str, tree: TPOTree) -> TPOTree:
+        from multiprocessing import shared_memory
+
+        payload = tree_to_npz_bytes(tree)
+        name = self._segment_name(key)
+        try:
+            segment = shared_memory.SharedMemory(
+                name=name, create=True, size=_SHM_HEADER + len(payload)
+            )
+        except FileExistsError:
+            # Another worker won the write race; read its copy back so
+            # the round-trip invariant still holds.
+            existing = self._load(key, tree.distributions)
+            if existing is not None:
+                return existing
+            # Uncommitted leftover (writer died mid-put): replace it.
+            leftover = self._attach(key)
+            if leftover is not None:
+                leftover.close()
+                try:
+                    leftover.unlink()
+                except FileNotFoundError:
+                    pass
+            segment = shared_memory.SharedMemory(
+                name=name, create=True, size=_SHM_HEADER + len(payload)
+            )
+        segment.buf[_SHM_HEADER : _SHM_HEADER + len(payload)] = payload
+        segment.buf[len(_SHM_MAGIC) : _SHM_HEADER] = len(payload).to_bytes(
+            8, "little"
+        )
+        segment.buf[: len(_SHM_MAGIC)] = _SHM_MAGIC
+        self._owned[key] = segment
+        return tree_from_npz_bytes(payload, tree.distributions)
+
+    def _discard_damaged(self, key: str) -> None:
+        segment = self._owned.pop(key, None) or self._attach(key)
+        if segment is None:
+            return
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+    def entry_count(self) -> int:
+        return len(self._owned)
+
+    def stored_bytes(self) -> int:
+        return sum(segment.size for segment in self._owned.values())
+
+    def close(self) -> None:
+        """Close and unlink every segment this process created."""
+        while self._owned:
+            _, segment = self._owned.popitem()
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# The two-tier store
+# ----------------------------------------------------------------------
+
+
+class TwoTierStore:
+    """Per-worker hot LRU over a cross-process cold tier.
+
+    Drop-in for :class:`~repro.service.cache.TPOCache` wherever the
+    session manager expects a store (same ``get_space`` / ``stats`` /
+    ``hit_rate`` surface).  Lookup path:
+
+    1. **hot** — deserialized spaces in this process (LRU);
+    2. **cold** — the shared tier, deserializing on hit;
+    3. **build** — construct the TPO, publish it to the cold tier, and
+       serve the round-tripped copy (so what this worker caches is
+       bit-for-bit what every other worker will deserialize).
+
+    Cold misses are single-flighted across processes when the backend
+    supports it: exactly one worker builds, the rest wait for the
+    artifact (up to ``build_wait`` seconds) instead of duplicating the
+    dominant per-session cost.
+    """
+
+    def __init__(
+        self,
+        hot: Optional[TPOCache] = None,
+        cold: Optional[ColdTier] = None,
+        build_wait: float = 30.0,
+    ) -> None:
+        self.hot = hot if hot is not None else TPOCache()
+        self.cold = cold if cold is not None else MemoryColdTier()
+        self.build_wait = float(build_wait)
+        self.builds = 0
+        self.cold_hits = 0
+        self.cold_waited = 0
+
+    # ------------------------------------------------------------------
+
+    def get_space(
+        self,
+        key: str,
+        distributions: Sequence[ScoreDistribution],
+        build: Callable[[], TPOTree],
+    ) -> OrderingSpace:
+        """The initial space for ``key`` (hot → cold → build-and-publish)."""
+        space = self.hot.lookup(key)
+        if space is not None:
+            return space
+        tree = self.cold.get(key, distributions)
+        if tree is not None:
+            self.cold_hits += 1
+        else:
+            tree = self._build_or_wait(key, distributions, build)
+        space = tree.to_space()
+        space.positions()
+        self.hot.insert(key, space)
+        return space
+
+    def _build_or_wait(
+        self,
+        key: str,
+        distributions: Sequence[ScoreDistribution],
+        build: Callable[[], TPOTree],
+    ) -> TPOTree:
+        if not self.cold.begin_build(key):
+            waited = self.cold.wait_for(
+                key, distributions, timeout=self.build_wait
+            )
+            if waited is not None:
+                self.cold_waited += 1
+                return waited
+            # The elected builder died or overran the wait: fall through
+            # and build locally (taking the lock is best-effort now).
+            if not self.cold.begin_build(key):
+                self.builds += 1
+                built = build()
+                return self.cold.put(key, built)
+        try:
+            self.builds += 1
+            built = build()
+            stored = self.cold.put(key, built)
+        finally:
+            self.cold.end_build(key)
+        return stored
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cold_hit_rate(self) -> float:
+        """Fraction of cold-tier consults that avoided a local build."""
+        shared = self.cold_hits + self.cold_waited
+        consults = shared + self.builds
+        return shared / consults if consults else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served without building (either tier)."""
+        lookups = self.hot.hits + self.hot.misses
+        if not lookups:
+            return 0.0
+        served = self.hot.hits + self.cold_hits + self.cold_waited
+        return served / lookups
+
+    def stats(self) -> Dict[str, Any]:
+        """Two-tier counters for ``/v1/stats`` and benchmark artifacts."""
+        return {
+            "tiers": 2,
+            "hot": self.hot.stats(),
+            "cold": self.cold.stats(),
+            "builds": self.builds,
+            "cold_hits": self.cold_hits,
+            "cold_waited": self.cold_waited,
+            "cold_hit_rate": self.cold_hit_rate,
+            "hit_rate": self.hit_rate,
+            # Back-compat aliases: dashboards reading the flat TPOCache
+            # shape keep working against a two-tier store.
+            "hits": self.hot.hits,
+            "misses": self.hot.misses,
+            "entries": len(self.hot),
+            "capacity": self.hot.capacity,
+        }
+
+    def clear(self) -> None:
+        """Drop the hot tier (the cold tier is shared; leave it alone)."""
+        self.hot.clear()
+
+    def close(self) -> None:
+        """Release cold-tier resources owned by this process."""
+        self.cold.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"TwoTierStore(hot={self.hot!r}, cold={self.cold!r}, "
+            f"builds={self.builds})"
+        )
+
+
+__all__ = [
+    "SpaceStore",
+    "ColdTier",
+    "MemoryColdTier",
+    "DiskNpzColdTier",
+    "SharedMemoryColdTier",
+    "TwoTierStore",
+]

@@ -25,6 +25,7 @@ EXPECTED_API_ALL = [
     "CROWD_MODELS",
     "DISTRIBUTIONS",
     "ENGINES",
+    "STORES",
     "all_registries",
     # specs
     "InstanceSpec",
@@ -33,6 +34,9 @@ EXPECTED_API_ALL = [
     "CrowdSpec",
     "BudgetSpec",
     "SessionSpec",
+    "StoreSpec",
+    "ServeSpec",
+    "SHARD_STRATEGIES",
     "as_instance_spec",
     # execution
     "PreparedSession",
@@ -75,6 +79,7 @@ EXPECTED_BUILTIN_PLUGINS = {
         "uniform",
     ],
     "engines": ["exact", "grid", "mc"],
+    "stores": ["disk-npz", "memory", "shared-memory"],
 }
 
 

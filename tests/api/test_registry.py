@@ -121,6 +121,7 @@ class TestCatalog:
             "crowd_models",
             "distributions",
             "engines",
+            "stores",
         }
         for registry in registries.values():
             assert len(registry) > 0

@@ -234,3 +234,145 @@ class TestExecution:
         )
         prepared = prepare_session(spec)
         assert all(w.accuracy == 0.0 for w in prepared.crowd.workers)
+
+
+# ----------------------------------------------------------------------
+# Serve / store deployment specs
+# ----------------------------------------------------------------------
+
+
+class TestStoreSpec:
+    def test_round_trip_identity(self):
+        from repro.api import StoreSpec
+
+        spec = StoreSpec(
+            backend="disk-npz", hot_capacity=8, path="/tmp/cold"
+        )
+        assert StoreSpec.from_dict(spec.to_dict()) == spec
+        assert StoreSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        ) == spec
+
+    def test_backend_name_shorthand(self):
+        from repro.api import StoreSpec
+
+        spec = StoreSpec.from_dict("memory")
+        assert spec.backend == "memory"
+        assert spec.hot_capacity == 64
+
+    def test_content_key_is_byte_stable(self):
+        from repro.api import StoreSpec
+
+        a = StoreSpec(backend="memory", hot_capacity=8)
+        b = StoreSpec.from_dict(
+            {"hot_capacity": 8, "backend": "memory"}
+        )
+        assert a.content_key() == b.content_key()
+        assert a.canonical_json() == b.canonical_json()
+
+    def test_unknown_backend_suggests(self):
+        from repro.api import StoreSpec
+        from repro.api.registry import UnknownNameError
+
+        with pytest.raises(UnknownNameError, match="disk-npz"):
+            StoreSpec(backend="disk_npz")
+
+    def test_disk_backend_requires_path(self):
+        from repro.api import StoreSpec
+
+        with pytest.raises(ValueError, match="path"):
+            StoreSpec(backend="disk-npz")
+
+    def test_negative_hot_capacity_rejected(self):
+        from repro.api import StoreSpec
+
+        with pytest.raises(ValueError):
+            StoreSpec(hot_capacity=-1)
+
+    def test_build_none_is_bare_cache(self):
+        from repro.api import StoreSpec
+        from repro.service.cache import TPOCache
+
+        store = StoreSpec(backend="none", hot_capacity=3).build()
+        assert isinstance(store, TPOCache)
+        assert store.capacity == 3
+
+    def test_build_backend_is_two_tier(self, tmp_path):
+        from repro.api import StoreSpec
+        from repro.service.store import DiskNpzColdTier, TwoTierStore
+
+        store = StoreSpec(
+            backend="disk-npz", hot_capacity=3, path=str(tmp_path)
+        ).build()
+        assert isinstance(store, TwoTierStore)
+        assert isinstance(store.cold, DiskNpzColdTier)
+        assert store.hot.capacity == 3
+
+
+class TestServeSpec:
+    def test_round_trip_identity(self):
+        from repro.api import ServeSpec
+
+        spec = ServeSpec(
+            host="0.0.0.0",
+            port=9999,
+            workers=4,
+            store={"backend": "disk-npz", "path": "/tmp/cold"},
+            log="/tmp/events.jsonl",
+            resolution=512,
+        )
+        assert ServeSpec.from_dict(spec.to_dict()) == spec
+        assert ServeSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        ) == spec
+
+    def test_defaults_are_the_historical_single_process_service(self):
+        from repro.api import ServeSpec
+
+        spec = ServeSpec()
+        assert spec.workers == 1
+        assert spec.store.backend == "none"
+        assert spec.shard_by == "blake2b"
+
+    def test_store_dict_and_shorthand_coerced(self, tmp_path):
+        from repro.api import ServeSpec, StoreSpec
+
+        spec = ServeSpec(
+            workers=2,
+            store={"backend": "disk-npz", "path": str(tmp_path)},
+        )
+        assert isinstance(spec.store, StoreSpec)
+        shorthand = ServeSpec(store="memory")
+        assert shorthand.store.backend == "memory"
+
+    def test_fleet_requires_cross_process_store(self):
+        from repro.api import ServeSpec
+
+        for backend in ("none", "memory"):
+            with pytest.raises(ValueError, match="cross-process"):
+                ServeSpec(workers=2, store=backend)
+
+    def test_invalid_fields_rejected(self):
+        from repro.api import ServeSpec
+
+        with pytest.raises(ValueError):
+            ServeSpec(port=70000)
+        with pytest.raises(ValueError):
+            ServeSpec(workers=0)
+        with pytest.raises(ValueError):
+            ServeSpec(shard_by="round-robin")
+        with pytest.raises(ValueError):
+            ServeSpec(resolution=1)
+
+    def test_unknown_fields_rejected(self):
+        from repro.api import ServeSpec
+
+        with pytest.raises(ValueError, match="wokers"):
+            ServeSpec.from_dict({"wokers": 2})
+
+    def test_content_key_is_byte_stable(self):
+        from repro.api import ServeSpec
+
+        a = ServeSpec(port=8080, workers=1)
+        b = ServeSpec.from_dict({"workers": 1, "port": 8080})
+        assert a.content_key() == b.content_key()

@@ -3,11 +3,13 @@
 import json
 
 from repro.service.bench import (
+    SessionCrowd,
     create_sessions,
     drive_sessions,
     instance_specs,
     make_crowds,
     run,
+    run_multi,
     session_results,
 )
 from repro.service.cache import TPOCache
@@ -48,6 +50,38 @@ class TestBenchPieces:
         assert manager.cache.misses == 2
         assert manager.cache.hits == 6
 
+    def test_session_crowd_is_a_pure_function(self):
+        from repro.service.bench import _session_crowds
+
+        specs = instance_specs(1, n=8, k=3, width=0.3)
+        crowd = _session_crowds(specs, [("s0000", 0)])[0]
+        assert isinstance(crowd, SessionCrowd)
+
+        class Question:
+            i, j = 0, 1
+
+        first = crowd.ask(Question())
+        again = crowd.ask(Question())
+        assert (first.holds, first.accuracy) == (again.holds, again.accuracy)
+        assert first.accuracy < 1.0  # reweight path, never a hard prune
+
+    def test_session_crowds_diverge_between_sessions(self):
+        from repro.service.bench import _session_crowds
+
+        specs = instance_specs(1, n=8, k=3, width=0.3)
+        plan = [(f"s{index:04d}", 0) for index in range(8)]
+        crowds = _session_crowds(specs, plan)
+
+        def transcript(crowd):
+            answers = []
+            for i in range(8):
+                for j in range(i + 1, 8):
+                    question = type("Q", (), {"i": i, "j": j})()
+                    answers.append(crowd.ask(question).holds)
+            return tuple(answers)
+
+        assert len({transcript(crowd) for crowd in crowds}) > 1
+
 
 class TestBenchRun:
     def test_smoke_run_passes_and_writes_artifact(self, tmp_path):
@@ -61,4 +95,17 @@ class TestBenchRun:
         # Provenance stamps for the perf trajectory.
         assert "git_sha" in artifact
         assert artifact["date"].endswith("+00:00")
+        assert artifact["gates"]["gated"] is False
+
+    def test_multi_smoke_run_passes_and_writes_artifact(self, tmp_path):
+        artifact_path = tmp_path / "BENCH_service_multi.json"
+        failures = run_multi(smoke=True, json_path=str(artifact_path))
+        assert failures == 0
+        artifact = json.loads(artifact_path.read_text())
+        assert artifact["benchmark"] == "bench_service_multi"
+        assert artifact["config"]["workers"] == 2  # smoke clamps the fleet
+        assert artifact["resume"]["identical"] is True
+        assert artifact["cold_hit_rate"] > 0
+        assert len(artifact["fleet"]["workers"]) == 2
+        assert "git_sha" in artifact
         assert artifact["gates"]["gated"] is False

@@ -68,6 +68,26 @@ class TestTPOCache:
         assert cache.hits == 0 and cache.misses == 2
         assert len(cache) == 0
 
+    def test_capacity_zero_is_pure_pass_through(self):
+        # Regression: a disabled cache must never churn the eviction
+        # counter (insert-then-immediately-evict) nor store the entry.
+        cache = TPOCache(capacity=0)
+        assert cache.enabled is False
+        distributions, build = make_instance()
+        space = build().to_space()
+        assert cache.lookup("a") is None
+        cache.insert("a", space)
+        assert cache.lookup("a") is None
+        assert len(cache) == 0
+        assert cache.evictions == 0
+        stats = cache.stats()
+        assert stats["enabled"] is False
+        assert stats["capacity"] == 0
+
+    def test_enabled_reported_in_stats(self):
+        assert TPOCache(capacity=2).stats()["enabled"] is True
+        assert TPOCache(capacity=2).enabled is True
+
     def test_negative_capacity_rejected(self):
         with pytest.raises(ValueError):
             TPOCache(capacity=-1)

@@ -135,7 +135,85 @@ class TestRequestModels:
         assert envelope.to_legacy_payload() == {"error": "gone"}
 
     def test_every_error_status_has_a_code(self):
-        assert set(ERROR_CODES) == {400, 404, 405, 409, 413, 500}
+        assert set(ERROR_CODES) == {400, 404, 405, 409, 413, 500, 502, 503}
+
+
+class TestTopologyModels:
+    def test_topology_default_is_single_process(self):
+        from repro.service.protocol import TopologyInfo
+
+        assert TopologyInfo().to_payload() == {
+            "role": "single",
+            "workers": 1,
+            "strategy": "blake2b",
+        }
+
+    def test_worker_topology_includes_shard(self):
+        from repro.service.protocol import TopologyInfo
+
+        payload = TopologyInfo(
+            role="worker", workers=4, shard=2
+        ).to_payload()
+        assert payload["role"] == "worker"
+        assert payload["shard"] == 2
+
+    def test_stats_response_keeps_flat_keys_and_adds_store(self):
+        from repro.service.protocol import StatsResponse
+
+        manager_stats = {
+            "sessions": {"active": 2, "closed": 1},
+            "cache": {"hits": 3, "misses": 1, "hit_rate": 0.75},
+            "rankings": {"computed": 5, "memo_hits": 0, "coalesced": 0},
+            "evaluations": 9,
+            "contradictions": 0,
+            "replay_skipped": 0,
+        }
+        payload = StatsResponse.from_manager_stats(
+            manager_stats, next_batches=2, next_requests=4
+        ).to_payload()
+        # Historical flat shape is intact…
+        assert payload["sessions"] == manager_stats["sessions"]
+        assert payload["cache"] == manager_stats["cache"]
+        assert payload["next_batches"] == 2
+        assert payload["next_requests"] == 4
+        # …and the typed additions ride alongside.
+        assert payload["store"] == manager_stats["cache"]
+        assert payload["topology"]["role"] == "single"
+
+    def test_cluster_stats_aggregates_workers(self):
+        from repro.service.protocol import (
+            ClusterStatsResponse,
+            TopologyInfo,
+        )
+
+        def worker(shard, hot_hits, cold_hits, builds):
+            return {
+                "shard": shard,
+                "sessions": {"active": 2},
+                "next_batches": 1,
+                "next_requests": 2,
+                "cache": {
+                    "hot": {"hits": hot_hits, "misses": 1},
+                    "cold": {"bytes": 100},
+                    "cold_hits": cold_hits,
+                    "cold_waited": 0,
+                    "builds": builds,
+                },
+            }
+
+        payload = ClusterStatsResponse(
+            topology=TopologyInfo(role="router", workers=2),
+            workers=[worker(0, 3, 0, 1), worker(1, 2, 1, 0)],
+        ).to_payload()
+        assert payload["sessions"] == {"active": 4}
+        assert payload["next_requests"] == 4
+        store = payload["store"]
+        assert store["hot_hits"] == 5
+        assert store["builds"] == 1
+        assert store["cold_hits"] == 1
+        assert store["cold_hit_rate"] == 0.5
+        assert store["bytes"] == 200
+        assert [w["shard"] for w in payload["workers"]] == [0, 1]
 
 
 class TestV1Endpoints:

@@ -229,3 +229,23 @@ class TestRoutes:
             assert listing["sessions"] == ["a"]
 
         with_server(scenario)
+
+    def test_single_process_topology_in_meta_and_stats(self):
+        # --workers 1 keeps the classic single-process server; its
+        # topology advertises exactly that, with no shard field.
+        async def scenario(host, port, manager):
+            status, meta = await http(host, port, "GET", "/v1/meta")
+            assert status == 200
+            assert meta["topology"] == {
+                "role": "single",
+                "workers": 1,
+                "strategy": "blake2b",
+            }
+            status, stats = await http(host, port, "GET", "/v1/stats")
+            assert status == 200
+            assert stats["topology"]["role"] == "single"
+            # The typed response exposes the store block alongside the
+            # historical flat cache keys.
+            assert stats["store"] == stats["cache"]
+
+        with_server(scenario)

@@ -156,6 +156,28 @@ class TestServiceCommands:
         assert code == 2
         assert "--resume requires --log" in capsys.readouterr().err
 
+    def test_serve_fleet_rejects_in_process_store(self, capsys):
+        code = main(["serve", "--workers", "2", "--store", "memory"])
+        assert code == 2
+        assert "cross-process" in capsys.readouterr().err
+
+    def test_serve_flags_build_a_serve_spec(self):
+        from repro.cli import _build_parser, _serve_spec_from_args
+
+        args = _build_parser().parse_args(
+            ["serve", "--workers", "4", "--log", "/tmp/events.jsonl"]
+        )
+        spec = _serve_spec_from_args(args)
+        assert spec.workers == 4
+        # A fleet defaults to the shared disk tier, keyed off the log.
+        assert spec.store.backend == "disk-npz"
+        assert spec.store.path == "/tmp/events.jsonl.store"
+
+        args = _build_parser().parse_args(["serve"])
+        spec = _serve_spec_from_args(args)
+        assert spec.workers == 1
+        assert spec.store.backend == "none"  # single process unchanged
+
     def test_bench_service_smoke(self, capsys, tmp_path):
         artifact = str(tmp_path / "BENCH_service.json")
         code = main(["bench-service", "--smoke", "--json", artifact])
