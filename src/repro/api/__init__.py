@@ -55,6 +55,7 @@ from repro.api.specs import (
     SHARD_STRATEGIES,
     BudgetSpec,
     CrowdSpec,
+    EngineSpec,
     InstanceSpec,
     MeasureSpec,
     PolicySpec,
@@ -89,6 +90,7 @@ __all__ = [
     "MeasureSpec",
     "CrowdSpec",
     "BudgetSpec",
+    "EngineSpec",
     "SessionSpec",
     "StoreSpec",
     "ServeSpec",

@@ -33,6 +33,7 @@ if TYPE_CHECKING:  # deferred: specs must import nothing heavy at runtime
     from repro.crowd.simulator import SimulatedCrowd
     from repro.distributions.base import ScoreDistribution
 
+from repro.api._deprecation import warn_deprecated
 from repro.api.canonical import canonical_json, content_key
 from repro.api.catalog import (
     CROWD_MODELS,
@@ -339,6 +340,93 @@ class BudgetSpec:
 
 
 @dataclass(frozen=True)
+class EngineSpec:
+    """A TPO construction engine by registry name, plus constructor args.
+
+    The single typed description of *how a tree is built* — exact
+    engines and anytime beams alike (``params`` carries ``beam_epsilon``
+    / ``beam_width`` for the latter, exactly as the builder constructors
+    spell them).  :meth:`signature_for` is the one canonical builder
+    fingerprint used for TPO cache keys: exact-mode engines produce the
+    exact dict shape the service has always hashed (``type`` /
+    ``min_probability`` / ``max_orderings`` / ``resolution``), and a
+    ``beam`` block is appended *only* when a beam is active — so every
+    historical cache key and event-log replay stays byte-identical.
+    """
+
+    name: str = "grid"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.name not in ENGINES:
+            ENGINES.get(self.name)  # raises UnknownNameError
+        object.__setattr__(
+            self, "params", _canonical_params(self.params, "engine")
+        )
+
+    # -- round trip ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "EngineSpec":
+        if isinstance(payload, str):  # shorthand: just the name
+            return cls(name=payload)
+        if isinstance(payload, EngineSpec):
+            return payload
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"engine spec must be a dict or name, "
+                f"got {type(payload).__name__}"
+            )
+        _require_keys(payload, {"name", "params"}, "engine spec")
+        return cls(
+            name=payload.get("name", "grid"),
+            params=payload.get("params", {}),
+        )
+
+    def canonical_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    def content_key(self) -> str:
+        """BLAKE2b content address of this engine configuration."""
+        return content_key(self.to_dict())
+
+    # -- construction --------------------------------------------------
+
+    def build(self) -> Any:
+        """Instantiate the engine via the ``ENGINES`` registry."""
+        return ENGINES.create(self.name, **self.params)
+
+    def signature(self) -> Dict[str, Any]:
+        """Canonical fingerprint of the engine this spec builds."""
+        return self.signature_for(self.build())
+
+    @staticmethod
+    def signature_for(builder: Any) -> Dict[str, Any]:
+        """Canonical cache fingerprint of a builder instance.
+
+        Exact-mode builders yield the historical four-key dict, so cache
+        content keys computed before beams existed still match; beam
+        builders append a ``beam`` block, keying their approximate trees
+        separately from exact ones.
+        """
+        signature: Dict[str, Any] = {
+            "type": type(builder).__name__,
+            "min_probability": builder.min_probability,
+            "max_orderings": builder.max_orderings,
+            "resolution": getattr(builder, "resolution", None),
+        }
+        if getattr(builder, "beam_active", False):
+            signature["beam"] = {
+                "epsilon": builder.beam_epsilon,
+                "width": builder.beam_width,
+            }
+        return signature
+
+
+@dataclass(frozen=True)
 class SessionSpec:
     """One complete crowd-powered top-K session, declaratively.
 
@@ -346,6 +434,13 @@ class SessionSpec:
     ``repro.api.run_session`` turns a :class:`SessionSpec` into a
     finished :class:`~repro.core.session.SessionResult`; the interactive
     service consumes the :attr:`instance` component.
+
+    The engine is configured with a typed :class:`EngineSpec` (pass one
+    — or its dict form — as ``engine``); the loose ``engine`` string +
+    ``engine_params`` dict pair remains as the storage/wire shape, and
+    passing a non-empty ``engine_params`` directly to the constructor is
+    deprecated.  :meth:`from_dict` replays historical payloads without
+    warning.
     """
 
     instance: InstanceSpec
@@ -353,7 +448,7 @@ class SessionSpec:
     measure: MeasureSpec = field(default_factory=MeasureSpec)
     crowd: CrowdSpec = field(default_factory=CrowdSpec)
     budget: BudgetSpec = field(default_factory=BudgetSpec)
-    engine: str = "grid"
+    engine: Any = "grid"
     engine_params: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -381,13 +476,25 @@ class SessionSpec:
             object.__setattr__(
                 self, "budget", BudgetSpec.from_dict(self.budget)
             )
-        if self.engine not in ENGINES:
-            ENGINES.get(self.engine)
-        object.__setattr__(
-            self,
-            "engine_params",
-            _canonical_params(self.engine_params, "engine"),
-        )
+        if isinstance(self.engine, (EngineSpec, Mapping)):
+            if self.engine_params:
+                raise ValueError(
+                    "pass engine parameters inside the EngineSpec, not "
+                    "through the deprecated engine_params field"
+                )
+            spec = EngineSpec.from_dict(self.engine)
+            object.__setattr__(self, "engine", spec.name)
+            object.__setattr__(self, "engine_params", dict(spec.params))
+        else:
+            if self.engine not in ENGINES:
+                ENGINES.get(self.engine)
+            params = _canonical_params(self.engine_params, "engine")
+            if params:
+                warn_deprecated(
+                    "SessionSpec(engine_params=...)",
+                    "repro.api.EngineSpec",
+                )
+            object.__setattr__(self, "engine_params", params)
 
     # -- round trip ----------------------------------------------------
 
@@ -423,14 +530,21 @@ class SessionSpec:
         )
         if "instance" not in payload:
             raise ValueError("session spec needs an 'instance' field")
+        # Replaying stored payloads must not warn: fold the historical
+        # engine + engine_params pair into a typed EngineSpec up front.
+        engine = payload.get("engine", "grid")
+        engine_params = payload.get("engine_params", {})
+        if not isinstance(engine, (EngineSpec, Mapping)) and engine_params:
+            engine = EngineSpec(name=engine, params=engine_params)
+            engine_params = {}
         return cls(
             instance=InstanceSpec.from_dict(payload["instance"]),
             policy=PolicySpec.from_dict(payload.get("policy", {})),
             measure=MeasureSpec.from_dict(payload.get("measure", {})),
             crowd=CrowdSpec.from_dict(payload.get("crowd", {})),
             budget=BudgetSpec.from_dict(payload.get("budget", {})),
-            engine=payload.get("engine", "grid"),
-            engine_params=payload.get("engine_params", {}),
+            engine=engine,
+            engine_params=engine_params,
         )
 
     def canonical_json(self) -> str:
@@ -443,9 +557,14 @@ class SessionSpec:
 
     # -- construction --------------------------------------------------
 
+    @property
+    def engine_spec(self) -> EngineSpec:
+        """The engine configuration as a typed :class:`EngineSpec`."""
+        return EngineSpec(name=self.engine, params=self.engine_params)
+
     def build_builder(self) -> Any:
         """Instantiate the configured TPO construction engine."""
-        return ENGINES.create(self.engine, **self.engine_params)
+        return self.engine_spec.build()
 
 
 #: Shard strategies the serve runtime understands (session key → worker).
@@ -659,6 +778,7 @@ __all__: List[str] = [
     "MeasureSpec",
     "CrowdSpec",
     "BudgetSpec",
+    "EngineSpec",
     "SessionSpec",
     "StoreSpec",
     "ServeSpec",

@@ -49,12 +49,12 @@ from repro.api import (
     prepare_session,
 )
 from repro.api.catalog import POLICIES, WORKLOADS
+from repro.api.specs import EngineSpec
 from repro.tpo.analysis import (
     overlap_statistics,
     profile_space,
     question_impact_table,
 )
-from repro.tpo.builders import GridBuilder
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -409,7 +409,7 @@ def _command_demo(args) -> int:
         policy=PolicySpec(args.policy),
         crowd=CrowdSpec(accuracy=args.accuracy),
         budget=BudgetSpec(args.budget),
-        engine_params={"resolution": 800},
+        engine=EngineSpec("grid", {"resolution": 800}),
     )
     prepared = prepare_session(spec)
     result = prepared.run()
@@ -451,7 +451,8 @@ def _command_inspect(args) -> int:
     print(f"workload: {args.workload}, n={args.n}")
     for key, value in stats.items():
         print(f"  {key}: {value:g}")
-    space = GridBuilder(resolution=800).build(scores, args.k).to_space()
+    engine = EngineSpec("grid", {"resolution": 800}).build()
+    space = engine.build(scores, args.k).to_space()
     print()
     print(profile_space(space).format())
     print()
@@ -516,7 +517,9 @@ def _command_serve(args) -> int:
         return 0
     kwargs = dict(
         cache=spec.store.build(),
-        builder=GridBuilder(resolution=spec.resolution),
+        builder=EngineSpec(
+            "grid", {"resolution": spec.resolution}
+        ).build(),
     )
     if args.resume:
         manager = SessionManager.resume(spec.log, **kwargs)

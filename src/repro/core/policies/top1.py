@@ -15,12 +15,18 @@ import numpy as np
 
 from repro.core.policies.base import OnlinePolicy
 from repro.questions.model import Question
-from repro.questions.residual import ResidualEvaluator
+from repro.questions.residual import ResidualEvaluator, select_min_residual
 from repro.tpo.space import OrderingSpace
 
 
 class Top1OnlinePolicy(OnlinePolicy):
-    """Greedy one-step-lookahead online selection."""
+    """Greedy one-step-lookahead online selection.
+
+    On a beam-approximate space, residuals within the measure's certified
+    interval width are treated as tied and the first in canonical order
+    wins (see :func:`select_min_residual`); on exact spaces this is the
+    historical ``argmin``.
+    """
 
     name = "T1-on"
 
@@ -35,7 +41,8 @@ class Top1OnlinePolicy(OnlinePolicy):
         if remaining_budget <= 0 or not candidates or space.is_certain:
             return None
         residuals = evaluator.rank_singles_batch(space, candidates)
-        return candidates[int(np.argmin(residuals))]
+        slack = evaluator.ranking_slack(space)
+        return candidates[select_min_residual(residuals, slack)]
 
 
 __all__ = ["Top1OnlinePolicy"]

@@ -26,10 +26,10 @@ from repro.crowd.simulator import SimulatedCrowd
 from repro.distributions.base import ScoreDistribution
 from repro.questions.candidates import all_pair_questions, relevant_questions
 from repro.questions.model import Answer, Question
-from repro.questions.residual import ResidualEvaluator
+from repro.questions.residual import ResidualEvaluator, select_min_residual
 from repro.questions.transitive import InferenceCache
 from repro.rank.kendall import DEFAULT_PENALTY, expected_topk_distance
-from repro.tpo.builders import GridBuilder, TPOBuilder
+from repro.tpo.builders import ENGINES, TPOBuilder
 from repro.tpo.space import OrderingSpace
 from repro.uncertainty.base import UncertaintyMeasure
 from repro.uncertainty.entropy import EntropyMeasure
@@ -129,7 +129,9 @@ class UncertaintyReductionSession:
         self.distributions = list(distributions)
         self.k = min(k, len(self.distributions))
         self.crowd = crowd
-        self.builder = builder if builder is not None else GridBuilder()
+        self.builder = (
+            builder if builder is not None else ENGINES.create("grid")
+        )
         self.measure = measure if measure is not None else EntropyMeasure()
         self.evaluator = ResidualEvaluator(self.measure)
         self.penalty = penalty
@@ -476,15 +478,19 @@ class InteractiveSession:
 
         Ties resolve to the first candidate in canonical pair order, so the
         choice is deterministic — a restored session asks exactly the
-        questions the uninterrupted one would.  ``ranking`` short-circuits
-        the computation with a precomputed (possibly shared) ranking.
+        questions the uninterrupted one would.  On a beam-approximate
+        space, residuals within the measure's certified interval width
+        count as tied (:func:`select_min_residual`); exact spaces keep
+        the historical plain ``argmin``.  ``ranking`` short-circuits the
+        computation with a precomputed (possibly shared) ranking.
         """
         if ranking is None:
             ranking = self.ranking()
         candidates, residuals = ranking
         if len(candidates) == 0:
             return None
-        return candidates[int(np.argmin(residuals))]
+        slack = self.evaluator.ranking_slack(self.space)
+        return candidates[select_min_residual(residuals, slack)]
 
     def submit_answer(
         self, question: Question, holds: bool, accuracy: float = 1.0

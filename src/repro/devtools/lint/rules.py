@@ -1,4 +1,4 @@
-"""The built-in domain rules, RPL001–RPL008.
+"""The built-in domain rules, RPL001–RPL009.
 
 Each rule encodes one correctness *convention* the code base relies on —
 things a generic linter cannot know, and that used to live only in review
@@ -558,6 +558,61 @@ class MutableDefaultRule(Rule):
                 )
 
 
+#: The concrete TPO engine classes whose construction is spec-gated.
+_ENGINE_CLASSES = frozenset(
+    {"GridBuilder", "ExactBuilder", "MonteCarloBuilder"}
+)
+
+
+@LINT_RULES.register("RPL009")
+class EngineSpecConstructionRule(Rule):
+    """TPO engines are constructed through ``EngineSpec`` / ``ENGINES``.
+
+    Cache keys, event-log replay, and the sharded runtime all fingerprint
+    builders through ``EngineSpec.signature_for``; a ``GridBuilder(...)``
+    call sprinkled elsewhere ships configuration (resolution, beam
+    epsilon/width) that no spec records, so an equal-looking deployment
+    silently stops sharing TPOs — or worse, replays against a
+    differently-shaped tree.  Construct via
+    ``EngineSpec(name, params).build()`` or ``ENGINES.create(name, ...)``.
+    """
+
+    code = "RPL009"
+    name = "engines-built-from-specs"
+    rationale = (
+        "direct engine construction bypasses the EngineSpec fingerprint "
+        "that cache keys and replay depend on"
+    )
+
+    #: The spec layer itself, the defining module, and the subclass-heavy
+    #: test-support reference path.
+    ALLOWED = frozenset(
+        {
+            "src/repro/api/specs.py",
+            "src/repro/tpo/builders.py",
+            "src/repro/tpo/_reference.py",
+        }
+    )
+
+    def visit_node(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Violation]:
+        if ctx.path in self.ALLOWED or not isinstance(node, ast.Call):
+            return
+        callee = dotted_name(node.func)
+        if not callee:
+            return
+        leaf = callee.rsplit(".", 1)[-1]
+        if leaf in _ENGINE_CLASSES:
+            yield self.violation(
+                node,
+                ctx,
+                f"direct {leaf}(...) construction; build engines through "
+                "repro.api.EngineSpec(...).build() or ENGINES.create() so "
+                "the builder fingerprint stays canonical",
+            )
+
+
 __all__ = [
     "SeededRngRule",
     "ContentKeyRule",
@@ -567,4 +622,5 @@ __all__ = [
     "NoDeprecatedShimRule",
     "TornTailAppendRule",
     "MutableDefaultRule",
+    "EngineSpecConstructionRule",
 ]

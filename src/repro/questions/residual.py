@@ -60,6 +60,31 @@ def _rows_per_chunk(size: int, cap: int = 4096) -> int:
     return max(1, min(cap, (1 << 24) // max(size, 1)))
 
 
+def select_min_residual(
+    residuals: np.ndarray, slack: float = 0.0
+) -> int:
+    """Index of the chosen candidate under interval-aware tie-breaking.
+
+    With ``slack == 0`` this is exactly ``argmin`` (first minimum in
+    canonical candidate order — the historical deterministic rule).  On a
+    beam-approximate space residuals are only known to within the
+    measure's certified interval width, so candidates within ``slack`` of
+    the minimum are treated as tied and the first of them in canonical
+    order wins — selection cannot flap on noise the approximation itself
+    introduced.  An infinite ``slack`` (the conservative base-measure
+    fallback) therefore picks the first candidate.
+    """
+    residuals = np.asarray(residuals, dtype=float)
+    if residuals.size == 0:
+        raise ValueError("no candidates to select from")
+    if slack <= 0.0:
+        return int(np.argmin(residuals))
+    if not np.isfinite(slack):
+        return 0
+    best = float(residuals.min())
+    return int(np.flatnonzero(residuals <= best + slack)[0])
+
+
 class ResidualEvaluator:
     """Evaluates expected residual uncertainty under a fixed measure.
 
@@ -84,6 +109,28 @@ class ResidualEvaluator:
         """``U(T)`` itself (counted like any other evaluation)."""
         self.evaluations += 1
         return self.measure(space)
+
+    def uncertainty_interval(
+        self, space: OrderingSpace
+    ) -> "tuple[float, float]":
+        """Certified ``[lo, hi]`` for ``U(T)`` (see
+        :meth:`UncertaintyMeasure.evaluate_interval`)."""
+        self.evaluations += 1
+        return self.measure.evaluate_interval(space)
+
+    def ranking_slack(self, space: OrderingSpace) -> float:
+        """Indifference slack for candidate selection on ``space``.
+
+        Exact spaces get ``0.0`` — selection reduces to the historical
+        ``argmin`` with zero extra measure work.  On a beam-approximate
+        space the certified interval width of the measure bounds how far
+        any residual can be from its exact value, so residuals closer
+        than that are genuinely indistinguishable.
+        """
+        if space.lost_mass <= 0.0:
+            return 0.0
+        lo, hi = self.uncertainty_interval(space)
+        return float(hi - lo)
 
     def single(self, space: OrderingSpace, question: Question) -> float:
         """``R_q(T) = Pr(yes)·U(T|yes) + Pr(no)·U(T|no)``.
@@ -489,4 +536,4 @@ class ResidualEvaluator:
         return space.reweight_by_answer(question.i, question.j, holds, accuracy)
 
 
-__all__ = ["ResidualEvaluator"]
+__all__ = ["ResidualEvaluator", "select_min_residual"]

@@ -42,12 +42,12 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.canonical import content_key
-from repro.api.specs import InstanceSpec
+from repro.api.specs import EngineSpec, InstanceSpec
 from repro.crowd.oracle import GroundTruth
 from repro.crowd.simulator import SimulatedCrowd
 from repro.service.cache import TPOCache
 from repro.service.manager import SessionManager
-from repro.tpo.builders import GridBuilder
+from repro.tpo.builders import TPOBuilder
 from repro.utils.provenance import artifact_stamp
 from repro.utils.rng import derive_seed, ensure_rng
 
@@ -90,8 +90,8 @@ def make_crowds(specs: Sequence[Dict[str, Any]]) -> List[SimulatedCrowd]:
     return crowds
 
 
-def _fresh_builder(resolution: int) -> GridBuilder:
-    return GridBuilder(resolution=resolution)
+def _fresh_builder(resolution: int) -> TPOBuilder:
+    return EngineSpec("grid", {"resolution": resolution}).build()
 
 
 def create_sessions(

@@ -32,6 +32,7 @@ manager re-materializes identical instances from the log alone.
 from __future__ import annotations
 
 import json
+import math
 import secrets
 import threading
 from collections import OrderedDict
@@ -43,14 +44,14 @@ if TYPE_CHECKING:  # avoid importing the store stack at runtime
     from repro.service.store import SpaceStore
 
 from repro.api._deprecation import warn_deprecated
-from repro.api.specs import InstanceSpec, as_instance_spec
+from repro.api.specs import EngineSpec, InstanceSpec, as_instance_spec
 from repro.core.session import InteractiveSession
 from repro.distributions.base import ScoreDistribution
 from repro.experiments.store import ensure_trailing_newline
 from repro.questions.model import Question
 from repro.questions.residual import ResidualEvaluator
 from repro.service.cache import TPOCache, instance_key
-from repro.tpo.builders import GridBuilder, TPOBuilder
+from repro.tpo.builders import TPOBuilder
 from repro.uncertainty.base import UncertaintyMeasure
 from repro.uncertainty.entropy import EntropyMeasure
 
@@ -93,13 +94,14 @@ def materialize_instance(spec: Dict[str, Any]) -> List[ScoreDistribution]:
 
 
 def builder_signature(builder: TPOBuilder) -> Dict[str, Any]:
-    """The builder configuration fields that shape the built TPO."""
-    return {
-        "type": type(builder).__name__,
-        "min_probability": builder.min_probability,
-        "max_orderings": builder.max_orderings,
-        "resolution": getattr(builder, "resolution", None),
-    }
+    """The builder configuration fields that shape the built TPO.
+
+    Delegates to :meth:`repro.api.EngineSpec.signature_for` — the single
+    canonical definition of the builder fingerprint — so cache keys
+    computed here, by the sharded runtime, and by callers hashing an
+    :class:`~repro.api.EngineSpec` directly always agree.
+    """
+    return EngineSpec.signature_for(builder)
 
 
 # ----------------------------------------------------------------------
@@ -254,7 +256,9 @@ class SessionManager:
         if ranking_memo_size < 0:
             raise ValueError("ranking_memo_size must be >= 0")
         self.cache = cache if cache is not None else TPOCache()
-        self.builder = builder if builder is not None else GridBuilder()
+        self.builder = (
+            builder if builder is not None else EngineSpec().build()
+        )
         self.measure = measure if measure is not None else EntropyMeasure()
         self.evaluator = ResidualEvaluator(self.measure)
         self.ranking_memo_size = int(ranking_memo_size)
@@ -459,6 +463,41 @@ class SessionManager:
 
     # -- inspection ----------------------------------------------------
 
+    @property
+    def engine_key(self) -> str:
+        """Content address of the shared engine configuration."""
+        key = getattr(self, "_engine_key", None)
+        if key is None:
+            key = instance_key({"builder": builder_signature(self.builder)})
+            self._engine_key = key
+        return key
+
+    def approximation(self, session_id: str) -> Optional[Dict[str, Any]]:
+        """Typed approximation metadata for one session, or ``None``.
+
+        Exact sessions (the historical default — zero certified lost
+        mass) return ``None`` so their responses carry no new keys.
+        Beam-approximate sessions report the space's certified
+        ``lost_mass``, the measure's certified ``value_interval`` (or
+        ``None`` when only the vacuous bound is available), and the
+        ``engine_key`` identifying the beam configuration.
+        """
+        managed = self._get(session_id)
+        space = managed.session.space
+        if space.lost_mass <= 0.0:
+            return None
+        lo, hi = self.evaluator.uncertainty_interval(space)
+        interval = (
+            [float(lo), float(hi)]
+            if math.isfinite(lo) and math.isfinite(hi)
+            else None
+        )
+        return {
+            "lost_mass": float(space.lost_mass),
+            "value_interval": interval,
+            "engine_key": self.engine_key,
+        }
+
     def questions_asked(self, session_id: str) -> int:
         """Answers applied so far (cheap — no snapshot materialization)."""
         return self._get(session_id).session.questions_asked
@@ -483,7 +522,7 @@ class SessionManager:
         by_status: Dict[str, int] = {}
         for managed in self._sessions.values():
             by_status[managed.status] = by_status.get(managed.status, 0) + 1
-        return {
+        stats = {
             "sessions": by_status,
             "cache": self.cache.stats(),
             "rankings": {
@@ -495,6 +534,18 @@ class SessionManager:
             "contradictions": self.evaluator.contradictions,
             "replay_skipped": self.replay_skipped,
         }
+        if getattr(self.builder, "beam_active", False):
+            lost = [
+                managed.session.space.lost_mass
+                for managed in self._sessions.values()
+                if managed.status == "active"
+            ]
+            stats["approximation"] = {
+                "lost_mass": max(lost, default=0.0),
+                "value_interval": None,
+                "engine_key": self.engine_key,
+            }
+        return stats
 
     # -- durability ----------------------------------------------------
 

@@ -187,17 +187,76 @@ class SessionListResponse:
 
 
 @dataclass(frozen=True)
+class ApproximationInfo:
+    """Certified approximation metadata of a beam-built session.
+
+    Attached only when the underlying TPO is approximate (certified
+    ``lost_mass`` > 0), so exact-mode responses are byte-identical to the
+    historical shape.  ``value_interval`` is the measure's certified
+    ``[lo, hi]`` bracket on the true uncertainty value, or ``None`` when
+    only the vacuous bound is available; ``engine_key`` content-addresses
+    the beam configuration that produced the tree.
+    """
+
+    lost_mass: float
+    engine_key: str
+    value_interval: Optional[List[float]] = None
+
+    @classmethod
+    def from_dict(
+        cls, payload: Optional[Mapping[str, Any]]
+    ) -> Optional["ApproximationInfo"]:
+        """Lift a manager ``approximation()`` dict (or ``None``)."""
+        if payload is None:
+            return None
+        interval = payload.get("value_interval")
+        return cls(
+            lost_mass=float(payload["lost_mass"]),
+            engine_key=str(payload["engine_key"]),
+            value_interval=(
+                None if interval is None else [float(v) for v in interval]
+            ),
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "lost_mass": self.lost_mass,
+            "value_interval": (
+                None
+                if self.value_interval is None
+                else list(self.value_interval)
+            ),
+            "engine_key": self.engine_key,
+        }
+
+
+@dataclass(frozen=True)
 class NextQuestionResponse:
-    """Either the next question, or ``done`` when the session settled."""
+    """Either the next question, or ``done`` when the session settled.
+
+    ``approximation`` is populated only for beam-approximate sessions;
+    exact sessions keep the historical two-key payload.
+    """
 
     session_id: str
     question: Optional[Tuple[int, int]] = None
+    approximation: Optional[ApproximationInfo] = None
 
     def to_payload(self) -> Dict[str, Any]:
         if self.question is None:
-            return {"session_id": self.session_id, "done": True}
-        i, j = self.question
-        return {"session_id": self.session_id, "question": {"i": i, "j": j}}
+            payload: Dict[str, Any] = {
+                "session_id": self.session_id,
+                "done": True,
+            }
+        else:
+            i, j = self.question
+            payload = {
+                "session_id": self.session_id,
+                "question": {"i": i, "j": j},
+            }
+        if self.approximation is not None:
+            payload["approximation"] = self.approximation.to_payload()
+        return payload
 
 
 @dataclass(frozen=True)
@@ -316,6 +375,7 @@ class StatsResponse:
     next_batches: int
     next_requests: int
     topology: TopologyInfo = field(default_factory=TopologyInfo)
+    approximation: Optional[ApproximationInfo] = None
 
     @classmethod
     def from_manager_stats(
@@ -335,10 +395,13 @@ class StatsResponse:
             next_batches=next_batches,
             next_requests=next_requests,
             topology=topology if topology is not None else TopologyInfo(),
+            approximation=ApproximationInfo.from_dict(
+                stats.get("approximation")
+            ),
         )
 
     def to_payload(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "sessions": dict(self.sessions),
             "cache": dict(self.cache),
             "store": dict(self.cache),
@@ -350,6 +413,9 @@ class StatsResponse:
             "next_requests": self.next_requests,
             "topology": self.topology.to_payload(),
         }
+        if self.approximation is not None:
+            payload["approximation"] = self.approximation.to_payload()
+        return payload
 
 
 @dataclass(frozen=True)
@@ -413,13 +479,19 @@ class ClusterStatsResponse:
 
 @dataclass(frozen=True)
 class MetaResponse:
-    """``GET /v1/meta`` — what this service instance can build and serve."""
+    """``GET /v1/meta`` — what this service instance can build and serve.
+
+    ``beam_engines`` names the registered TPO engines that accept the
+    anytime beam parameters (``beam_epsilon`` / ``beam_width``) — every
+    flat builder does, so today it mirrors the engine registry.
+    """
 
     protocol: str
     version: str
     plugins: Dict[str, List[str]]
     endpoints: List[Dict[str, str]]
     topology: TopologyInfo = field(default_factory=TopologyInfo)
+    beam_engines: List[str] = field(default_factory=list)
 
     def to_payload(self) -> Dict[str, Any]:
         return {
@@ -428,6 +500,7 @@ class MetaResponse:
             "plugins": {k: list(v) for k, v in self.plugins.items()},
             "endpoints": [dict(e) for e in self.endpoints],
             "topology": self.topology.to_payload(),
+            "beam_engines": list(self.beam_engines),
         }
 
 
@@ -441,6 +514,7 @@ __all__ = [
     "AnswerRequest",
     "CreateSessionResponse",
     "SessionListResponse",
+    "ApproximationInfo",
     "NextQuestionResponse",
     "AnswerResponse",
     "SnapshotResponse",

@@ -68,6 +68,7 @@ from repro.service.protocol import (
     REASON_PHRASES,
     AnswerRequest,
     AnswerResponse,
+    ApproximationInfo,
     CloseSessionResponse,
     CreateSessionRequest,
     CreateSessionResponse,
@@ -304,6 +305,7 @@ async def _handle_meta(ctx: Context) -> Dict[str, Any]:
         plugins=plugins,
         endpoints=endpoints,
         topology=ctx.topology,
+        beam_engines=plugins.get("engines", []),
     ).to_payload()
 
 
@@ -358,6 +360,9 @@ async def _handle_next(ctx: Context) -> Dict[str, Any]:
     return NextQuestionResponse(
         session_id=sid,
         question=None if question is None else (question.i, question.j),
+        approximation=ApproximationInfo.from_dict(
+            ctx.manager.approximation(sid)
+        ),
     ).to_payload()
 
 

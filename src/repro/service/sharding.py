@@ -102,10 +102,10 @@ def build_worker_manager(
     spec: ServeSpec, shard: int, resume: bool = False
 ) -> SessionManager:
     """One shard's session manager: two-tier store + per-shard log."""
-    from repro.tpo.builders import GridBuilder
+    from repro.api.specs import EngineSpec
 
     store = spec.store.build()
-    builder = GridBuilder(resolution=spec.resolution)
+    builder = EngineSpec("grid", {"resolution": spec.resolution}).build()
     log = worker_log_path(spec.log, shard)
     if resume and log is not None and log.exists():
         return SessionManager.resume(log, cache=store, builder=builder)

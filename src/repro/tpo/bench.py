@@ -13,9 +13,13 @@ gated the same way the batched selection step and the service layer are:
 
 Monte Carlo build throughput is measured alongside (informational, no
 gate — its group-by was batched in the same refactor but has no preserved
-baseline).  Exit status is non-zero when a gate fails, so CI can gate on
-it; ``--json PATH`` writes the measurements as a provenance-stamped
-artifact (``BENCH_engines.json`` in CI) for regression tracking.
+baseline).  A third section exercises the **anytime beam**: an N=200
+instance whose exact grid build overflows ``max_orderings`` must build to
+full depth under ``beam_epsilon`` with certified lost mass within the
+per-level budget (``lost_mass ≤ ε·K``).  Exit status is non-zero when a
+gate fails, so CI can gate on it; ``--json PATH`` writes the measurements
+as a provenance-stamped artifact (``BENCH_engines.json`` in CI) for
+regression tracking.
 
 Run:  PYTHONPATH=src python benchmarks/bench_engines.py [--smoke] [--json PATH]
       (or: python -m repro bench-engines [--smoke] [--json PATH])
@@ -31,8 +35,9 @@ from typing import Any, Callable, Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.api.catalog import ENGINES
 from repro.tpo._reference import ReferenceGridBuilder
-from repro.tpo.builders import GridBuilder, MonteCarloBuilder
+from repro.tpo.builders import TPOSizeError
 from repro.tpo.space import OrderingSpace
 from repro.utils.provenance import artifact_stamp
 from repro.workloads.synthetic import uniform_intervals
@@ -76,6 +81,68 @@ def leaf_parity(flat: OrderingSpace, reference: OrderingSpace) -> Dict[str, Any]
     }
 
 
+#: The beam section's instance: exact grid construction overflows the
+#: ordering cap, the ε-beam builds it anytime with certified lost mass.
+BEAM_N = 200
+BEAM_K = 5
+BEAM_WIDTH = 0.05
+BEAM_RESOLUTION = 128
+BEAM_MAX_ORDERINGS = 20000
+BEAM_EPSILON = 0.02
+
+
+def beam_section(repetitions: int = 1) -> Dict[str, Any]:
+    """Anytime-beam reachability measurements (cheap; runs in smoke too).
+
+    Gates: the exact grid engine must *fail* on the instance (otherwise
+    the section measures nothing), the ε-beam engine must reach full
+    depth K, and its certified loss must respect the per-level budget
+    ``lost_mass ≤ ε·K``.
+    """
+    workload = uniform_intervals(BEAM_N, width=BEAM_WIDTH, rng=2016)
+    exact_overflows = False
+    try:
+        ENGINES.create(
+            "grid",
+            resolution=BEAM_RESOLUTION,
+            max_orderings=BEAM_MAX_ORDERINGS,
+        ).build(workload, BEAM_K)
+    except TPOSizeError:
+        exact_overflows = True
+    beam_builder = ENGINES.create(
+        "grid",
+        resolution=BEAM_RESOLUTION,
+        max_orderings=BEAM_MAX_ORDERINGS,
+        beam_epsilon=BEAM_EPSILON,
+    )
+    tree = beam_builder.build(workload, BEAM_K)
+    beam_time = best_of(
+        lambda: beam_builder.build(workload, BEAM_K), repetitions
+    )
+    budget = BEAM_EPSILON * BEAM_K
+    return {
+        "config": {
+            "n": BEAM_N,
+            "k": BEAM_K,
+            "width": BEAM_WIDTH,
+            "resolution": BEAM_RESOLUTION,
+            "max_orderings": BEAM_MAX_ORDERINGS,
+            "beam_epsilon": BEAM_EPSILON,
+        },
+        "exact_overflows": exact_overflows,
+        "reached_depth": tree.built_depth,
+        "reachable_leaves": int(tree.levels[-1].width),
+        "lost_mass": float(tree.lost_mass),
+        "lost_mass_budget": budget,
+        "beam_seconds": beam_time,
+        "within_budget": (
+            exact_overflows
+            and tree.built_depth == BEAM_K
+            and tree.lost_mass <= budget
+        ),
+    }
+
+
 def run(
     n: int = 18,
     k: int = 6,
@@ -92,12 +159,14 @@ def run(
         mc_samples, repetitions = 20000, 1
     workload = uniform_intervals(n, width=width, rng=2016)
 
-    flat_builder = GridBuilder(resolution=resolution, max_orderings=500000)
+    flat_builder = ENGINES.create(
+        "grid", resolution=resolution, max_orderings=500000
+    )
     reference_builder = ReferenceGridBuilder(
         resolution=resolution, max_orderings=500000
     )
-    mc_builder = MonteCarloBuilder(
-        samples=mc_samples, seed=2016, max_orderings=500000
+    mc_builder = ENGINES.create(
+        "mc", samples=mc_samples, seed=2016, max_orderings=500000
     )
 
     flat_space = flat_builder.build(workload, k).to_space()
@@ -125,12 +194,24 @@ def run(
     print(f"mc ({mc_samples} samples): {mc_time:8.3f}s / build")
     print(f"speedup      : {speedup:6.2f}x (flat over pointer baseline)")
 
+    beam = beam_section(repetitions=repetitions)
+    print(
+        f"beam ε={BEAM_EPSILON} : N={BEAM_N} K={BEAM_K} → "
+        f"{beam['reachable_leaves']} reachable leaves in "
+        f"{beam['beam_seconds']:.3f}s, lost mass "
+        f"{beam['lost_mass']:.4f} ≤ {beam['lost_mass_budget']:.4f} "
+        f"(exact overflows: {beam['exact_overflows']})"
+    )
+
     failures = 0
     if not parity["within_tolerance"]:
         print(f"  FAIL: grid paths disagree beyond {PARITY_ATOL}")
         failures += 1
     if not smoke and speedup < SPEEDUP_FLOOR:
         print(f"  FAIL: speedup below the {SPEEDUP_FLOOR}x floor")
+        failures += 1
+    if not beam["within_budget"]:
+        print("  FAIL: beam section missed a reachability/loss gate")
         failures += 1
 
     if json_path is not None:
@@ -151,6 +232,7 @@ def run(
             "grid_pointer_seconds": reference_time,
             "mc_seconds": mc_time,
             "speedup": speedup,
+            "beam": beam,
             "gates": {
                 "parity_atol": PARITY_ATOL,
                 "speedup_floor": SPEEDUP_FLOOR,
@@ -203,4 +285,4 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
 
 
-__all__ = ["run", "main", "leaf_parity", "best_of"]
+__all__ = ["run", "main", "leaf_parity", "best_of", "beam_section"]

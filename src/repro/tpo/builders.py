@@ -25,6 +25,26 @@ Three interchangeable engines:
 * :class:`MonteCarloBuilder` — empirical tree over joint score samples;
   used for cross-validation and very large instances.
 
+The engines deliberately ship different ``min_probability`` defaults —
+grid ``1e-9`` (matches its integration error), exact ``1e-12`` (the
+polynomial calculus is precise enough to keep far smaller branches), and
+Monte Carlo ``0.0`` (an empirical count is either zero or at least
+``1/samples``, so a threshold would silently shadow the sample budget).
+The defaults are part of the engine signature that keys the TPO cache
+(see :meth:`repro.api.specs.EngineSpec.signature_for`) and are pinned by
+the dtype/default contract tests.
+
+**Anytime beam.**  Every engine also supports a mass-bounded beam:
+``beam_epsilon`` is a per-level lost-mass budget (the lightest candidate
+children are dropped while the level's cumulative dropped mass stays
+within it) and ``beam_width`` caps each level at the W heaviest
+children.  Because sibling masses partition their parent's mass, the
+dropped prefix mass is an exact upper bound on the ordering mass lost
+through the dropped subtrees, so a beam build certifies
+``tree.lost_mass ≤ beam_epsilon · levels`` (when the width cap does not
+bind) and every retained ordering keeps its exact mass.  With the beam
+off, construction is bit-identical to the exact path.
+
 The retired pointer-chasing grid path survives in
 :mod:`repro.tpo._reference` as the parity oracle and the baseline of the
 ``bench-engines`` regression gate.
@@ -33,7 +53,7 @@ The retired pointer-chasing grid path survives in
 from __future__ import annotations
 
 import abc
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -66,7 +86,8 @@ class TPOSizeError(RuntimeError):
 
     Exponentially bushy trees are the motivation for the paper's ``incr``
     algorithm; this guard turns an out-of-memory crash into an actionable
-    error suggesting a narrower workload, a smaller K, or ``incr``.
+    error suggesting a narrower workload, a smaller K, ``incr``, or the
+    anytime beam (``beam_epsilon`` / ``beam_width``).
     """
 
 
@@ -84,13 +105,28 @@ class TPOBuilder(abc.ABC):
         self,
         min_probability: float = 1e-9,
         max_orderings: int = 200000,
+        beam_epsilon: float = 0.0,
+        beam_width: Optional[int] = None,
     ) -> None:
         if min_probability < 0:
             raise ValueError("min_probability must be non-negative")
         if max_orderings < 1:
             raise ValueError("max_orderings must be positive")
+        if not 0.0 <= beam_epsilon < 1.0:
+            raise ValueError(
+                f"beam_epsilon must lie in [0, 1), got {beam_epsilon}"
+            )
+        if beam_width is not None and beam_width < 1:
+            raise ValueError(f"beam_width must be >= 1, got {beam_width}")
         self.min_probability = min_probability
         self.max_orderings = max_orderings
+        self.beam_epsilon = float(beam_epsilon)
+        self.beam_width = beam_width
+
+    @property
+    def beam_active(self) -> bool:
+        """True when either anytime-beam knob is engaged."""
+        return self.beam_epsilon > 0.0 or self.beam_width is not None
 
     def _check_size(self, tree: TPOTree, level_width: int) -> None:
         """Abort level construction that exceeds ``max_orderings``."""
@@ -98,8 +134,66 @@ class TPOBuilder(abc.ABC):
             raise TPOSizeError(
                 f"TPO level {tree.built_depth + 1} holds {level_width} "
                 f"orderings, above the limit of {self.max_orderings}; "
-                "narrow the score pdfs, lower k, or use the incr algorithm"
+                "narrow the score pdfs, lower k, use the incr algorithm, "
+                "or build anytime with a beam (try beam_epsilon=1e-3 per "
+                f"level, or beam_width={self.max_orderings}) for a "
+                "certified approximation"
             )
+
+    def _apply_beam(
+        self, probs: np.ndarray, keep: np.ndarray
+    ) -> Tuple[np.ndarray, Optional[Tuple[float, float, int]]]:
+        """Apply the anytime beam to one level's candidate children.
+
+        ``probs``/``keep`` are flat, parent-major-aligned arrays of every
+        candidate child's prefix mass and the ``min_probability``
+        survivor mask.  The beam (a) drops the lightest survivors while
+        the level's cumulative dropped mass — counting what
+        ``min_probability`` already discarded — stays within the
+        ``beam_epsilon`` budget, and (b) caps the level at the
+        ``beam_width`` heaviest survivors.  Both steps break mass ties
+        toward keeping the earlier (parent-major) child, so beam builds
+        are deterministic.  At least one child always survives.
+
+        Returns ``(keep, loss)`` where ``loss`` is the
+        ``(mass, node_max, count)`` triple for
+        :meth:`TPOTree.record_level_loss`, or ``None`` when the beam is
+        off (the mask is returned untouched) or nothing was dropped.
+        """
+        probs = np.asarray(probs, dtype=float).reshape(-1)
+        keep = np.asarray(keep, dtype=bool).reshape(-1)
+        if not self.beam_active:
+            return keep, None
+        keep = keep.copy()
+        total = float(probs.sum())
+        dropped_mass = total - float(probs[keep].sum())
+        if self.beam_epsilon > 0.0:
+            survivors = np.flatnonzero(keep)
+            if survivors.size > 1:
+                order = np.argsort(probs[survivors], kind="stable")
+                cumulative = dropped_mass + np.cumsum(
+                    probs[survivors[order]]
+                )
+                cut = int(
+                    np.searchsorted(
+                        cumulative, self.beam_epsilon, side="right"
+                    )
+                )
+                cut = min(cut, survivors.size - 1)
+                if cut > 0:
+                    keep[survivors[order[:cut]]] = False
+        if self.beam_width is not None:
+            survivors = np.flatnonzero(keep)
+            if survivors.size > self.beam_width:
+                order = np.argsort(-probs[survivors], kind="stable")
+                keep[survivors[order[self.beam_width :]]] = False
+        dropped = ~keep & (probs > 0.0)
+        if not dropped.any():
+            return keep, None
+        lost = float(probs[dropped].sum())
+        if lost <= 0.0:
+            return keep, None
+        return keep, (lost, float(probs[dropped].max()), int(dropped.sum()))
 
     def build(self, distributions: Sequence[ScoreDistribution], k: int) -> TPOTree:
         """Materialize the full depth-K tree of possible orderings."""
@@ -174,8 +268,12 @@ class GridBuilder(TPOBuilder):
         resolution: int = 1024,
         min_probability: float = 1e-9,
         max_orderings: int = 200000,
+        beam_epsilon: float = 0.0,
+        beam_width: Optional[int] = None,
     ) -> None:
-        super().__init__(min_probability, max_orderings)
+        super().__init__(
+            min_probability, max_orderings, beam_epsilon, beam_width
+        )
         if resolution < 8:
             raise ValueError(f"resolution must be >= 8, got {resolution}")
         self.resolution = resolution
@@ -216,6 +314,7 @@ class GridBuilder(TPOBuilder):
         )
         probs = np.empty((width, m), dtype=np.float64)
         created = 0
+        anytime = self.beam_active
         for group in range(sets.shape[0]):
             rows = order[bounds[group] : bounds[group + 1]]
             cand = sets[group]
@@ -226,9 +325,20 @@ class GridBuilder(TPOBuilder):
             )
             block = tails[rows] @ integrand.T  # (W_g, m)
             probs[rows] = block
-            created += int(np.count_nonzero(block > self.min_probability))
-            self._check_size(tree, created)
-        keep_rows, keep_cols = np.nonzero(probs > self.min_probability)
+            if not anytime:
+                # The incremental count aborts runaway levels before all
+                # groups are computed; a beam decides what survives only
+                # once the whole level is known, so it checks post-beam.
+                created += int(
+                    np.count_nonzero(block > self.min_probability)
+                )
+                self._check_size(tree, created)
+        keep_flat, loss = self._apply_beam(
+            probs, probs.ravel() > self.min_probability
+        )
+        if anytime:
+            self._check_size(tree, int(np.count_nonzero(keep_flat)))
+        keep_rows, keep_cols = np.nonzero(keep_flat.reshape(width, m))
         child_tuples = remaining[keep_rows, keep_cols]
         if depth + 1 < tree.k:
             # Child prefix densities h_{d+1} = f_t · T(h_d), kept rows
@@ -240,6 +350,8 @@ class GridBuilder(TPOBuilder):
         tree.append_level(
             child_tuples, keep_rows, probs[keep_rows, keep_cols]
         )
+        if loss is not None:
+            tree.record_level_loss(*loss)
 
 
 class _GridCache:
@@ -324,8 +436,12 @@ class ExactBuilder(TPOBuilder):
         min_probability: float = 1e-12,
         resolution: Optional[int] = None,
         max_orderings: int = 200000,
+        beam_epsilon: float = 0.0,
+        beam_width: Optional[int] = None,
     ) -> None:
-        super().__init__(min_probability, max_orderings)
+        super().__init__(
+            min_probability, max_orderings, beam_epsilon, beam_width
+        )
         self.resolution = resolution
 
     def _initialize(self, tree: TPOTree) -> None:
@@ -356,6 +472,7 @@ class ExactBuilder(TPOBuilder):
         parent_idx: List[int] = []
         probs: List[float] = []
         new_polys: List[PiecewisePolynomial] = []
+        anytime = self.beam_active
         for parent, (candidates, tail) in enumerate(zip(remaining, tails, strict=True)):
             for position, t in enumerate(candidates):
                 others = np.delete(candidates, position)
@@ -370,16 +487,40 @@ class ExactBuilder(TPOBuilder):
                         [cache.cdfs[j] for j in others]
                     )
                 prob = integrand.definite_integral()
-                if prob > self.min_probability:
+                if anytime:
+                    # A beam ranks the whole level at once, so every
+                    # positive-mass candidate is collected first.
+                    if prob > 0.0:
+                        tuple_ids.append(int(t))
+                        parent_idx.append(parent)
+                        probs.append(float(prob))
+                        new_polys.append(h_child)
+                elif prob > self.min_probability:
                     tuple_ids.append(int(t))
                     parent_idx.append(parent)
                     probs.append(float(prob))
                     new_polys.append(h_child)
-            self._check_size(tree, len(tuple_ids))
+            if not anytime:
+                self._check_size(tree, len(tuple_ids))
+        if anytime:
+            probs_arr = np.asarray(probs, dtype=float)
+            keep, loss = self._apply_beam(
+                probs_arr, probs_arr > self.min_probability
+            )
+            self._check_size(tree, int(np.count_nonzero(keep)))
+            kept = np.flatnonzero(keep)
+            tuple_ids = [tuple_ids[i] for i in kept]
+            parent_idx = [parent_idx[i] for i in kept]
+            probs = [probs[i] for i in kept]
+            new_polys = [new_polys[i] for i in kept]
+        else:
+            loss = None
         cache.frontier_polys = new_polys
         tree.append_level(
             np.asarray(tuple_ids), np.asarray(parent_idx), np.asarray(probs)
         )
+        if loss is not None:
+            tree.record_level_loss(*loss)
 
 
 class _ExactCache:
@@ -445,8 +586,12 @@ class MonteCarloBuilder(TPOBuilder):
         seed: SeedLike = None,
         min_probability: float = 0.0,
         max_orderings: int = 200000,
+        beam_epsilon: float = 0.0,
+        beam_width: Optional[int] = None,
     ) -> None:
-        super().__init__(min_probability, max_orderings)
+        super().__init__(
+            min_probability, max_orderings, beam_epsilon, beam_width
+        )
         if samples < 1:
             raise ValueError(f"samples must be >= 1, got {samples}")
         self.samples = samples
@@ -488,7 +633,7 @@ class MonteCarloBuilder(TPOBuilder):
         counts = np.diff(np.append(starts, sorted_keys.size))
         group_keys = sorted_keys[starts]
         probs = counts / total
-        keep = probs > self.min_probability
+        keep, loss = self._apply_beam(probs, probs > self.min_probability)
         self._check_size(tree, int(np.count_nonzero(keep)))
         child_of_group = np.full(group_keys.size, -1, dtype=np.int64)
         child_of_group[keep] = np.arange(int(np.count_nonzero(keep)))
@@ -504,6 +649,10 @@ class MonteCarloBuilder(TPOBuilder):
             (group_keys // n)[keep],
             probs[keep],
         )
+        if loss is not None:
+            # Empirical masses, so the bound is certified w.r.t. the
+            # sampled distribution the tree itself represents.
+            tree.record_level_loss(*loss)
 
 
 class _MonteCarloCache:

@@ -84,12 +84,22 @@ def tree_to_dict(tree: TPOTree) -> Dict:
         for row, parent in zip(rows, level.parent_idx, strict=True):
             parent_rows[parent]["children"].append(row)
         parent_rows = rows
-    return {
+    payload = {
         "k": tree.k,
         "n_tuples": tree.n_tuples,
         "built_depth": tree.built_depth,
         "root": root,
     }
+    if tree.lost_mass > 0.0:
+        # Only beam-approximate trees carry the block, so exact-mode
+        # payloads (and their cached/logged JSON bytes) are unchanged.
+        payload["approximation"] = {
+            "lost_mass": float(tree.lost_mass),
+            "lost_node_max": float(tree.lost_node_max),
+            "lost_leaves": float(tree.lost_leaves),
+            "level_lost": [float(value) for value in tree.level_lost],
+        }
+    return payload
 
 
 def tree_from_dict(
@@ -122,7 +132,36 @@ def tree_from_dict(
             f"serialized built_depth {data['built_depth']} does not match "
             f"the {tree.built_depth} materialized level(s)"
         )
+    approximation = data.get("approximation")
+    if approximation:
+        _restore_loss(
+            tree,
+            float(approximation["lost_mass"]),
+            float(approximation.get("lost_node_max", 0.0)),
+            float(approximation.get("lost_leaves", 0.0)),
+            [float(v) for v in approximation.get("level_lost", [])],
+        )
     return tree
+
+
+def _restore_loss(
+    tree: TPOTree,
+    lost_mass: float,
+    lost_node_max: float,
+    lost_leaves: float,
+    level_lost: Sequence[float],
+) -> None:
+    """Reattach deserialized beam-loss bookkeeping to a rebuilt tree."""
+    if level_lost and len(level_lost) != tree.built_depth:
+        raise TPOSerializationError(
+            f"level_lost has {len(level_lost)} entries for "
+            f"{tree.built_depth} level(s)"
+        )
+    tree.lost_mass = lost_mass
+    tree.lost_node_max = lost_node_max
+    tree.lost_leaves = lost_leaves
+    if level_lost:
+        tree.level_lost = list(level_lost)
 
 
 # ----------------------------------------------------------------------
@@ -149,6 +188,17 @@ def _npz_payload(tree: TPOTree) -> Dict[str, np.ndarray]:
         )
         payload[f"level{depth}_probs"] = np.ascontiguousarray(
             level.probs, dtype=np.float64
+        )
+    if tree.lost_mass > 0.0:
+        # Optional members, written only for beam-approximate trees —
+        # exact-mode archives stay byte-identical (same version, same
+        # member list) and old readers of exact archives are unaffected.
+        payload["lost"] = np.array(
+            [tree.lost_mass, tree.lost_node_max, tree.lost_leaves],
+            dtype=np.float64,
+        )
+        payload["level_lost"] = np.asarray(
+            tree.level_lost, dtype=np.float64
         )
     return payload
 
@@ -181,6 +231,28 @@ def _tree_from_arrays(
                 fetch(f"level{depth}_tuple_ids"),
                 fetch(f"level{depth}_parent_idx"),
                 fetch(f"level{depth}_probs"),
+            )
+        try:
+            lost = np.asarray(fetch("lost"), dtype=np.float64).reshape(-1)
+        except (KeyError, TPOSerializationError):
+            lost = None
+        if lost is not None:
+            if lost.size != 3:
+                raise TPOSerializationError(
+                    f"npz lost member must have 3 fields, got {lost.size}"
+                )
+            try:
+                level_lost = np.asarray(
+                    fetch("level_lost"), dtype=np.float64
+                ).reshape(-1)
+            except (KeyError, TPOSerializationError):
+                level_lost = np.zeros(0)
+            _restore_loss(
+                tree,
+                float(lost[0]),
+                float(lost[1]),
+                float(lost[2]),
+                [float(v) for v in level_lost],
             )
     except TPOSerializationError:
         raise

@@ -26,6 +26,25 @@ class DegenerateSpaceError(ValueError):
     """Raised when conditioning would leave an empty ordering space."""
 
 
+def conditioned_lost_mass(lost: float, kept: float) -> float:
+    """Worst-case lost-mass bound after conditioning on retained mass.
+
+    Of the true distribution, a ``1 − lost`` fraction is represented and
+    a ``kept`` fraction of *that* survives the conditioning event; the
+    unrepresented remainder may be entirely consistent with the evidence,
+    so its conditional share is at most
+    ``lost / (lost + (1 − lost) · kept)``.
+    """
+    if lost <= 0.0:
+        return 0.0
+    if lost >= 1.0:
+        return 1.0
+    denominator = lost + (1.0 - lost) * max(float(kept), 0.0)
+    if denominator <= 0.0:
+        return 1.0
+    return min(1.0, lost / denominator)
+
+
 class OrderingSpace:
     """A weighted set of possible top-K prefix orderings.
 
@@ -37,12 +56,22 @@ class OrderingSpace:
         ``(L,)`` non-negative weights; normalized on construction.
     n_tuples:
         Size of the tuple universe (indices in ``paths`` are < ``n_tuples``).
+    lost_mass:
+        Certified upper bound on the fraction of the true ordering mass
+        an anytime beam dropped during construction (0.0 = exact).  The
+        stored ``probabilities`` are then the true distribution
+        *conditioned on* the retained orderings.
+    lost_leaves:
+        Upper bound on how many orderings the dropped mass is spread
+        over (feeds the entropy interval's support term).
     """
 
     __slots__ = (
         "paths",
         "probabilities",
         "n_tuples",
+        "lost_mass",
+        "lost_leaves",
         "_positions",
         "_prefix_index",
         "__weakref__",
@@ -53,6 +82,8 @@ class OrderingSpace:
         paths: np.ndarray,
         probabilities: np.ndarray,
         n_tuples: int,
+        lost_mass: float = 0.0,
+        lost_leaves: float = 0.0,
     ) -> None:
         paths = np.asarray(paths, dtype=np.int32)
         if paths.ndim != 2:
@@ -70,9 +101,15 @@ class OrderingSpace:
         total = probabilities.sum()
         if total <= 0:
             raise DegenerateSpaceError("ordering space has zero total mass")
+        if not 0.0 <= lost_mass <= 1.0:
+            raise ValueError(f"lost_mass must lie in [0, 1], got {lost_mass}")
+        if lost_leaves < 0.0:
+            raise ValueError(f"lost_leaves must be >= 0, got {lost_leaves}")
         self.paths = paths
         self.probabilities = probabilities / total
         self.n_tuples = int(n_tuples)
+        self.lost_mass = float(lost_mass)
+        self.lost_leaves = float(lost_leaves)
         self._positions: Optional[np.ndarray] = None
         #: depth → (order, starts) segment index of the prefix groups.
         self._prefix_index: dict = {}
@@ -95,6 +132,11 @@ class OrderingSpace:
     def is_certain(self) -> bool:
         """True when a single ordering remains."""
         return self.size == 1
+
+    @property
+    def is_approximate(self) -> bool:
+        """True when an anytime beam dropped mass during construction."""
+        return self.lost_mass > 0.0
 
     def positions(self) -> np.ndarray:
         """``(L, N)`` rank of each tuple per path; ``depth`` marks "absent".
@@ -202,7 +244,9 @@ class OrderingSpace:
             accuracy,
             np.where(codes == 0, 0.5, 1.0 - accuracy),
         )
-        return self.reweight(weights)
+        return self.reweight(
+            weights, lost_weight_bound=max(accuracy, 1.0 - accuracy)
+        )
 
     # ------------------------------------------------------------------
     # Generic updates
@@ -220,14 +264,29 @@ class OrderingSpace:
         if keep.all():
             return self
         child = OrderingSpace(
-            self.paths[keep], self.probabilities[keep], self.n_tuples
+            self.paths[keep],
+            self.probabilities[keep],
+            self.n_tuples,
+            lost_mass=conditioned_lost_mass(
+                self.lost_mass, float(self.probabilities[keep].sum())
+            ),
+            lost_leaves=self.lost_leaves,
         )
         if self._positions is not None:
             child._positions = self._positions[keep]
         return child
 
-    def reweight(self, weights: np.ndarray) -> "OrderingSpace":
+    def reweight(
+        self,
+        weights: np.ndarray,
+        lost_weight_bound: Optional[float] = None,
+    ) -> "OrderingSpace":
         """Multiply path masses by ``weights`` and renormalize.
+
+        ``lost_weight_bound`` caps the weight any beam-dropped (absent)
+        ordering could have received; without it the maximum retained
+        weight is used, which is only sound when the weighting rule
+        cannot favour an absent path over every present one.
 
         The child shares this space's ``paths`` array, so the positions
         matrix and the prefix-group index — both functions of the paths
@@ -241,7 +300,23 @@ class OrderingSpace:
         total = updated.sum()
         if total <= 0:
             raise DegenerateSpaceError("reweighting removed all mass")
-        child = OrderingSpace(self.paths, updated, self.n_tuples)
+        lost = self.lost_mass
+        if lost > 0.0:
+            # Worst case the unrepresented mass carried the largest weight.
+            w_max = (
+                float(lost_weight_bound)
+                if lost_weight_bound is not None
+                else float(weights.max())
+            )
+            if w_max > 0.0:
+                lost = conditioned_lost_mass(lost, float(total) / w_max)
+        child = OrderingSpace(
+            self.paths,
+            updated,
+            self.n_tuples,
+            lost_mass=lost,
+            lost_leaves=self.lost_leaves,
+        )
         child._positions = self._positions
         child._prefix_index = self._prefix_index
         return child
@@ -412,4 +487,4 @@ class OrderingSpace:
         )
 
 
-__all__ = ["OrderingSpace", "DegenerateSpaceError"]
+__all__ = ["OrderingSpace", "DegenerateSpaceError", "conditioned_lost_mass"]

@@ -32,13 +32,18 @@ serialization, diagnostics, and tests keep working unchanged.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+import heapq
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.distributions.base import ScoreDistribution
 from repro.tpo.node import TPONodeView
-from repro.tpo.space import DegenerateSpaceError, OrderingSpace
+from repro.tpo.space import (
+    DegenerateSpaceError,
+    OrderingSpace,
+    conditioned_lost_mass,
+)
 
 
 class TPOLevel:
@@ -89,6 +94,16 @@ class TPOTree:
         self.levels: List[TPOLevel] = []
         #: Engine-managed numeric context (set by the builder in use).
         self.engine_cache = None
+        #: Certified upper bound on the fraction of ordering mass dropped
+        #: by an anytime beam (0.0 for exact builds).
+        self.lost_mass = 0.0
+        #: Per-level dropped prefix mass, aligned with ``levels``.
+        self.level_lost: List[float] = []
+        #: Largest single dropped node's prefix mass (bounds any one lost
+        #: ordering's mass, used for modal certification).
+        self.lost_node_max = 0.0
+        #: Upper bound on how many orderings the dropped subtrees held.
+        self.lost_leaves = 0.0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -108,6 +123,11 @@ class TPOTree:
     def is_complete(self) -> bool:
         """True once all K levels are materialized."""
         return self.built_depth >= self.k
+
+    @property
+    def is_approximate(self) -> bool:
+        """True when an anytime beam dropped mass during construction."""
+        return self.lost_mass > 0.0
 
     @property
     def root(self) -> TPONodeView:
@@ -181,6 +201,37 @@ class TPOTree:
             if np.any(np.diff(parent_idx) < 0):
                 raise ValueError("parent_idx must be non-decreasing")
         self.levels.append(TPOLevel(tuple_ids, parent_idx, probs))
+        self.level_lost.append(0.0)
+
+    def record_level_loss(
+        self, mass: float, node_max: float, dropped: int
+    ) -> None:
+        """Record the anytime beam's certified loss for the newest level.
+
+        ``mass`` is the exact prefix mass of the candidate children the
+        beam dropped while building the level just appended.  Sibling
+        masses partition their parent's mass, so the ordering mass that
+        would eventually flow through a dropped node is at most that
+        node's prefix mass — summing the per-level drops therefore
+        certifies ``lost_mass`` as an upper bound on the total ordering
+        mass missing from the materialized tree.  ``node_max`` and
+        ``dropped`` feed the modal-certification and entropy-slack bounds
+        of the interval-aware uncertainty measures.
+        """
+        if not self.levels:
+            raise ValueError("no level to record loss against")
+        mass = float(mass)
+        if mass <= 0.0:
+            return
+        self.level_lost[-1] += mass
+        self.lost_mass = min(1.0, self.lost_mass + mass)
+        self.lost_node_max = max(self.lost_node_max, float(node_max))
+        # Each dropped node at the current depth roots at most
+        # prod_{t=d}^{k-1} (n - t) completions (falling factorial).
+        completions = 1.0
+        for taken in range(self.built_depth, self.k):
+            completions *= self.n_tuples - taken
+        self.lost_leaves += float(dropped) * completions
 
     def paths_at_depth(self, depth: int) -> np.ndarray:
         """``(W_d, depth)`` prefix matrix of every node at ``depth``.
@@ -223,7 +274,106 @@ class TPOTree:
             self.paths_at_depth(self.built_depth),
             top.probs.copy(),
             self.n_tuples,
+            lost_mass=self.lost_mass,
+            lost_leaves=self.lost_leaves,
         )
+
+    # ------------------------------------------------------------------
+    # Lazy k-best enumeration
+    # ------------------------------------------------------------------
+
+    def iter_orderings(self) -> Iterator[Tuple[np.ndarray, float]]:
+        """Stream materialized orderings best-first, without a full sort.
+
+        Yields ``(path, mass)`` pairs in exactly the deterministic order
+        of :meth:`OrderingSpace.top_orderings` — descending mass, ties in
+        ascending path-lexicographic order — via a priority-queue
+        expansion of the level tables (the disco-dop ``lazykbest``
+        pattern over a packed chart).  ``mass`` is the raw leaf mass from
+        the top level table; divide by the level total for the
+        normalized probabilities an :class:`OrderingSpace` reports.
+
+        Correctness relies on keys being monotone along root-to-leaf
+        chains: a node's mass never exceeds its parent's (guaranteed
+        exactly once internal masses are children's sums, which
+        :meth:`renormalize` enforces and every builder runs), and a
+        node's path tuple lexicographically precedes its extensions.  So
+        nodes pop in globally sorted order and each yielded ordering
+        costs ``O(branch · log frontier)`` — no ``O(L log L)`` sort and
+        no ``(L, K)`` path materialization for the leaves never reached.
+        """
+        if self.built_depth == 0:
+            return
+        # Children of node (depth, index) are the contiguous slice
+        # child_starts[depth][index : index + 2] of level depth + 1
+        # (parent-major order makes this a searchsorted per level).
+        child_starts = [
+            np.searchsorted(
+                self.levels[depth].parent_idx,
+                np.arange(self.levels[depth - 1].width + 1),
+            )
+            for depth in range(1, self.built_depth)
+        ]
+        top = self.built_depth
+        heap: List[Tuple[float, Tuple[int, ...], int, int]] = []
+
+        def push(depth: int, index: int, prefix: Tuple[int, ...]) -> None:
+            level = self.levels[depth - 1]
+            heapq.heappush(
+                heap,
+                (
+                    -float(level.probs[index]),
+                    prefix + (int(level.tuple_ids[index]),),
+                    depth,
+                    index,
+                ),
+            )
+
+        for index in range(self.levels[0].width):
+            push(1, index, ())
+        while heap:
+            neg_mass, prefix, depth, index = heapq.heappop(heap)
+            if depth == top:
+                yield np.asarray(prefix, dtype=np.int32), -neg_mass
+                continue
+            starts = child_starts[depth - 1]
+            for child in range(starts[index], starts[index + 1]):
+                push(depth + 1, child, prefix)
+
+    def top_orderings_lazy(
+        self, count: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """First ``count`` rows of ``to_space().top_orderings(count)``.
+
+        Same arrays bit-for-bit — paths ``(c, depth)`` int32 and
+        normalized probabilities ``(c,)`` — but produced lazily through
+        :meth:`iter_orderings`, so only the expanded prefix chains are
+        ever materialized.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if self.built_depth == 0:
+            raise ValueError("tree has no materialized levels yet")
+        depth = self.built_depth
+        total = float(self.levels[-1].probs.sum())
+        if total <= 0:
+            raise DegenerateSpaceError("tree has zero mass")
+        paths: List[np.ndarray] = []
+        masses: List[float] = []
+        if count > 0:
+            for path, mass in self.iter_orderings():
+                paths.append(path)
+                masses.append(mass)
+                if len(paths) == count:
+                    break
+        if not paths:
+            return (
+                np.empty((0, depth), dtype=np.int32),
+                np.empty(0, dtype=float),
+            )
+        # Dividing by the same level total OrderingSpace.__init__ uses
+        # keeps the normalized masses bit-identical to the eager path.
+        return np.vstack(paths), np.asarray(masses, dtype=float) / total
 
     # ------------------------------------------------------------------
     # Structural updates (used by the incremental algorithm)
@@ -287,10 +437,17 @@ class TPOTree:
             parent_alive = alive
             parent_seen = p_seen | (level.tuple_ids == winner)
 
+        total = float(self.levels[-1].probs.sum())
         surviving = float(self.levels[-1].probs[alive_masks[-1]].sum())
         if surviving <= 0.0:
             raise DegenerateSpaceError(
                 f"answer t{winner} ≺ t{loser} contradicts every ordering"
+            )
+        if self.lost_mass > 0.0 and total > 0.0:
+            # The beam-dropped mass may be entirely consistent with the
+            # answer, so conditioning can only inflate its share.
+            self.lost_mass = conditioned_lost_mass(
+                self.lost_mass, surviving / total
             )
 
         removed = int(sum(int((~mask).sum()) for mask in alive_masks))
@@ -334,6 +491,15 @@ class TPOTree:
             np.where(codes == 0, 0.5, 1.0 - accuracy),
         )
         top = self.levels[-1]
+        if self.lost_mass > 0.0:
+            # Worst case the dropped mass carried the largest weight.
+            total = float(top.probs.sum())
+            reweighted = float((top.probs * weights).sum())
+            w_max = max(accuracy, 1.0 - accuracy)
+            if total > 0.0 and w_max > 0.0:
+                self.lost_mass = conditioned_lost_mass(
+                    self.lost_mass, reweighted / (total * w_max)
+                )
         top.probs = top.probs * weights
         self.renormalize()
 

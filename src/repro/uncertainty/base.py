@@ -18,6 +18,7 @@ machinery never compares values across budgets or datasets.
 from __future__ import annotations
 
 import abc
+from typing import Tuple
 
 import numpy as np
 
@@ -33,6 +34,27 @@ class UncertaintyMeasure(abc.ABC):
     @abc.abstractmethod
     def __call__(self, space: OrderingSpace) -> float:
         """Evaluate the measure; must be ≥ 0 and 0 for a singleton space."""
+
+    def evaluate_interval(
+        self, space: OrderingSpace
+    ) -> Tuple[float, float]:
+        """Certified interval ``[lo, hi]`` around the exact measure value.
+
+        On an exact space (``space.lost_mass == 0``) both endpoints equal
+        ``self(space)``.  On a beam-approximate space the interval must
+        contain the value the measure would report on the full, unpruned
+        space — the epistemic contract of the anytime engines: an
+        approximation may widen the answer but never lie about it.
+
+        This base fallback knows nothing about a custom measure's modulus
+        of continuity under missing mass, so it returns the trivial
+        ``[0, inf)`` bound; the built-in measures override it with sharp
+        intervals.
+        """
+        value = float(self(space))
+        if space.lost_mass <= 0.0:
+            return (value, value)
+        return (0.0, float("inf"))
 
     # ------------------------------------------------------------------
     # Batched evaluation over hypothetical posteriors

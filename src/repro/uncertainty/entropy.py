@@ -9,12 +9,31 @@ leaf entropy but different agreement on the first ranks are told apart.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, Union
+from typing import Callable, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.tpo.space import OrderingSpace
 from repro.uncertainty.base import UncertaintyMeasure
+
+
+def _lost_entropy_slack(
+    delta: float, lost_leaves: float, base: float
+) -> float:
+    """Upper entropy slack from ≤ ``delta`` mass over ≤ ``lost_leaves`` outcomes.
+
+    Splitting a distribution as ``(1 − δ*) q + δ* r`` with ``δ* ≤ δ`` and
+    ``r`` supported on at most ``T`` outcomes, the grouping identity gives
+    ``H(p) ≤ H(q) + h(δ*) + δ*·ln T`` (nats), where ``h`` is the binary
+    entropy.  Maximized over ``δ* ∈ [0, δ]``: ``h`` peaks at 1/2 and the
+    linear term at ``δ``.  Returned in ``base`` units.
+    """
+    x = min(max(delta, 0.0), 0.5)
+    binary = 0.0
+    if 0.0 < x < 1.0:
+        binary = -x * np.log(x) - (1.0 - x) * np.log(1.0 - x)
+    support = np.log(max(float(lost_leaves), 1.0))
+    return float((binary + delta * support) / np.log(base))
 
 
 def shannon_entropy(masses: np.ndarray, base: float = 2.0) -> float:
@@ -61,6 +80,24 @@ class EntropyMeasure(UncertaintyMeasure):
 
     def __call__(self, space: OrderingSpace) -> float:
         return shannon_entropy(space.probabilities, self.base)
+
+    def evaluate_interval(
+        self, space: OrderingSpace
+    ) -> Tuple[float, float]:
+        """Sharp entropy interval under certified lost mass.
+
+        The retained distribution ``q`` is the true one conditioned on
+        the kept orderings, so ``H(p) ≥ (1 − δ)·H(q)`` (dropping the
+        non-negative cross terms of the grouping identity) and
+        ``H(p) ≤ H(q) + h(δ) + δ·ln T`` with ``T`` bounded by the tree's
+        lost-leaf count.
+        """
+        value = float(self(space))
+        delta = space.lost_mass
+        if delta <= 0.0:
+            return (value, value)
+        slack = _lost_entropy_slack(delta, space.lost_leaves, self.base)
+        return (max(0.0, (1.0 - delta) * value), value + slack)
 
     def evaluate_batch(
         self, space: OrderingSpace, weights: np.ndarray
@@ -147,6 +184,24 @@ class WeightedEntropyMeasure(UncertaintyMeasure):
             _, masses = space.prefix_groups(level)
             value += weights[level - 1] * shannon_entropy(masses, self.base)
         return value
+
+    def evaluate_interval(
+        self, space: OrderingSpace
+    ) -> Tuple[float, float]:
+        """Interval for the weighted per-level combination.
+
+        Each level's prefix entropy obeys the same lost-mass bounds as
+        the leaf entropy (a dropped subtree hides at most the leaf count
+        of prefixes per level, and the dropped mass per level is within
+        the same δ), and the level weights sum to 1 — so the slack of
+        the combination is bounded by the single-level slack.
+        """
+        value = float(self(space))
+        delta = space.lost_mass
+        if delta <= 0.0:
+            return (value, value)
+        slack = _lost_entropy_slack(delta, space.lost_leaves, self.base)
+        return (max(0.0, (1.0 - delta) * value), value + slack)
 
     def evaluate_batch(
         self, space: OrderingSpace, weights: np.ndarray

@@ -14,6 +14,7 @@ a relation the property tests check on small instances.
 from __future__ import annotations
 
 import weakref
+from typing import Tuple
 
 import numpy as np
 
@@ -31,6 +32,22 @@ from repro.uncertainty.base import UncertaintyMeasure
 #: to its space, the FIFO limit bounds memory at ~limit·L floats per space.
 _PROFILE_CACHES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 _PROFILE_CACHE_LIMIT = 128
+
+
+def _scaled_distance_interval(
+    value: float, delta: float
+) -> Tuple[float, float]:
+    """Interval of an expected normalized distance under ≤ ``delta`` lost mass.
+
+    With the reference certified unchanged, the true expectation mixes
+    the retained conditional (worth ``value``) with at most ``delta``
+    unseen mass whose normalized distance lies in ``[0, 1]``:
+    ``(1 − δ*)·value + δ*·[0, 1]`` for some ``δ* ≤ δ``, which the
+    endpoints below contain.
+    """
+    lo = max(0.0, (1.0 - delta) * value)
+    hi = min(1.0, value + delta * (1.0 - value))
+    return (lo, hi)
 
 
 def _profile_dot(
@@ -106,6 +123,41 @@ class ORAUncertainty(UncertaintyMeasure):
         return expected_topk_distance(
             space, reference, penalty=self.penalty, normalized=True
         )
+
+    def evaluate_interval(
+        self, space: OrderingSpace
+    ) -> Tuple[float, float]:
+        """Interval for the Borda-aggregated expected distance.
+
+        Sound when the Borda reference is *stable* under the lost mass:
+        expected positions shift by at most ``δ·K`` (a position is in
+        ``[0, K]``), so if every consecutive gap among the reference-
+        deciding expected positions (the first K and the K-boundary)
+        exceeds ``2δK``, the full space aggregates to the same reference
+        and the scaled-mixture interval applies.  Otherwise the reference
+        itself may differ and only the trivial ``[0, 1]`` is certified.
+        """
+        value = float(self(space))
+        delta = space.lost_mass
+        if delta <= 0.0:
+            return (value, value)
+        if delta >= 1.0 or self.method != "borda":
+            return (0.0, 1.0)
+        if self._borda_reference_stable(space, delta):
+            return _scaled_distance_interval(value, delta)
+        return (0.0, 1.0)
+
+    @staticmethod
+    def _borda_reference_stable(
+        space: OrderingSpace, delta: float
+    ) -> bool:
+        """True when ≤ ``delta`` lost mass cannot flip the Borda reference."""
+        pos = space.positions().astype(float)
+        expected = space.probabilities @ pos
+        order = np.argsort(expected, kind="stable")
+        boundary = expected[order[: space.depth + 1]]
+        gaps = np.diff(boundary)
+        return bool(np.all(gaps > 2.0 * delta * space.depth))
 
     def evaluate_batch(
         self, space: OrderingSpace, weights: np.ndarray
@@ -205,6 +257,26 @@ class MPOUncertainty(UncertaintyMeasure):
         return expected_topk_distance(
             space, reference, penalty=self.penalty, normalized=True
         )
+
+    def evaluate_interval(
+        self, space: OrderingSpace
+    ) -> Tuple[float, float]:
+        """Interval for the expected distance to the modal ordering.
+
+        The mode is certified unchanged when the heaviest retained
+        ordering's share of the *full* mass, ``q_max·(1 − δ)``, strictly
+        exceeds ``δ`` — no unseen ordering can outweigh it.  Then the
+        scaled-mixture interval applies; otherwise the modal reference
+        itself is uncertain and only ``[0, 1]`` is certified.
+        """
+        value = float(self(space))
+        delta = space.lost_mass
+        if delta <= 0.0:
+            return (value, value)
+        q_max = float(space.probabilities.max())
+        if delta < 1.0 and q_max * (1.0 - delta) > delta:
+            return _scaled_distance_interval(value, delta)
+        return (0.0, 1.0)
 
     def evaluate_batch(
         self, space: OrderingSpace, weights: np.ndarray

@@ -33,6 +33,7 @@ EXPECTED_API_ALL = [
     "MeasureSpec",
     "CrowdSpec",
     "BudgetSpec",
+    "EngineSpec",
     "SessionSpec",
     "StoreSpec",
     "ServeSpec",

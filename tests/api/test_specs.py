@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from repro.api import (
     BudgetSpec,
     CrowdSpec,
+    EngineSpec,
     InstanceSpec,
     MeasureSpec,
     PolicySpec,
@@ -191,7 +192,7 @@ class TestExecution:
         spec = SessionSpec(
             instance=InstanceSpec(n=8, k=3, seed=5, params={"width": 0.3}),
             budget=BudgetSpec(5),
-            engine_params={"resolution": 256},
+            engine=EngineSpec("grid", {"resolution": 256}),
         )
         first = run_session(spec)
         second = run_session(spec)
@@ -204,7 +205,7 @@ class TestExecution:
         spec = SessionSpec(
             instance=InstanceSpec(n=6, k=2, seed=1),
             crowd=CrowdSpec(accuracy=0.8, replication=3),
-            engine_params={"resolution": 256},
+            engine=EngineSpec("grid", {"resolution": 256}),
         )
         prepared = prepare_session(spec)
         assert len(prepared.distributions) == 6
@@ -230,7 +231,7 @@ class TestExecution:
             instance=InstanceSpec(n=6, k=2, seed=3),
             crowd=CrowdSpec(model="adversarial"),
             budget=BudgetSpec(3),
-            engine_params={"resolution": 256},
+            engine=EngineSpec("grid", {"resolution": 256}),
         )
         prepared = prepare_session(spec)
         assert all(w.accuracy == 0.0 for w in prepared.crowd.workers)

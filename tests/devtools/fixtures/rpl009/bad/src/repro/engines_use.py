@@ -1,0 +1,12 @@
+"""Fixture: engines constructed directly, bypassing EngineSpec."""
+
+from repro.tpo.builders import GridBuilder, MonteCarloBuilder
+
+import repro.tpo.builders as builders
+
+
+def build_spaces(scores, k):
+    grid = GridBuilder(resolution=800)
+    mc = MonteCarloBuilder(samples=1000, seed=7)
+    exact = builders.ExactBuilder()
+    return [b.build(scores, k) for b in (grid, mc, exact)]

@@ -1,0 +1,10 @@
+"""Fixture: engines built through the typed spec surface."""
+
+from repro.api.catalog import ENGINES
+from repro.api.specs import EngineSpec
+
+
+def build_spaces(scores, k):
+    grid = EngineSpec("grid", {"resolution": 800}).build()
+    mc = ENGINES.create("mc", samples=1000, seed=7)
+    return [b.build(scores, k) for b in (grid, mc)]

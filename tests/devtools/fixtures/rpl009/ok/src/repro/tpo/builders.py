@@ -1,0 +1,10 @@
+"""Fixture: the defining module may construct engines directly."""
+
+
+class GridBuilder:
+    def __init__(self, resolution=1024):
+        self.resolution = resolution
+
+
+def make_default():
+    return GridBuilder(resolution=1024)

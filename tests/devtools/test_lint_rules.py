@@ -25,7 +25,7 @@ def run_on(root: Path, code: str):
 
 
 def test_every_rule_has_both_fixtures():
-    assert ALL_CODES == [f"RPL00{i}" for i in range(1, 9)]
+    assert ALL_CODES == [f"RPL00{i}" for i in range(1, 10)]
     for code in ALL_CODES:
         tree = FIXTURES / code.lower()
         assert (tree / "ok" / "src").is_dir(), f"missing ok fixture for {code}"
@@ -72,6 +72,7 @@ def test_expected_bad_finding_counts():
         "RPL006": 3,  # shim import + registry setitem + delitem
         "RPL007": 1,  # raw append-mode open
         "RPL008": 3,  # weights=[], cache={}, options=dict()
+        "RPL009": 3,  # GridBuilder + MonteCarloBuilder + dotted ExactBuilder
     }
     actual = {
         code: len(run_on(FIXTURES / code.lower() / "bad", code))

@@ -1,0 +1,154 @@
+"""Typed approximation metadata on the ``/v1`` surface.
+
+A beam-built manager must surface its certified lost-mass bound as a
+typed ``approximation`` block on next-question and stats responses; an
+exact manager must emit byte-identical responses to the pre-beam
+protocol — no new keys at all.  ``/v1/meta`` advertises which engines
+accept beam parameters so clients can negotiate.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.manager import SessionManager
+from repro.service.protocol import ApproximationInfo
+from repro.service.server import start_server
+from repro.tpo.builders import ENGINES, GridBuilder
+
+SPEC = {
+    "workload": "uniform",
+    "n": 8,
+    "k": 3,
+    "seed": 5,
+    "params": {"width": 0.3},
+}
+
+
+async def http(host, port, method, path, body=None):
+    """One-request HTTP/1.1 client returning (status, headers, json)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    payload = json.dumps(body).encode() if body is not None else b""
+    writer.write(
+        (
+            f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Length: {len(payload)}\r\n\r\n"
+        ).encode()
+        + payload
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, body_raw = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    headers = {}
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, json.loads(body_raw)
+
+
+def run_with_manager(builder, coro):
+    async def runner():
+        manager = SessionManager(builder=builder)
+        server = await start_server(manager, port=0)
+        host, port = server.sockets[0].getsockname()[:2]
+        try:
+            return await coro(host, port, manager)
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    return asyncio.run(runner())
+
+
+class TestApproximationInfoModel:
+    def test_from_dict_none_is_none(self):
+        assert ApproximationInfo.from_dict(None) is None
+
+    def test_payload_round_trip(self):
+        info = ApproximationInfo(
+            lost_mass=0.03, engine_key="abc", value_interval=[0.1, 0.4]
+        )
+        payload = info.to_payload()
+        assert payload == {
+            "lost_mass": 0.03,
+            "value_interval": [0.1, 0.4],
+            "engine_key": "abc",
+        }
+        assert ApproximationInfo.from_dict(payload) == info
+
+    def test_interval_is_optional(self):
+        info = ApproximationInfo(lost_mass=0.03, engine_key="abc")
+        assert info.to_payload()["value_interval"] is None
+
+
+class TestMetaAdvertisesBeamEngines:
+    def test_beam_engines_lists_registry(self):
+        async def scenario(host, port, manager):
+            status, _, body = await http(host, port, "GET", "/v1/meta")
+            assert status == 200
+            assert body["beam_engines"] == sorted(ENGINES)
+            assert body["beam_engines"] == body["plugins"]["engines"]
+
+        run_with_manager(GridBuilder(resolution=256), scenario)
+
+
+class TestExactManagerEmitsNoApproximation:
+    def test_next_and_stats_have_no_new_keys(self):
+        async def scenario(host, port, manager):
+            _, _, created = await http(
+                host, port, "POST", "/v1/sessions", {"spec": SPEC}
+            )
+            sid = created["session_id"]
+            status, _, nxt = await http(
+                host, port, "GET", f"/v1/sessions/{sid}/next"
+            )
+            assert status == 200
+            assert set(nxt) == {"session_id", "question"}
+            status, _, stats = await http(host, port, "GET", "/v1/stats")
+            assert status == 200
+            assert "approximation" not in stats
+            assert manager.approximation(sid) is None
+
+        run_with_manager(GridBuilder(resolution=256), scenario)
+
+
+class TestBeamManagerReportsCertifiedLoss:
+    BEAM_SPEC = {**SPEC, "params": {"width": 0.6}}
+
+    def test_next_question_carries_approximation(self):
+        async def scenario(host, port, manager):
+            _, _, created = await http(
+                host, port, "POST", "/v1/sessions", {"spec": self.BEAM_SPEC}
+            )
+            sid = created["session_id"]
+            status, _, nxt = await http(
+                host, port, "GET", f"/v1/sessions/{sid}/next"
+            )
+            assert status == 200
+            assert set(nxt) == {"session_id", "question", "approximation"}
+            approx = nxt["approximation"]
+            assert set(approx) == {
+                "lost_mass",
+                "value_interval",
+                "engine_key",
+            }
+            assert 0.0 < approx["lost_mass"] <= 0.05 * SPEC["k"]
+            assert approx["engine_key"] == manager.engine_key
+            interval = approx["value_interval"]
+            if interval is not None:
+                lo, hi = interval
+                assert lo <= hi
+
+            status, _, stats = await http(host, port, "GET", "/v1/stats")
+            assert status == 200
+            assert stats["approximation"]["lost_mass"] == pytest.approx(
+                approx["lost_mass"]
+            )
+            assert stats["approximation"]["engine_key"] == manager.engine_key
+
+        run_with_manager(
+            GridBuilder(resolution=256, beam_epsilon=0.05), scenario
+        )

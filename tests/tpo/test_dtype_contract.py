@@ -12,8 +12,23 @@ import numpy as np
 
 from repro.questions.candidates import all_pair_questions
 from repro.questions.residual import ResidualEvaluator
-from repro.tpo.builders import GridBuilder
+from repro.tpo.builders import ExactBuilder, GridBuilder, MonteCarloBuilder
 from repro.uncertainty.entropy import EntropyMeasure
+
+
+class TestEngineDefaultsContract:
+    """The documented per-engine ``min_probability`` defaults are load-
+    bearing: cache keys embed them, so a drifted default silently
+    invalidates every stored TPO artifact."""
+
+    def test_grid_default_truncation(self):
+        assert GridBuilder().min_probability == 1e-9
+
+    def test_exact_default_truncation(self):
+        assert ExactBuilder().min_probability == 1e-12
+
+    def test_mc_keeps_every_sampled_ordering(self):
+        assert MonteCarloBuilder(samples=10, seed=0).min_probability == 0.0
 
 
 class TestSpaceDtypes:

@@ -1,0 +1,94 @@
+"""Lazy k-best orderings: streaming == materialized, bit for bit.
+
+``TPOTree.top_orderings_lazy(count)`` must return exactly what sorting
+the fully materialized space returns — same paths, same masses, same tie
+order — for every count, on every engine, with or without a beam.  The
+lazy path's heap keys rely on the renormalized level tables (an internal
+node's mass is the IEEE sum of its children, hence ≥ each child), so
+this is a genuine end-to-end invariant, not a tautology.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Uniform
+from repro.tpo.builders import ExactBuilder, GridBuilder, MonteCarloBuilder
+
+BUILDERS = [
+    lambda: GridBuilder(resolution=256),
+    lambda: ExactBuilder(),
+    lambda: MonteCarloBuilder(samples=15000, seed=9),
+]
+
+
+@st.composite
+def uniform_workloads(draw):
+    n = draw(st.integers(min_value=3, max_value=7))
+    centers = [
+        draw(st.floats(min_value=0, max_value=1, allow_nan=False))
+        for _ in range(n)
+    ]
+    width = draw(st.floats(min_value=0.05, max_value=0.7, allow_nan=False))
+    return [Uniform(c, c + width) for c in centers]
+
+
+def assert_lazy_matches_materialized(tree, count):
+    space = tree.to_space()
+    expected_paths, expected_masses = space.top_orderings(count)
+    lazy_paths, lazy_masses = tree.top_orderings_lazy(count)
+    assert lazy_paths.shape == expected_paths.shape
+    assert np.array_equal(lazy_paths, expected_paths)
+    # Bit-for-bit: both sides divide the same partial sums by the same
+    # total, so exact float equality is required, not approx.
+    assert np.array_equal(lazy_masses, expected_masses)
+
+
+@given(
+    uniform_workloads(),
+    st.integers(min_value=1, max_value=4),
+    st.sampled_from([0, 1, 2, 3]),
+)
+@settings(max_examples=30, deadline=None)
+def test_lazy_matches_materialized_grid(dists, k, builder_index):
+    k = min(k, len(dists))
+    if builder_index == 3:
+        builder = GridBuilder(resolution=256, beam_epsilon=0.05)
+    else:
+        builder = BUILDERS[builder_index]()
+    tree = builder.build(dists, k)
+    size = tree.levels[-1].width
+    for count in (0, 1, min(3, size), size, size + 5):
+        assert_lazy_matches_materialized(tree, count)
+
+
+class TestLazyIteration:
+    @pytest.fixture
+    def tree(self, overlapping_uniforms):
+        return GridBuilder(resolution=400).build(overlapping_uniforms, 3)
+
+    def test_iter_orderings_is_sorted_and_complete(self, tree):
+        space = tree.to_space()
+        yielded = list(tree.iter_orderings())
+        assert len(yielded) == space.size
+        masses = [mass for _, mass in yielded]
+        assert masses == sorted(masses, reverse=True)
+
+    def test_iter_orderings_is_lazy(self, tree):
+        # Consuming one element must not materialize the whole stream.
+        iterator = tree.iter_orderings()
+        path, mass = next(iterator)
+        expected_paths, expected_masses = tree.to_space().top_orderings(1)
+        assert np.array_equal(path, expected_paths[0])
+        total = float(tree.levels[-1].probs.sum())
+        assert mass / total == expected_masses[0]
+
+    def test_count_validation(self, tree):
+        with pytest.raises(ValueError):
+            tree.top_orderings_lazy(-1)
+
+    def test_zero_count_is_empty(self, tree):
+        paths, masses = tree.top_orderings_lazy(0)
+        assert paths.shape == (0, tree.built_depth)
+        assert masses.shape == (0,)

@@ -1,0 +1,126 @@
+"""Certified uncertainty intervals: beam interval must contain exact value.
+
+The epistemic contract of ``UncertaintyMeasure.evaluate_interval``: on a
+beam-approximate space, the returned ``[lo, hi]`` must bracket the value
+the measure would report on the *exact* space of the same instance.  The
+property is checked end to end — build exact, build beamed, compare —
+for all four paper measures on random mixed-overlap workloads.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Uniform
+from repro.tpo.builders import GridBuilder
+from repro.uncertainty.base import UncertaintyMeasure
+from repro.uncertainty.entropy import EntropyMeasure, WeightedEntropyMeasure
+from repro.uncertainty.representative import MPOUncertainty, ORAUncertainty
+
+#: fp tolerance at interval endpoints: the exact and conditional builds
+#: sum the same masses in different orders.
+ATOL = 1e-9
+
+MEASURES = [
+    EntropyMeasure(),
+    WeightedEntropyMeasure(),
+    ORAUncertainty(),
+    MPOUncertainty(),
+]
+
+
+@st.composite
+def mixed_workloads(draw):
+    """4–7 uniforms mixing tight and wide overlap."""
+    n = draw(st.integers(min_value=4, max_value=7))
+    dists = []
+    for _ in range(n):
+        center = draw(st.floats(min_value=0, max_value=1, allow_nan=False))
+        width = draw(
+            st.floats(min_value=0.05, max_value=0.8, allow_nan=False)
+        )
+        dists.append(Uniform(center, center + width))
+    return dists
+
+
+@given(
+    mixed_workloads(),
+    st.integers(min_value=2, max_value=4),
+    st.sampled_from([0.01, 0.05, 0.15]),
+    st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_beam_interval_contains_exact_value(dists, k, epsilon, measure_idx):
+    measure = MEASURES[measure_idx]
+    k = min(k, len(dists))
+    exact_space = GridBuilder(resolution=200).build(dists, k).to_space()
+    beam_space = (
+        GridBuilder(resolution=200, beam_epsilon=epsilon)
+        .build(dists, k)
+        .to_space()
+    )
+    exact_value = float(measure(exact_space))
+    lo, hi = measure.evaluate_interval(beam_space)
+    assert lo <= hi + ATOL
+    assert lo - ATOL <= exact_value <= hi + ATOL, (
+        f"{type(measure).__name__}: exact {exact_value} outside "
+        f"[{lo}, {hi}] at ε={epsilon}, δ={beam_space.lost_mass}"
+    )
+
+
+class TestExactIntervals:
+    @pytest.mark.parametrize("measure", MEASURES)
+    def test_exact_space_interval_is_degenerate(self, measure, small_space):
+        value = float(measure(small_space))
+        assert measure.evaluate_interval(small_space) == (value, value)
+
+    def test_base_measure_falls_back_to_vacuous(self, small_space):
+        class Opaque(UncertaintyMeasure):
+            name = "opaque"
+
+            def __call__(self, space):
+                return 0.25
+
+        exact = Opaque().evaluate_interval(small_space)
+        assert exact == (0.25, 0.25)
+        approx = type(small_space)(
+            small_space.paths,
+            small_space.probabilities,
+            small_space.n_tuples,
+            lost_mass=0.1,
+            lost_leaves=4.0,
+        )
+        lo, hi = Opaque().evaluate_interval(approx)
+        assert lo == 0.0 and hi == float("inf")
+
+
+class TestIntervalAwareSelection:
+    def test_ranking_slack_zero_on_exact(self, small_space):
+        from repro.questions.residual import ResidualEvaluator
+
+        evaluator = ResidualEvaluator(EntropyMeasure())
+        assert evaluator.ranking_slack(small_space) == 0.0
+
+    def test_ranking_slack_positive_on_beam(self, overlapping_uniforms):
+        from repro.questions.residual import ResidualEvaluator
+
+        space = (
+            GridBuilder(resolution=256, beam_epsilon=0.05)
+            .build(overlapping_uniforms, 3)
+            .to_space()
+        )
+        assert space.lost_mass > 0.0
+        evaluator = ResidualEvaluator(EntropyMeasure())
+        assert evaluator.ranking_slack(space) > 0.0
+
+    def test_select_min_residual_semantics(self):
+        from repro.questions.residual import select_min_residual
+
+        residuals = np.array([0.5, 0.42, 0.4, 0.41])
+        assert select_min_residual(residuals, 0.0) == 2
+        # Within-slack ties resolve to the first candidate in order.
+        assert select_min_residual(residuals, 0.02) == 1
+        assert select_min_residual(residuals, np.inf) == 0
+        with pytest.raises(ValueError):
+            select_min_residual(np.array([]), 0.0)
