@@ -37,6 +37,7 @@ from repro.api.catalog import (
     CROWD_MODELS,
     DISTRIBUTIONS,
     ENGINES,
+    EVALS,
     MEASURES,
     POLICIES,
     SCENARIOS,
@@ -50,7 +51,13 @@ from repro.api.registry import (
     RegistryError,
     UnknownNameError,
 )
-from repro.api.run import PreparedSession, prepare_session, run_session
+from repro.api.run import (
+    PreparedSession,
+    ReplayResult,
+    prepare_session,
+    replay_session,
+    run_session,
+)
 from repro.api.specs import (
     SHARD_STRATEGIES,
     BudgetSpec,
@@ -83,6 +90,7 @@ __all__ = [
     "DISTRIBUTIONS",
     "ENGINES",
     "STORES",
+    "EVALS",
     "all_registries",
     # specs
     "InstanceSpec",
@@ -98,6 +106,8 @@ __all__ = [
     "as_instance_spec",
     # execution
     "PreparedSession",
+    "ReplayResult",
     "prepare_session",
+    "replay_session",
     "run_session",
 ]

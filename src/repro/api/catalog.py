@@ -107,12 +107,24 @@ STORES.register(
     "shared-memory", "repro.service.store:SharedMemoryColdTier"
 )
 
+#: Evaluation suites (fidelity gates: calibration / regret / golden).
+EVALS = Registry("eval suite")
+EVALS.register("calibration", "repro.evals.calibration:CalibrationEval")
+EVALS.register("regret", "repro.evals.regret:RegretEval")
+EVALS.register("golden", "repro.evals.golden:GoldenEval")
+
 
 def all_registries() -> Dict[str, Registry]:
     """Every catalog registry, keyed by its plural enumeration name.
 
     The single source for ``repro list`` and the ``/v1/meta`` endpoint.
+    The lint-rule registry lives with the checker framework
+    (:mod:`repro.devtools.lint`) and is pulled in lazily here so plain
+    catalog users never import the AST machinery — but the plugin
+    surface enumerates *every* pluggable axis, dev tooling included.
     """
+    from repro.devtools.lint import LINT_RULES
+
     return {
         "policies": POLICIES,
         "measures": MEASURES,
@@ -122,6 +134,8 @@ def all_registries() -> Dict[str, Registry]:
         "distributions": DISTRIBUTIONS,
         "engines": ENGINES,
         "stores": STORES,
+        "evals": EVALS,
+        "lint_rules": LINT_RULES,
     }
 
 
@@ -134,5 +148,6 @@ __all__ = [
     "DISTRIBUTIONS",
     "ENGINES",
     "STORES",
+    "EVALS",
     "all_registries",
 ]

@@ -10,10 +10,15 @@ the same final ordering space in every process.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.api.specs import SessionSpec
 from repro.utils.rng import derive_seed
+
+#: One recorded crowd answer: ``(i, j, holds, accuracy)``, canonical
+#: ``i < j`` — the same shape session snapshots and the service event
+#: log store.
+AnswerTuple = Tuple[int, int, bool, float]
 
 
 @dataclass
@@ -62,4 +67,80 @@ def run_session(spec: SessionSpec, track_trajectory: bool = False) -> Any:
     return prepare_session(spec, track_trajectory=track_trajectory).run()
 
 
-__all__ = ["PreparedSession", "prepare_session", "run_session"]
+@dataclass
+class ReplayResult:
+    """What :func:`replay_session` reconstructed from a spec + answers.
+
+    ``uncertainties`` / ``intervals`` / ``orderings`` hold one entry per
+    *state* — the initial space plus the state after each applied answer,
+    so their length is ``len(answers) + 1``.  Intervals are the certified
+    ``[lo, hi]`` of :meth:`UncertaintyMeasure.evaluate_interval`
+    (degenerate ``[v, v]`` on exact engines).
+    """
+
+    spec: SessionSpec
+    space: Any
+    uncertainties: List[float]
+    intervals: List[Tuple[float, float]]
+    orderings: List[int]
+
+    def top_k(self) -> List[int]:
+        """The final most-probable top-K prefix (the paper's MPO)."""
+        return [int(t) for t in self.space.most_probable_ordering()]
+
+
+def replay_session(
+    spec: SessionSpec,
+    answers: Sequence[AnswerTuple],
+    evaluator: Optional[Any] = None,
+) -> ReplayResult:
+    """Re-apply a recorded answer sequence over a freshly built space.
+
+    This is the *sanctioned* deterministic replay path: the spec fully
+    determines the initial space (same seed derivation as
+    :func:`prepare_session`), and the final state is a pure function of
+    (spec, answers) — the same event-sourcing contract session snapshots
+    and the service event log rely on.  The evaluation harness
+    (:mod:`repro.evals`) uses it both to verify golden recordings
+    bit-for-bit and to realize exact measure values along a beam
+    session's answer trajectory; lint rule RPL010 holds eval code to
+    this entry point instead of hand-rolled session construction.
+
+    ``evaluator`` overrides the :class:`ResidualEvaluator` (e.g. to share
+    evaluation counters); by default one is built from ``spec.measure``.
+    """
+    from repro.questions.model import Question
+    from repro.questions.residual import ResidualEvaluator
+
+    distributions = spec.instance.materialize()
+    tree = spec.build_builder().build(distributions, spec.instance.k)
+    space = tree.to_space()
+    if evaluator is None:
+        evaluator = ResidualEvaluator(spec.measure.build())
+    uncertainties = [evaluator.uncertainty(space)]
+    intervals = [evaluator.uncertainty_interval(space)]
+    orderings = [int(space.size)]
+    for i, j, holds, accuracy in answers:
+        space = evaluator.apply_answer(
+            space, Question(int(i), int(j)), bool(holds), float(accuracy)
+        )
+        uncertainties.append(evaluator.uncertainty(space))
+        intervals.append(evaluator.uncertainty_interval(space))
+        orderings.append(int(space.size))
+    return ReplayResult(
+        spec=spec,
+        space=space,
+        uncertainties=uncertainties,
+        intervals=intervals,
+        orderings=orderings,
+    )
+
+
+__all__ = [
+    "AnswerTuple",
+    "PreparedSession",
+    "ReplayResult",
+    "prepare_session",
+    "replay_session",
+    "run_session",
+]

@@ -23,8 +23,11 @@ Subcommands cover the common workflows without writing Python:
 * ``bench-engines`` — the TPO construction benchmark gating the flat
   level-table grid engine against the pointer baseline
   (``python -m repro bench-engines --smoke``);
+* ``eval`` — the fidelity gate: calibration / regret / golden-dataset
+  suites scored into a provenance-stamped report
+  (``python -m repro eval --suite golden --json EVAL_report.json``);
 * ``lint`` — the domain-aware static analysis suite (rules
-  RPL001–RPL008 with a ratcheting baseline:
+  RPL001–RPL010 with a ratcheting baseline:
   ``python -m repro lint --format github``).
 
 Everything is constructed through the typed :mod:`repro.api` specs — the
@@ -278,11 +281,66 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_engines.add_argument("--smoke", action="store_true")
     bench_engines.add_argument("--json", default=None, metavar="PATH")
 
+    evaluate = sub.add_parser(
+        "eval",
+        help=(
+            "run the evaluation suites (calibration, regret, golden) "
+            "and score the report"
+        ),
+    )
+    evaluate.add_argument(
+        "--suite",
+        action="append",
+        dest="suites",
+        default=None,
+        metavar="NAME",
+        help=(
+            "suite to run (repeatable; default: all registered suites)"
+        ),
+    )
+    evaluate.add_argument(
+        "--full",
+        action="store_true",
+        help="nightly-sized grids instead of the fast smoke profile",
+    )
+    evaluate.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="pool workers; 0 or 1 runs serially in-process",
+    )
+    evaluate.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="per-suite JSONL result stores (enables --resume)",
+    )
+    evaluate.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already present in --store-dir",
+    )
+    evaluate.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the scored report (EVAL_report.json shape) here",
+    )
+    evaluate.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=(
+            "committed baseline report; exit non-zero on any "
+            "pass-to-fail regression against it"
+        ),
+    )
+
     lint = sub.add_parser(
         "lint",
         help=(
             "run the domain-aware static analysis suite "
-            "(RPL001-RPL008, ratcheting baseline)"
+            "(RPL001-RPL010, ratcheting baseline)"
         ),
     )
     from repro.devtools.lint.cli import add_lint_arguments
@@ -582,6 +640,70 @@ def _command_bench_engines(args) -> int:
     return 1 if failures else 0
 
 
+def _command_eval(args) -> int:
+    from pathlib import Path
+
+    from repro.api.catalog import EVALS
+    from repro.evals.report import (
+        compare_to_baseline,
+        load_report,
+        run_eval,
+        summarize,
+        write_report,
+    )
+
+    available = EVALS.available()
+    unknown = [s for s in (args.suites or []) if s not in available]
+    if unknown:
+        print(
+            f"unknown eval suites {unknown}; "
+            f"available: {', '.join(sorted(available))}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and args.store_dir is None:
+        print("--resume requires --store-dir", file=sys.stderr)
+        return 2
+
+    def progress(done, total, cell):
+        print(f"  [{done}/{total}] {cell.experiment} {cell.cell_id}")
+
+    report = run_eval(
+        suites=args.suites,
+        fast=not args.full,
+        workers=args.workers,
+        store_dir=Path(args.store_dir) if args.store_dir else None,
+        resume=args.resume,
+        progress=progress,
+    )
+    print(summarize(report))
+    if args.json is not None:
+        write_report(report, Path(args.json))
+        print(f"report written to {args.json}")
+    exit_code = 0 if report["passed"] else 1
+    if args.baseline is not None:
+        baseline = load_report(Path(args.baseline))
+        if args.suites:
+            # An explicit --suite selection is not a regression of the
+            # suites deliberately left out; compare only what ran.
+            baseline = dict(
+                baseline,
+                suites={
+                    name: section
+                    for name, section in baseline.get("suites", {}).items()
+                    if name in args.suites
+                },
+            )
+        regressions = compare_to_baseline(report, baseline)
+        for line in regressions:
+            print(f"REGRESSION: {line}", file=sys.stderr)
+        if regressions:
+            exit_code = 1
+        else:
+            print(f"no regressions against {args.baseline}")
+    return exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -601,6 +723,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_bench_service(args)
     if args.command == "bench-engines":
         return _command_bench_engines(args)
+    if args.command == "eval":
+        return _command_eval(args)
     if args.command == "lint":
         from repro.devtools.lint.cli import run_lint
 

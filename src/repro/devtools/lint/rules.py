@@ -1,4 +1,4 @@
-"""The built-in domain rules, RPL001–RPL009.
+"""The built-in domain rules, RPL001–RPL010.
 
 Each rule encodes one correctness *convention* the code base relies on —
 things a generic linter cannot know, and that used to live only in review
@@ -369,6 +369,8 @@ _REGISTRY_NAMES = frozenset(
         "CROWD_MODELS",
         "DISTRIBUTIONS",
         "ENGINES",
+        "STORES",
+        "EVALS",
         "GENERATORS",
         "LINT_RULES",
     }
@@ -613,6 +615,88 @@ class EngineSpecConstructionRule(Rule):
             )
 
 
+#: Session machinery the evaluation harness must not construct directly.
+_SESSION_CLASSES = frozenset(
+    {"SessionManager", "UncertaintyReductionSession", "InteractiveSession"}
+)
+
+
+@LINT_RULES.register("RPL010")
+class EvalSessionDisciplineRule(Rule):
+    """Eval code runs sessions through ``repro.api.run`` and derives RNG
+    via ``derive_seed``.
+
+    The evaluation harness *is* the fidelity gate: golden replays are
+    only bit-identical, and calibration numbers only comparable across
+    machines, if every eval session flows through the one sanctioned
+    seed-derivation and construction path
+    (``prepare_session``/``run_session``/``replay_session``).  A
+    hand-rolled ``UncertaintyReductionSession(...)`` or ad-hoc
+    ``default_rng(42)`` inside a suite silently forks the determinism
+    contract the suite exists to certify.  ``evals/service_replay.py``
+    is the one sanctioned exception — exercising the
+    ``SessionManager`` event-log path is its entire purpose.
+    """
+
+    code = "RPL010"
+    name = "evals-through-api-run"
+    rationale = (
+        "eval sessions built outside repro.api.run (or RNG not derived "
+        "via derive_seed) fork the determinism contract the suites "
+        "certify"
+    )
+
+    ALLOWED = frozenset({"src/repro/evals/service_replay.py"})
+
+    def applies_to(self, path: str) -> bool:
+        return is_first_party(path) and path.startswith("src/repro/evals/")
+
+    def visit_node(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Iterator[Violation]:
+        if ctx.path in self.ALLOWED:
+            return
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name in _SESSION_CLASSES:
+                    yield self.violation(
+                        node,
+                        ctx,
+                        f"eval code imports {alias.name!r}; construct "
+                        "sessions through repro.api.run "
+                        "(prepare_session / run_session / replay_session)",
+                    )
+        elif isinstance(node, ast.Call):
+            callee = dotted_name(node.func)
+            if not callee:
+                return
+            parts = callee.split(".")
+            direct = set(parts) & _SESSION_CLASSES
+            if direct:
+                yield self.violation(
+                    node,
+                    ctx,
+                    f"direct {sorted(direct)[0]} use in eval code; go "
+                    "through repro.api.run instead",
+                )
+                return
+            resolved = ctx.resolve_numpy(callee)
+            if resolved == "numpy.random.default_rng":
+                seed = node.args[0] if node.args else None
+                derived = (
+                    isinstance(seed, ast.Call)
+                    and (dotted_name(seed.func) or "").rsplit(".", 1)[-1]
+                    == "derive_seed"
+                )
+                if not derived:
+                    yield self.violation(
+                        node,
+                        ctx,
+                        "eval RNG must be seeded through "
+                        "utils.rng.derive_seed(seed, *labels)",
+                    )
+
+
 __all__ = [
     "SeededRngRule",
     "ContentKeyRule",
@@ -623,4 +707,5 @@ __all__ = [
     "TornTailAppendRule",
     "MutableDefaultRule",
     "EngineSpecConstructionRule",
+    "EvalSessionDisciplineRule",
 ]

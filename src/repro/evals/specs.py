@@ -1,0 +1,87 @@
+"""Frozen, content-addressed identity for evaluation work.
+
+An :class:`EvalSpec` names one evaluation *case*: which suite owns it
+(``calibration`` / ``regret`` / ``golden`` — the ``EVALS`` registry
+names), the fully-specified :class:`~repro.api.specs.SessionSpec` it
+evaluates, and suite-level parameters (bin counts, epsilon settings,
+expected outcomes for golden cases).  Like every other spec in the repo
+it round-trips through canonical JSON and is addressed by a BLAKE2b
+content key — golden datasets store that key next to each case so any
+drift in the recorded spec is detected before a replay is even
+attempted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from typing import Mapping
+
+from repro.api.canonical import canonical_json as _canonical_json
+from repro.api.canonical import content_key as _content_key
+from repro.api.specs import SessionSpec, _canonical_params, _require_keys
+
+
+@dataclass(frozen=True)
+class EvalSpec:
+    """One evaluation case: a suite name + the session it evaluates.
+
+    ``params`` carries suite-specific configuration and participates in
+    the content key, so two cases that differ only in (say) the number
+    of reliability bins are distinct artifacts.
+    """
+
+    suite: str
+    session: SessionSpec
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.suite, str) or not self.suite:
+            raise ValueError("EvalSpec.suite must be a non-empty string")
+        if not isinstance(self.session, SessionSpec):
+            raise TypeError(
+                "EvalSpec.session must be a SessionSpec, got "
+                f"{type(self.session).__name__}"
+            )
+        object.__setattr__(
+            self, "params", _canonical_params(self.params, "EvalSpec")
+        )
+
+    # -- canonical round-trip ------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable canonical form."""
+        return {
+            "suite": self.suite,
+            "session": self.session.to_dict(),
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "EvalSpec":
+        """Inverse of :meth:`to_dict` (validates on construction)."""
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"EvalSpec payload must be a mapping, got "
+                f"{type(payload).__name__}"
+            )
+        data = dict(payload)
+        _require_keys(data, {"suite", "session", "params"}, "EvalSpec")
+        return cls(
+            suite=data.get("suite", ""),
+            session=SessionSpec.from_dict(data.get("session", {})),
+            params=dict(data.get("params", {})),
+        )
+
+    def canonical_json(self) -> str:
+        """Key-sorted, locale-independent JSON form."""
+        return _canonical_json(self.to_dict())
+
+    def content_key(self) -> str:
+        """BLAKE2b content address — golden cases pin this next to the
+        spec so recorded expectations cannot silently drift."""
+        return _content_key(self.to_dict())
+
+
+__all__ = ["EvalSpec"]

@@ -1,0 +1,64 @@
+"""The suite contract shared by every ``EVALS`` registry entry.
+
+A suite is declarative about *what* to run (``grid(fast)`` returns a
+:class:`~repro.experiments.grid.ExperimentGrid`, executed by the PR 2
+runner — parallel and resumable for free) and pure about *how* to judge
+it (``score(rows)`` maps the assembled result rows to a report section
+with explicit pass/fail checks).  The split means a nightly run can
+execute once, store every row durably, and re-score against new
+thresholds without recomputing anything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.experiments.grid import ExperimentGrid
+
+
+def check(name: str, passed: bool, value: float, threshold: float,
+          direction: str) -> Dict[str, Any]:
+    """One scored gate: ``value`` compared against ``threshold``.
+
+    ``direction`` documents which way is good (``"<="`` or ``">="``) so
+    report readers — and the baseline regression comparison — need no
+    out-of-band knowledge to interpret the numbers.
+    """
+    if direction not in ("<=", ">="):
+        raise ValueError(f"check direction must be '<=' or '>=': {direction}")
+    return {
+        "name": name,
+        "passed": bool(passed),
+        "value": float(value),
+        "threshold": float(threshold),
+        "direction": direction,
+    }
+
+
+def section(name: str, checks: List[Dict[str, Any]],
+            metrics: Dict[str, Any]) -> Dict[str, Any]:
+    """Assemble one suite's report section; passes iff every check does."""
+    return {
+        "name": name,
+        "passed": all(c["passed"] for c in checks),
+        "checks": checks,
+        "metrics": metrics,
+    }
+
+
+class EvalSuite:
+    """Base class for evaluation suites (``EVALS`` registry values)."""
+
+    #: Registry name; subclasses override.
+    name = "base"
+
+    def grid(self, fast: bool = True) -> ExperimentGrid:
+        """Declare the suite's work as grid cells (never run them here)."""
+        raise NotImplementedError
+
+    def score(self, rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+        """Judge assembled result rows; returns a :func:`section` dict."""
+        raise NotImplementedError
+
+
+__all__ = ["EvalSuite", "check", "section"]

@@ -102,6 +102,33 @@ class ResidualEvaluator:
         #: Contradictory reliable answers swallowed by :meth:`apply_answer`
         #: (the space was left unchanged instead of being emptied).
         self.contradictions = 0
+        #: Realized-value observers notified by :meth:`apply_answer`
+        #: (see :meth:`attach_observer`).  Empty in every hot path.
+        self._observers: list = []
+
+    # ------------------------------------------------------------------
+    # Realized-value hooks (the evaluation harness's instrumentation)
+    # ------------------------------------------------------------------
+
+    def attach_observer(self, observer: object) -> None:
+        """Subscribe an observer to *real* answer applications.
+
+        ``observer.on_answer(before, question, holds, accuracy, after)``
+        is called once per :meth:`apply_answer` — the one place every
+        committed answer flows through, for batch sessions and the
+        interactive service alike — with the pre- and post-update spaces.
+        Hypothetical posteriors priced during question scoring never
+        trigger it, so an observer sees exactly the realized trajectory.
+        This is the hook :mod:`repro.evals` builds calibration curves on
+        (predicted residual reduction vs what the answer actually did).
+        """
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def detach_observer(self, observer: object) -> None:
+        """Unsubscribe a previously attached observer (idempotent)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
 
     # ------------------------------------------------------------------
 
@@ -529,11 +556,17 @@ class ResidualEvaluator:
         """
         if accuracy >= 1.0:
             try:
-                return space.condition(question.i, question.j, holds)
+                updated = space.condition(question.i, question.j, holds)
             except DegenerateSpaceError:
                 self.contradictions += 1
-                return space
-        return space.reweight_by_answer(question.i, question.j, holds, accuracy)
+                updated = space
+        else:
+            updated = space.reweight_by_answer(
+                question.i, question.j, holds, accuracy
+            )
+        for observer in self._observers:
+            observer.on_answer(space, question, holds, accuracy, updated)
+        return updated
 
 
 __all__ = ["ResidualEvaluator", "select_min_residual"]

@@ -26,6 +26,7 @@ EXPECTED_API_ALL = [
     "DISTRIBUTIONS",
     "ENGINES",
     "STORES",
+    "EVALS",
     "all_registries",
     # specs
     "InstanceSpec",
@@ -41,8 +42,25 @@ EXPECTED_API_ALL = [
     "as_instance_spec",
     # execution
     "PreparedSession",
+    "ReplayResult",
     "prepare_session",
+    "replay_session",
     "run_session",
+]
+
+#: Every enumerable plugin axis — ``repro list`` kinds and the
+#: ``/v1/meta`` plugin map share exactly this key set.
+EXPECTED_REGISTRY_KINDS = [
+    "crowd_models",
+    "distributions",
+    "engines",
+    "evals",
+    "lint_rules",
+    "measures",
+    "policies",
+    "scenarios",
+    "stores",
+    "workloads",
 ]
 
 EXPECTED_BUILTIN_PLUGINS = {
@@ -81,6 +99,19 @@ EXPECTED_BUILTIN_PLUGINS = {
     ],
     "engines": ["exact", "grid", "mc"],
     "stores": ["disk-npz", "memory", "shared-memory"],
+    "evals": ["calibration", "golden", "regret"],
+    "lint_rules": [
+        "RPL001",
+        "RPL002",
+        "RPL003",
+        "RPL004",
+        "RPL005",
+        "RPL006",
+        "RPL007",
+        "RPL008",
+        "RPL009",
+        "RPL010",
+    ],
 }
 
 
@@ -91,6 +122,10 @@ def test_api_all_is_exactly_the_reviewed_surface():
 def test_every_exported_name_resolves():
     for name in api.__all__:
         assert getattr(api, name) is not None
+
+
+def test_registry_kind_list_is_stable():
+    assert sorted(api.all_registries()) == EXPECTED_REGISTRY_KINDS
 
 
 def test_builtin_plugin_names_are_stable():

@@ -122,6 +122,8 @@ class TestCatalog:
             "distributions",
             "engines",
             "stores",
+            "evals",
+            "lint_rules",
         }
         for registry in registries.values():
             assert len(registry) > 0

@@ -1,0 +1,122 @@
+"""Tests for replicated-answer aggregation (majority and Bayesian)."""
+
+import pytest
+
+from repro.crowd.aggregation import (
+    majority_accuracy,
+    majority_vote,
+    weighted_vote,
+)
+
+
+class TestMajorityVote:
+    def test_clear_majority(self):
+        verdict, support = majority_vote([True, True, False])
+        assert verdict is True
+        assert support == pytest.approx(2 / 3)
+
+    def test_negative_majority(self):
+        verdict, support = majority_vote([False, False, False, True])
+        assert verdict is False
+        assert support == pytest.approx(3 / 4)
+
+    def test_tie_breaks_toward_true(self):
+        verdict, support = majority_vote([True, False])
+        assert verdict is True
+        assert support == pytest.approx(0.5)
+
+    def test_unanimous_support_is_total(self):
+        assert majority_vote([True] * 5) == (True, 1.0)
+
+    def test_empty_votes_rejected(self):
+        with pytest.raises(ValueError):
+            majority_vote([])
+
+
+class TestWeightedVote:
+    def test_single_vote_returns_its_accuracy(self):
+        verdict, confidence = weighted_vote([True], [0.8])
+        assert verdict is True
+        assert confidence == pytest.approx(0.8)
+
+    def test_one_strong_worker_beats_two_weak(self):
+        verdict, confidence = weighted_vote(
+            [True, False, False], [0.99, 0.6, 0.6]
+        )
+        assert verdict is True
+        assert confidence > 0.5
+
+    def test_symmetric_flip(self):
+        """Negating every vote negates the verdict, same confidence."""
+        votes = [True, True, False]
+        accuracies = [0.9, 0.7, 0.8]
+        verdict, confidence = weighted_vote(votes, accuracies)
+        flipped, flipped_confidence = weighted_vote(
+            [not v for v in votes], accuracies
+        )
+        assert flipped is (not verdict)
+        assert flipped_confidence == pytest.approx(confidence)
+
+    def test_coin_flip_workers_carry_no_signal(self):
+        verdict, confidence = weighted_vote([True, False], [0.5, 0.5])
+        assert confidence == pytest.approx(0.5)
+        assert verdict is True  # zero log-odds resolves toward True
+
+    def test_agreement_raises_confidence_above_any_single_worker(self):
+        _, single = weighted_vote([True], [0.8])
+        _, pair = weighted_vote([True, True], [0.8, 0.8])
+        assert pair > single
+
+    def test_perfect_accuracy_is_clamped_not_fatal(self):
+        verdict, confidence = weighted_vote([True], [1.0])
+        assert verdict is True
+        assert confidence > 0.999
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_vote([True, False], [0.8])
+
+    def test_empty_votes_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_vote([], [])
+
+    def test_accuracy_validated(self):
+        with pytest.raises(ValueError):
+            weighted_vote([True], [1.5])
+
+
+class TestMajorityAccuracy:
+    def test_single_worker_is_identity(self):
+        assert majority_accuracy(0.8, 1) == pytest.approx(0.8)
+
+    def test_three_way_closed_form(self):
+        p = 0.8
+        expected = p**3 + 3 * p**2 * (1 - p)
+        assert majority_accuracy(p, 3) == pytest.approx(expected)
+
+    def test_even_replication_tie_break_keeps_pair_at_worker_level(self):
+        """With 2 workers, the split vote is a coin flip, so the pair is
+        exactly as reliable as one worker: p^2 + 0.5 * 2p(1-p) = p."""
+        for p in (0.6, 0.75, 0.9):
+            assert majority_accuracy(p, 2) == pytest.approx(p)
+
+    def test_replication_helps_above_half(self):
+        assert majority_accuracy(0.7, 5) > majority_accuracy(0.7, 3) > 0.7
+
+    def test_replication_hurts_below_half(self):
+        assert majority_accuracy(0.4, 3) < 0.4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            majority_accuracy(0.8, 0)
+        with pytest.raises(ValueError):
+            majority_accuracy(1.2, 3)
+
+
+class TestConsistency:
+    def test_equal_accuracies_agree_with_majority(self):
+        """Uniform-accuracy Bayesian fusion reduces to majority vote."""
+        for votes in ([True, True, False], [False, False, True], [True]):
+            majority_verdict, _ = majority_vote(votes)
+            weighted_verdict, _ = weighted_vote(votes, [0.8] * len(votes))
+            assert weighted_verdict is majority_verdict

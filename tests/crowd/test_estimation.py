@@ -103,3 +103,49 @@ class TestEstimation:
         assert len(votes) == 4
         for vote in votes:
             assert vote.holds == truth.holds(vote.question)
+
+    def test_hitting_the_iteration_cap_reports_non_convergence(
+        self, truth, questions
+    ):
+        rng = np.random.default_rng(7)
+        votes = simulate_vote_log(
+            truth, questions, {"a": 0.9, "b": 0.7, "c": 0.55}, rng
+        )
+        result = estimate_worker_accuracies(
+            votes, max_iterations=1, tolerance=1e-12
+        )
+        assert not result.converged
+        assert result.iterations == 1
+
+    def test_adversarial_worker_lands_below_half(self, truth, questions):
+        """Three honest workers expose an always-wrong one: its posterior
+        agreement rate drops below 0.5 despite the 0.7 prior."""
+        rng = np.random.default_rng(8)
+        votes = simulate_vote_log(
+            truth,
+            questions,
+            {"a": 0.9, "b": 0.9, "c": 0.9},
+            rng,
+        )
+        votes += [
+            LabeledVote(q, "liar", not truth.holds(q)) for q in questions
+        ]
+        result = estimate_worker_accuracies(votes)
+        assert result.accuracies["liar"] < 0.5
+        assert all(
+            result.accuracies[w] > 0.8 for w in ("a", "b", "c")
+        )
+
+    def test_accuracies_stay_in_unit_interval(self, truth, questions):
+        rng = np.random.default_rng(9)
+        votes = simulate_vote_log(
+            truth, questions, {"a": 1.0, "b": 0.5}, rng
+        )
+        result = estimate_worker_accuracies(votes)
+        for accuracy in result.accuracies.values():
+            assert 0.0 <= accuracy <= 1.0
+
+    def test_simulated_accuracy_validated(self, truth):
+        rng = np.random.default_rng(10)
+        with pytest.raises(ValueError):
+            simulate_vote_log(truth, [Question(0, 1)], {"a": 1.5}, rng)

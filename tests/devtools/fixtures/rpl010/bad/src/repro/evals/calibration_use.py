@@ -1,0 +1,13 @@
+"""Fixture: eval code bypassing the sanctioned repro.api.run path."""
+
+import numpy as np
+
+import repro.service.manager as manager_mod
+from repro.core.session import UncertaintyReductionSession
+
+
+def run_eval_cell(distributions, k, crowd):
+    rng = np.random.default_rng(1234)
+    session = UncertaintyReductionSession(distributions, k, crowd, rng=rng)
+    manager = manager_mod.SessionManager()
+    return session, manager, rng

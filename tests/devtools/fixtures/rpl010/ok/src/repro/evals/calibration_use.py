@@ -1,0 +1,13 @@
+"""Fixture: eval code through the sanctioned entry points."""
+
+import numpy as np
+
+from repro.api.run import replay_session, run_session
+from repro.utils.rng import derive_seed
+
+
+def run_eval_cell(spec, answers):
+    rng = np.random.default_rng(derive_seed(spec.instance.seed, "eval"))
+    result = run_session(spec)
+    replay = replay_session(spec, answers)
+    return result, replay, rng

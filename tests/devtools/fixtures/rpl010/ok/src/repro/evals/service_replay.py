@@ -1,0 +1,8 @@
+"""Fixture: the allowlisted service-path module may use the manager."""
+
+from repro.service.manager import SessionManager
+
+
+def run_golden_service_cell(case):
+    manager = SessionManager()
+    return manager.create_session(case["spec"])

@@ -1,0 +1,7 @@
+"""Fixture: outside src/repro/evals/ the rule does not apply."""
+
+from repro.core.session import UncertaintyReductionSession
+
+
+def run_driver(distributions, k, crowd):
+    return UncertaintyReductionSession(distributions, k, crowd)

@@ -30,7 +30,7 @@ def test_exit_nonzero_on_violation_fixture(capsys):
 
 
 @pytest.mark.parametrize(
-    "code", [f"rpl00{i}" for i in range(1, 10)]
+    "code", [f"rpl{i:03d}" for i in range(1, 11)]
 )
 def test_exit_nonzero_on_every_violation_fixture(code):
     assert lint_main(["--root", str(FIXTURES / code / "bad"), "src"]) == 1
@@ -68,7 +68,7 @@ def test_json_format_schema(capsys):
         assert violation["rule"] == "RPL008"
         assert violation["severity"] in ("error", "warning")
     rule_rows = {rule["code"]: rule for rule in document["rules"]}
-    assert set(rule_rows) == {f"RPL00{i}" for i in range(1, 10)}
+    assert set(rule_rows) == {f"RPL{i:03d}" for i in range(1, 11)}
     for rule in rule_rows.values():
         assert rule["name"] and rule["rationale"]
 

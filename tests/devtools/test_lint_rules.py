@@ -25,7 +25,7 @@ def run_on(root: Path, code: str):
 
 
 def test_every_rule_has_both_fixtures():
-    assert ALL_CODES == [f"RPL00{i}" for i in range(1, 10)]
+    assert ALL_CODES == [f"RPL{i:03d}" for i in range(1, 11)]
     for code in ALL_CODES:
         tree = FIXTURES / code.lower()
         assert (tree / "ok" / "src").is_dir(), f"missing ok fixture for {code}"
@@ -73,6 +73,7 @@ def test_expected_bad_finding_counts():
         "RPL007": 1,  # raw append-mode open
         "RPL008": 3,  # weights=[], cache={}, options=dict()
         "RPL009": 3,  # GridBuilder + MonteCarloBuilder + dotted ExactBuilder
+        "RPL010": 4,  # session import + default_rng + 2 direct constructions
     }
     actual = {
         code: len(run_on(FIXTURES / code.lower() / "bad", code))

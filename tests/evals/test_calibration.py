@@ -1,0 +1,168 @@
+"""Calibration suite: metric helpers, the observer hook, cell runners."""
+
+import pytest
+
+from repro.evals.calibration import (
+    CalibrationEval,
+    expected_calibration_error,
+    fractional_reductions,
+    interval_coverage,
+    merge_bins,
+    reliability_bins,
+    run_calibration_cell,
+)
+from repro.evals.calibration import CalibrationRecord
+
+
+def _cell(**overrides):
+    params = dict(
+        measure="H",
+        crowd_model="perfect",
+        accuracy=1.0,
+        n=8,
+        k=3,
+        workload="jittered",
+        seed=3,
+        budget=5,
+        engine_params={"resolution": 256},
+    )
+    params.update(overrides)
+    return run_calibration_cell(**params)
+
+
+# -- metric helpers ----------------------------------------------------
+
+
+def test_perfectly_calibrated_predictions_have_zero_ece():
+    predicted = [0.05, 0.25, 0.55, 0.95]
+    bins = reliability_bins(predicted, predicted, bins=10)
+    assert expected_calibration_error(bins) == 0.0
+
+
+def test_systematic_overprediction_shows_in_ece():
+    predicted = [0.9, 0.95, 0.85]
+    realized = [0.1, 0.15, 0.05]
+    bins = reliability_bins(predicted, realized, bins=10)
+    assert expected_calibration_error(bins) == pytest.approx(0.8, abs=0.05)
+
+
+def test_empty_bins_give_zero_ece():
+    assert expected_calibration_error(reliability_bins([], [], bins=5)) == 0.0
+
+
+def test_merge_bins_pools_counts_and_sums():
+    a = reliability_bins([0.1], [0.2], bins=4)
+    b = reliability_bins([0.1, 0.9], [0.0, 1.0], bins=4)
+    merged = merge_bins([a, b])
+    assert sum(row[0] for row in merged) == 3
+    with pytest.raises(ValueError):
+        merge_bins([a, reliability_bins([0.5], [0.5], bins=8)])
+
+
+def test_fractional_reductions_skip_certain_states_and_clip():
+    records = [
+        CalibrationRecord(0.0, 0.0, 0.0, (0.0, 0.0), (0.0, 0.0)),
+        CalibrationRecord(2.0, 2.2, 1.0, (2.0, 2.0), (2.2, 2.2)),
+    ]
+    predicted, realized = fractional_reductions(records)
+    assert predicted == [0.5]
+    assert realized == [0.0]  # realized increase clips to zero
+
+
+def test_interval_coverage_counts_containment():
+    intervals = [(0.0, 1.0), (2.0, 3.0), (5.0, 6.0)]
+    assert interval_coverage(intervals, [0.5, 2.5, 7.0]) == pytest.approx(
+        2 / 3
+    )
+    assert interval_coverage([], []) == 1.0
+
+
+def test_interval_coverage_tolerates_float_noise():
+    assert interval_coverage([(1.0, 1.0)], [1.0 + 1e-12]) == 1.0
+
+
+# -- the instrumented cell --------------------------------------------
+
+
+def test_exact_cell_coverage_is_total():
+    row = _cell()
+    assert row["coverage"] == 1.0
+    assert row["coverage_states"] == row["answers"] + 1
+    assert not row["beamed"]
+    assert row["answers"] > 0
+
+
+def test_exact_cell_is_well_calibrated():
+    row = _cell()
+    assert row["ece"] <= 0.15
+    assert 0.0 <= row["mean_predicted"] <= 1.0
+    assert 0.0 <= row["mean_realized"] <= 1.0
+
+
+def test_noisy_cell_reweights_without_contradictions():
+    row = _cell(crowd_model="noisy", accuracy=0.8)
+    assert row["contradictions"] == 0
+    assert row["answers"] > 0
+
+
+def test_beam_cell_realizes_exact_values_for_coverage():
+    row = _cell(
+        n=11,
+        k=4,
+        budget=6,
+        engine_params={"resolution": 256, "beam_epsilon": 0.02},
+    )
+    assert row["beamed"]
+    assert row["coverage"] == 1.0
+
+
+def test_cell_rows_are_json_round_trippable():
+    import json
+
+    row = _cell()
+    assert json.loads(json.dumps(row)) == row
+
+
+# -- the suite ---------------------------------------------------------
+
+
+def test_fast_grid_covers_all_measures_and_beams():
+    grid = CalibrationEval().grid(fast=True)
+    measures = {cell.params["measure"] for cell in grid}
+    assert measures == {"H", "Hw", "ORA", "MPO"}
+    assert any(
+        cell.params["engine_params"].get("beam_epsilon") for cell in grid
+    )
+
+
+def test_score_gates_on_synthetic_rows():
+    good = {
+        "measure": "H",
+        "beamed": False,
+        "answers": 2,
+        "contradictions": 0,
+        "bins": reliability_bins([0.5, 0.5], [0.5, 0.5], bins=10),
+        "coverage": 1.0,
+    }
+    bad_coverage = dict(good, coverage=0.5)
+    passing = CalibrationEval().score([good])
+    failing = CalibrationEval().score([good, bad_coverage])
+    assert passing["passed"]
+    assert not failing["passed"]
+    names = {c["name"]: c for c in failing["checks"]}
+    assert not names["coverage_exact"]["passed"]
+
+
+def test_score_excludes_forked_beam_rows_from_the_gate():
+    base = {
+        "measure": "H",
+        "beamed": True,
+        "answers": 2,
+        "contradictions": 1,  # trajectories forked: not gated
+        "bins": reliability_bins([0.5], [0.5], bins=10),
+        "coverage": 0.0,
+    }
+    result = CalibrationEval().score([base])
+    names = {c["name"]: c for c in result["checks"]}
+    assert names["coverage_beam"]["passed"]
+    assert result["metrics"]["beam_rows_forked"] == 1

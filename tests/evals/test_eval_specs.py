@@ -1,0 +1,54 @@
+"""EvalSpec: canonical round-trip, content keys, validation."""
+
+import pytest
+
+from repro.api.specs import InstanceSpec, SessionSpec
+from repro.evals.specs import EvalSpec
+
+
+def _spec(**overrides):
+    session = SessionSpec(instance=InstanceSpec(n=6, k=3, seed=5))
+    defaults = dict(suite="golden", session=session, params={"bins": 10})
+    defaults.update(overrides)
+    return EvalSpec(**defaults)
+
+
+def test_round_trip_is_exact():
+    spec = _spec()
+    clone = EvalSpec.from_dict(spec.to_dict())
+    assert clone == spec
+    assert clone.canonical_json() == spec.canonical_json()
+    assert clone.content_key() == spec.content_key()
+
+
+def test_params_participate_in_content_key():
+    assert _spec().content_key() != _spec(params={"bins": 20}).content_key()
+    assert _spec().content_key() != _spec(suite="calibration").content_key()
+
+
+def test_content_key_is_stable_across_param_order():
+    a = _spec(params={"a": 1, "b": 2})
+    b = _spec(params={"b": 2, "a": 1})
+    assert a.content_key() == b.content_key()
+
+
+def test_empty_suite_rejected():
+    with pytest.raises(ValueError):
+        _spec(suite="")
+
+
+def test_session_must_be_a_spec():
+    with pytest.raises(TypeError):
+        _spec(session={"instance": {"n": 6, "k": 3}})
+
+
+def test_unknown_payload_fields_rejected():
+    payload = _spec().to_dict()
+    payload["extra"] = 1
+    with pytest.raises(ValueError):
+        EvalSpec.from_dict(payload)
+
+
+def test_non_mapping_payload_rejected():
+    with pytest.raises(ValueError):
+        EvalSpec.from_dict([1, 2, 3])

@@ -1,0 +1,116 @@
+"""Regret suite: trajectory math, oracle cells, beam deltas, scoring."""
+
+import pytest
+
+from repro.evals.regret import (
+    RegretEval,
+    cumulative_regret,
+    run_beam_delta_cell,
+    run_regret_cell,
+)
+
+
+def test_cumulative_regret_pads_shorter_trajectories():
+    # The policy settled after one question; the oracle used three.
+    policy = [0.4, 0.1]
+    oracle = [0.4, 0.2, 0.1, 0.0]
+    assert cumulative_regret(policy, oracle) == pytest.approx(
+        (0.4 - 0.4) + (0.1 - 0.2) + (0.1 - 0.1) + (0.1 - 0.0)
+    )
+
+
+def test_cumulative_regret_of_identical_trajectories_is_zero():
+    assert cumulative_regret([0.3, 0.1, 0.0], [0.3, 0.1, 0.0]) == 0.0
+
+
+def test_empty_trajectory_rejected():
+    with pytest.raises(ValueError):
+        cumulative_regret([], [0.1])
+
+
+def test_regret_cell_reports_policy_and_oracle():
+    row = run_regret_cell(
+        policy="T1-on",
+        measure="H",
+        accuracy=1.0,
+        n=7,
+        k=3,
+        workload="jittered",
+        seed=2,
+        budget=3,
+        resolution=256,
+    )
+    assert row["kind"] == "regret"
+    assert row["oracle_distance"] >= 0.0
+    assert row["cumulative_regret"] == pytest.approx(
+        row["cumulative_regret"]
+    )  # finite
+    assert row["questions_asked"] <= 3
+
+
+def test_beam_delta_cell_compares_engines():
+    row = run_beam_delta_cell(
+        policy="T1-on",
+        measure="H",
+        accuracy=1.0,
+        n=10,
+        k=4,
+        workload="jittered",
+        seed=2,
+        budget=4,
+        beam_epsilon=0.02,
+        resolution=256,
+    )
+    assert row["kind"] == "beam_delta"
+    assert abs(row["delta_distance"]) <= 1.0
+    assert row["beam_epsilon"] == 0.02
+
+
+def test_fast_grid_has_oracle_and_beam_cells():
+    grid = RegretEval().grid(fast=True)
+    runners = {cell.runner for cell in grid}
+    assert runners == {
+        "repro.evals.regret:run_regret_cell",
+        "repro.evals.regret:run_beam_delta_cell",
+    }
+
+
+def test_score_gates_informed_policies_only():
+    rows = [
+        {
+            "kind": "regret",
+            "policy": "T1-on",
+            "cumulative_regret": 0.05,
+            "final_regret": 0.01,
+            "oracle_distance": 0.1,
+        },
+        {
+            "kind": "regret",
+            "policy": "random",
+            "cumulative_regret": 5.0,  # terrible, but never gated
+            "final_regret": 2.0,
+            "oracle_distance": 0.1,
+        },
+        {
+            "kind": "beam_delta",
+            "beam_epsilon": 0.02,
+            "delta_distance": 0.01,
+        },
+    ]
+    result = RegretEval().score(rows)
+    assert result["passed"]
+    assert "random" in result["metrics"]["cumulative_regret_per_policy"]
+
+
+def test_score_fails_on_informed_regret():
+    rows = [
+        {
+            "kind": "regret",
+            "policy": "T1-on",
+            "cumulative_regret": 10.0,
+            "final_regret": 0.5,
+            "oracle_distance": 0.1,
+        }
+    ]
+    result = RegretEval().score(rows)
+    assert not result["passed"]

@@ -233,6 +233,11 @@ class TestV1Endpoints:
             assert body["version"] == __version__
             assert set(body["plugins"]) == set(all_registries())
             assert body["plugins"]["measures"] == ["H", "Hw", "MPO", "ORA"]
+            assert body["plugins"]["evals"] == [
+                "calibration", "golden", "regret",
+            ]
+            assert "RPL010" in body["plugins"]["lint_rules"]
+            assert "memory" in body["plugins"]["stores"]
             listed = {(e["method"], e["path"]) for e in body["endpoints"]}
             assert ("GET", "/v1/meta") in listed
             assert ("POST", "/v1/sessions/{session_id}/answers") in listed

@@ -193,3 +193,63 @@ class TestServiceCommands:
         out = capsys.readouterr().out
         assert "PASS" in out
         assert "leaf order identical=True" in out
+
+
+class TestEval:
+    def test_eval_golden_suite_passes(self, capsys):
+        code = main(["eval", "--suite", "golden"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "golden" in out
+        assert "overall" in out
+        assert "PASS" in out
+
+    def test_eval_unknown_suite_rejected(self, capsys):
+        code = main(["eval", "--suite", "nope"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown eval suites" in err
+        assert "golden" in err  # lists what IS available
+
+    def test_eval_resume_requires_store_dir(self, capsys):
+        code = main(["eval", "--resume"])
+        assert code == 2
+        assert "--resume requires --store-dir" in capsys.readouterr().err
+
+    def test_eval_writes_json_report(self, capsys, tmp_path):
+        artifact = tmp_path / "EVAL_report.json"
+        code = main(["eval", "--suite", "golden", "--json", str(artifact)])
+        assert code == 0
+        report = json.loads(artifact.read_text())
+        assert report["passed"]
+        assert report["suites"]["golden"]["passed"]
+
+    def test_eval_baseline_comparison_is_clean(self, capsys, tmp_path):
+        artifact = tmp_path / "EVAL_report.json"
+        assert main(
+            ["eval", "--suite", "golden", "--json", str(artifact)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["eval", "--suite", "golden", "--baseline", str(artifact)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "no regressions" in captured.out
+        assert "REGRESSION" not in captured.err
+
+    def test_eval_suite_filter_narrows_baseline_comparison(
+        self, capsys, tmp_path
+    ):
+        """A --suite selection must not flag the deliberately skipped
+        suites as 'present in baseline, not run' regressions."""
+        artifact = tmp_path / "EVAL_report.json"
+        assert main(["eval", "--json", str(artifact)]) == 0
+        capsys.readouterr()
+        code = main(
+            ["eval", "--suite", "golden", "--baseline", str(artifact)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "no regressions" in captured.out
+        assert "not run" not in captured.err
