@@ -72,6 +72,18 @@ from repro.api.specs import (
     as_instance_spec,
 )
 
+def __getattr__(name: str):
+    # PEP 562: the whole-program check registry is part of the public
+    # surface (``from repro.api import CHECKS``) but lives with the
+    # analyzer — resolve it lazily so importing ``repro.api`` never
+    # pulls in the AST machinery.
+    if name == "CHECKS":
+        from repro.devtools.analysis import CHECKS
+
+        return CHECKS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     # canonical identity
     "canonical_json",
@@ -91,6 +103,7 @@ __all__ = [
     "ENGINES",
     "STORES",
     "EVALS",
+    "CHECKS",
     "all_registries",
     # specs
     "InstanceSpec",

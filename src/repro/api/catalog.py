@@ -118,11 +118,13 @@ def all_registries() -> Dict[str, Registry]:
     """Every catalog registry, keyed by its plural enumeration name.
 
     The single source for ``repro list`` and the ``/v1/meta`` endpoint.
-    The lint-rule registry lives with the checker framework
-    (:mod:`repro.devtools.lint`) and is pulled in lazily here so plain
-    catalog users never import the AST machinery — but the plugin
+    The lint-rule and whole-program-check registries live with their
+    analyzers (:mod:`repro.devtools.lint`,
+    :mod:`repro.devtools.analysis`) and are pulled in lazily here so
+    plain catalog users never import the AST machinery — but the plugin
     surface enumerates *every* pluggable axis, dev tooling included.
     """
+    from repro.devtools.analysis import CHECKS
     from repro.devtools.lint import LINT_RULES
 
     return {
@@ -136,6 +138,7 @@ def all_registries() -> Dict[str, Registry]:
         "stores": STORES,
         "evals": EVALS,
         "lint_rules": LINT_RULES,
+        "checks": CHECKS,
     }
 
 

@@ -28,7 +28,10 @@ Subcommands cover the common workflows without writing Python:
   (``python -m repro eval --suite golden --json EVAL_report.json``);
 * ``lint`` — the domain-aware static analysis suite (rules
   RPL001–RPL010 with a ratcheting baseline:
-  ``python -m repro lint --format github``).
+  ``python -m repro lint --format github``);
+* ``check`` — the whole-program call-graph & dataflow analyzer
+  (interprocedural checks RPC101–RPC104, same baseline machinery:
+  ``python -m repro check --format github``).
 
 Everything is constructed through the typed :mod:`repro.api` specs — the
 CLI is just an argparse veneer over ``SessionSpec``.
@@ -346,6 +349,17 @@ def _build_parser() -> argparse.ArgumentParser:
     from repro.devtools.lint.cli import add_lint_arguments
 
     add_lint_arguments(lint)
+
+    check = sub.add_parser(
+        "check",
+        help=(
+            "run the whole-program call-graph & dataflow analyzer "
+            "(RPC101-RPC104, ratcheting baseline)"
+        ),
+    )
+    from repro.devtools.analysis.cli import add_check_arguments
+
+    add_check_arguments(check)
     return parser
 
 
@@ -729,6 +743,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.devtools.lint.cli import run_lint
 
         return run_lint(args)
+    if args.command == "check":
+        from repro.devtools.analysis.cli import run_check
+
+        return run_check(args)
     return 2  # unreachable: argparse enforces the choices
 
 

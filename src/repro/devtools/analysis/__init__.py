@@ -1,0 +1,26 @@
+"""Whole-program static analysis for the reproduction (``repro check``).
+
+The call-graph builder lives in :mod:`repro.devtools.analysis.graph`
+(modules, functions, resolved call edges, lazy registry references), the
+fixed-point engines in :mod:`repro.devtools.analysis.dataflow` (taint
+closure with witness chains, may-raise propagation), and the built-in
+interprocedural checks RPC101–RPC104 in
+:mod:`repro.devtools.analysis.checks` — plugins in the :data:`CHECKS`
+registry, reporting through the same findings/baseline/format machinery
+as ``repro lint``.
+
+Importing this package registers the built-in checks.
+"""
+
+from repro.devtools.analysis.checks import CHECKS, Check, run_checks
+from repro.devtools.analysis.cli import main
+from repro.devtools.analysis.graph import CallGraph, build_graph
+
+__all__ = [
+    "CHECKS",
+    "CallGraph",
+    "Check",
+    "build_graph",
+    "main",
+    "run_checks",
+]

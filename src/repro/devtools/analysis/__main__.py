@@ -1,0 +1,8 @@
+"""``python -m repro.devtools.analysis`` — the ``repro check`` gate."""
+
+import sys
+
+from repro.devtools.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

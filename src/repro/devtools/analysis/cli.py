@@ -1,0 +1,99 @@
+"""Argument handling shared by ``repro check`` and ``python -m
+repro.devtools.analysis``.
+
+Exit codes follow the repo-wide gate convention
+(:mod:`repro.devtools.gate`): 0 = clean (possibly via baselined
+exceptions), 1 = new violations and/or stale baseline entries, 2 = usage
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.devtools.analysis.checks import CHECKS, run_checks
+from repro.devtools.analysis.graph import build_graph
+from repro.devtools.gate import (
+    EXIT_USAGE,
+    add_gate_arguments,
+    finish_gate,
+    list_plugins,
+    select_plugins,
+)
+
+#: Default baseline location, relative to the repo root.
+DEFAULT_BASELINE = "check_baseline.jsonl"
+
+
+def add_check_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the check options to ``parser`` (shared with ``repro check``)."""
+    add_gate_arguments(
+        parser, default_baseline=DEFAULT_BASELINE, plugin_noun="check"
+    )
+    parser.add_argument(
+        "--list-checks",
+        action="store_true",
+        help="print the check table and exit",
+    )
+    parser.add_argument(
+        "--graph-dump",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also write the resolved call graph (modules, edges, lazy "
+            "refs, external calls) as a JSON artifact"
+        ),
+    )
+
+
+def run_check(args: argparse.Namespace) -> int:
+    """Execute a parsed check invocation; returns the exit code."""
+    if args.list_checks:
+        return list_plugins(CHECKS)
+    checks = select_plugins(CHECKS, args.select, plugin_noun="check")
+    if checks is None:
+        return EXIT_USAGE
+
+    root = Path(args.root).resolve()
+    package_dir = root / "src" / "repro"
+    if not package_dir.is_dir():
+        print(
+            f"no package tree at {package_dir}; --root must point at a "
+            "repo root containing src/repro",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    graph = build_graph(root)
+    if args.graph_dump:
+        dump_path = Path(args.graph_dump)
+        dump_path.parent.mkdir(parents=True, exist_ok=True)
+        dump_path.write_text(
+            json.dumps(graph.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"call graph written to {dump_path}", file=sys.stderr)
+
+    violations = run_checks(graph, checks)
+    return finish_gate(
+        args, violations, checks, default_baseline=DEFAULT_BASELINE
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description=(
+            "Whole-program call-graph & dataflow analysis: verifies the "
+            "repo's interprocedural invariants (checks RPC101-RPC104)"
+        ),
+    )
+    add_check_arguments(parser)
+    return run_check(parser.parse_args(argv))
+
+
+__all__ = ["DEFAULT_BASELINE", "add_check_arguments", "main", "run_check"]

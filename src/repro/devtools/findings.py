@@ -1,0 +1,53 @@
+"""The shared finding model of the repo's static-analysis gates.
+
+Both analysis front ends — the per-file lint rules of
+:mod:`repro.devtools.lint` (RPL001–RPL010) and the whole-program
+call-graph checks of :mod:`repro.devtools.analysis` (RPC101–RPC104) —
+report :class:`Violation` objects.  One shape means one baseline format,
+one set of renderers (:mod:`repro.devtools.formats`), and one ratchet
+semantics (:mod:`repro.devtools.baseline`) for every gate.
+
+Violations carry a *fingerprint* — ``(rule, path, stripped source
+line)`` — deliberately excluding the line number, so a committed baseline
+entry keeps suppressing its violation when unrelated edits shift the
+file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule/check finding at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    line_text: str = ""
+    severity: str = "error"
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Baseline identity: stable across unrelated line-number drift."""
+        return (self.rule, self.path, self.line_text)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "line_text": self.line_text,
+            "severity": self.severity,
+        }
+
+
+__all__ = ["SEVERITIES", "Violation"]

@@ -1,0 +1,172 @@
+"""Shared CLI plumbing for the static-analysis gates.
+
+``repro lint`` (per-file AST rules) and ``repro check`` (whole-program
+call-graph checks) present the same contract: a plugin registry of
+rules/checks, a ``--select`` filter, a ``--format`` choice, a ratcheting
+reason-annotated baseline, and the common exit-code convention —
+
+* ``0`` — clean (possibly via baselined exceptions),
+* ``1`` — new violations and/or stale baseline entries (gate failure),
+* ``2`` — usage errors (unknown codes, bad flag combinations).
+
+This module owns that shared surface so the two front ends cannot
+drift: each contributes only its plugin registry, its default baseline
+file name, and the function that actually produces violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.devtools import baseline as baseline_mod
+from repro.devtools.findings import Violation
+from repro.devtools.formats import FORMATS, RuleInfo, render
+from repro.api.registry import Registry
+
+#: The shared exit-code convention (pinned by CLI tests).
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def add_gate_arguments(
+    parser: argparse.ArgumentParser,
+    *,
+    default_baseline: str,
+    plugin_noun: str = "rule",
+) -> None:
+    """Attach the options every static-analysis gate shares."""
+    parser.add_argument(
+        "--root",
+        default=".",
+        help=(
+            "repo root used to relativize paths; fixture trees analyze "
+            "under their own root"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        default="text",
+        choices=FORMATS,
+        help="report format (github emits PR annotations)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=(
+            "ratcheting JSONL baseline of deliberate, reason-annotated "
+            f"exceptions (default: <root>/{default_baseline} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline to cover the current violations "
+            "(existing reasons are kept; new entries get a TODO reason "
+            "you must edit)"
+        ),
+    )
+    parser.add_argument(
+        "--no-stale-check",
+        action="store_true",
+        help="do not fail on baseline entries whose violation is gone",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help=f"comma-separated {plugin_noun} codes to run (default: all)",
+    )
+
+
+def select_plugins(
+    registry: Registry, select: Optional[str], plugin_noun: str = "rule"
+) -> Optional[List[RuleInfo]]:
+    """Instantiate the selected plugins, or ``None`` on unknown codes.
+
+    The unknown-code message goes to stderr; callers translate ``None``
+    into the usage exit code (2).
+    """
+    available = registry.available()
+    if not select:
+        return [registry.create(code) for code in available]
+    wanted = [code.strip() for code in select.split(",") if code.strip()]
+    unknown = [code for code in wanted if code not in available]
+    if unknown:
+        print(
+            f"unknown {plugin_noun} code(s) {unknown}; "
+            f"available: {available}",
+            file=sys.stderr,
+        )
+        return None
+    return [registry.create(code) for code in wanted]
+
+
+def list_plugins(registry: Registry) -> int:
+    """Print the ``--list-rules`` / ``--list-checks`` table; returns 0."""
+    for code in registry.available():
+        plugin = registry.create(code)
+        print(f"{plugin.code}  {plugin.name}: {plugin.rationale}")
+    return EXIT_OK
+
+
+def finish_gate(
+    args: argparse.Namespace,
+    violations: Sequence[Violation],
+    plugins: Sequence[RuleInfo],
+    *,
+    default_baseline: str,
+) -> int:
+    """The shared back half of a gate run: baseline, render, exit code.
+
+    ``violations`` must already be sorted; the baseline file resolves to
+    ``--baseline`` or ``<root>/<default_baseline>``.
+    """
+    root = Path(args.root).resolve()
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline is not None
+        else root / default_baseline
+    )
+    entries = baseline_mod.load_baseline(baseline_path)
+
+    if args.update_baseline:
+        updated = baseline_mod.entries_from_violations(violations, entries)
+        baseline_mod.save_baseline(baseline_path, updated)
+        placeholders = sum(
+            1
+            for entry in updated
+            if entry.reason == baseline_mod.PLACEHOLDER_REASON
+        )
+        print(
+            f"baseline rewritten: {len(updated)} entr(ies) at "
+            f"{baseline_path}"
+            + (
+                f"; edit the {placeholders} TODO reason(s) before committing"
+                if placeholders
+                else ""
+            )
+        )
+        return EXIT_OK
+
+    result = baseline_mod.apply_baseline(violations, entries)
+    stale = [] if args.no_stale_check else result.stale
+    print(render(args.fmt, result.new, result.suppressed, stale, plugins))
+    return EXIT_FINDINGS if (result.new or stale) else EXIT_OK
+
+
+__all__ = [
+    "EXIT_FINDINGS",
+    "EXIT_OK",
+    "EXIT_USAGE",
+    "add_gate_arguments",
+    "finish_gate",
+    "list_plugins",
+    "select_plugins",
+]

@@ -1,20 +1,26 @@
 """Argument handling shared by ``repro lint`` and ``python -m
 repro.devtools.lint``.
 
-Exit codes: 0 = clean (possibly via baselined exceptions), 1 = new
-violations and/or stale baseline entries, 2 = usage error.
+Exit codes follow the repo-wide gate convention
+(:mod:`repro.devtools.gate`): 0 = clean (possibly via baselined
+exceptions), 1 = new violations and/or stale baseline entries, 2 = usage
+error.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.devtools.lint import baseline as baseline_mod
+from repro.devtools.gate import (
+    EXIT_USAGE,
+    add_gate_arguments,
+    finish_gate,
+    list_plugins,
+    select_plugins,
+)
 from repro.devtools.lint.core import LINT_RULES, Checker
-from repro.devtools.lint.formats import FORMATS, render
 
 #: Default lint targets, relative to the repo root.
 DEFAULT_PATHS = ("src",)
@@ -30,49 +36,8 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help=f"files or directories to lint (default: {'/'.join(DEFAULT_PATHS)})",
     )
-    parser.add_argument(
-        "--root",
-        default=".",
-        help=(
-            "repo root used to relativize paths; rules are path-scoped, "
-            "so fixture trees lint under their own root"
-        ),
-    )
-    parser.add_argument(
-        "--format",
-        dest="fmt",
-        default="text",
-        choices=FORMATS,
-        help="report format (github emits PR annotations)",
-    )
-    parser.add_argument(
-        "--baseline",
-        default=None,
-        metavar="PATH",
-        help=(
-            "ratcheting JSONL baseline of deliberate, reason-annotated "
-            f"exceptions (default: <root>/{DEFAULT_BASELINE} when present)"
-        ),
-    )
-    parser.add_argument(
-        "--update-baseline",
-        action="store_true",
-        help=(
-            "rewrite the baseline to cover the current violations "
-            "(existing reasons are kept; new entries get a TODO reason "
-            "you must edit)"
-        ),
-    )
-    parser.add_argument(
-        "--no-stale-check",
-        action="store_true",
-        help="do not fail on baseline entries whose violation is gone",
-    )
-    parser.add_argument(
-        "--select",
-        default=None,
-        metavar="CODES",
-        help="comma-separated rule codes to run (default: all)",
+    add_gate_arguments(
+        parser, default_baseline=DEFAULT_BASELINE, plugin_noun="rule"
     )
     parser.add_argument(
         "--list-rules",
@@ -83,60 +48,19 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
 
 def run_lint(args: argparse.Namespace) -> int:
     """Execute a parsed lint invocation; returns the exit code."""
-    available = LINT_RULES.available()
     if args.list_rules:
-        for code in available:
-            rule = LINT_RULES.create(code)
-            print(f"{rule.code}  {rule.name}: {rule.rationale}")
-        return 0
-    if args.select:
-        wanted = [code.strip() for code in args.select.split(",") if code.strip()]
-        unknown = [code for code in wanted if code not in available]
-        if unknown:
-            print(
-                f"unknown rule code(s) {unknown}; available: {available}",
-                file=sys.stderr,
-            )
-            return 2
-        rules = [LINT_RULES.create(code) for code in wanted]
-    else:
-        rules = [LINT_RULES.create(code) for code in available]
+        return list_plugins(LINT_RULES)
+    rules = select_plugins(LINT_RULES, args.select)
+    if rules is None:
+        return EXIT_USAGE
 
     root = Path(args.root).resolve()
     raw_paths = args.paths or [Path(p) for p in DEFAULT_PATHS]
     checker = Checker(rules)
     violations = checker.check_paths(root, [Path(p) for p in raw_paths])
-
-    baseline_path = (
-        Path(args.baseline)
-        if args.baseline is not None
-        else root / DEFAULT_BASELINE
+    return finish_gate(
+        args, violations, rules, default_baseline=DEFAULT_BASELINE
     )
-    entries = baseline_mod.load_baseline(baseline_path)
-
-    if args.update_baseline:
-        updated = baseline_mod.entries_from_violations(violations, entries)
-        baseline_mod.save_baseline(baseline_path, updated)
-        placeholders = sum(
-            1
-            for entry in updated
-            if entry.reason == baseline_mod.PLACEHOLDER_REASON
-        )
-        print(
-            f"baseline rewritten: {len(updated)} entr(ies) at "
-            f"{baseline_path}"
-            + (
-                f"; edit the {placeholders} TODO reason(s) before committing"
-                if placeholders
-                else ""
-            )
-        )
-        return 0
-
-    result = baseline_mod.apply_baseline(violations, entries)
-    stale = [] if args.no_stale_check else result.stale
-    print(render(args.fmt, result.new, result.suppressed, stale, rules))
-    return 1 if (result.new or stale) else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -144,7 +68,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="repro lint",
         description=(
             "Domain-aware static analysis: machine-checks the repo's "
-            "correctness conventions (rules RPL001-RPL008)"
+            "correctness conventions (rules RPL001-RPL010)"
         ),
     )
     add_lint_arguments(parser)

@@ -19,45 +19,14 @@ entry keeps suppressing its violation when unrelated edits shift the file
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 from repro.api.registry import Registry
+from repro.devtools.findings import SEVERITIES, Violation
 
 #: Registered rule plugins (name = rule code, factory = rule class).
 LINT_RULES = Registry("lint rule")
-
-SEVERITIES = ("error", "warning")
-
-
-@dataclass(frozen=True)
-class Violation:
-    """One rule finding at one source location."""
-
-    rule: str
-    path: str
-    line: int
-    col: int
-    message: str
-    line_text: str = ""
-    severity: str = "error"
-
-    @property
-    def fingerprint(self) -> Tuple[str, str, str]:
-        """Baseline identity: stable across unrelated line-number drift."""
-        return (self.rule, self.path, self.line_text)
-
-    def to_dict(self) -> Dict[str, Any]:
-        return {
-            "rule": self.rule,
-            "path": self.path,
-            "line": self.line,
-            "col": self.col,
-            "message": self.message,
-            "line_text": self.line_text,
-            "severity": self.severity,
-        }
 
 
 def is_first_party(path: str) -> bool:
@@ -288,6 +257,7 @@ class Checker:
 
 __all__ = [
     "LINT_RULES",
+    "SEVERITIES",
     "Checker",
     "FileContext",
     "Rule",

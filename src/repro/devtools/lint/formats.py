@@ -1,147 +1,19 @@
-"""Report renderers for ``repro lint``: text, json, github.
+"""Compatibility alias — the renderers moved to
+:mod:`repro.devtools.formats` so ``repro lint`` and ``repro check``
+share one text/json/github implementation.
 
-* ``text`` — ``path:line:col: CODE message`` per finding, then a summary
-  line; the local developer loop.
-* ``json`` — one machine-readable document (schema below, versioned and
-  covered by a schema self-test) for tooling.
-* ``github`` — ``::error``/``::warning`` workflow commands, so the CI
-  lint job annotates the offending lines directly on pull requests.
-
-JSON schema (``"format_version": 1``)::
-
-    {"format_version": 1,
-     "rules": [{"code", "name", "rationale", "severity"}…],
-     "violations": [{"rule", "path", "line", "col", "message",
-                     "line_text", "severity"}…],
-     "suppressed": [same shape…],
-     "stale_baseline": [{"rule", "path", "line_text", "reason"}…],
-     "counts": {"violations", "suppressed", "stale_baseline"},
-     "ok": bool}
+This module re-exports the shared names so historical imports
+(``from repro.devtools.lint.formats import …``) keep working.
 """
 
-from __future__ import annotations
-
-import json
-from typing import Any, Dict, List, Sequence
-
-from repro.devtools.lint.baseline import BaselineEntry
-from repro.devtools.lint.core import Rule, Violation
-
-FORMATS = ("text", "json", "github")
-JSON_FORMAT_VERSION = 1
-
-
-def render_text(
-    new: Sequence[Violation],
-    suppressed: Sequence[Violation],
-    stale: Sequence[BaselineEntry],
-) -> str:
-    lines: List[str] = []
-    for violation in new:
-        lines.append(
-            f"{violation.path}:{violation.line}:{violation.col}: "
-            f"{violation.rule} {violation.message}"
-        )
-    for entry in stale:
-        lines.append(
-            f"{entry.path}: stale baseline entry for {entry.rule} "
-            f"({entry.line_text!r}): the violation is gone — delete the "
-            f"entry (reason was: {entry.reason})"
-        )
-    ok = not new and not stale
-    summary = (
-        f"{len(new)} violation(s), {len(suppressed)} baselined, "
-        f"{len(stale)} stale baseline entr(ies)"
-    )
-    lines.append(("ok: " if ok else "FAILED: ") + summary)
-    return "\n".join(lines)
-
-
-def render_json(
-    new: Sequence[Violation],
-    suppressed: Sequence[Violation],
-    stale: Sequence[BaselineEntry],
-    rules: Sequence[Rule],
-) -> str:
-    document: Dict[str, Any] = {
-        "format_version": JSON_FORMAT_VERSION,
-        "rules": [
-            {
-                "code": rule.code,
-                "name": rule.name,
-                "rationale": rule.rationale,
-                "severity": rule.severity,
-            }
-            for rule in rules
-        ],
-        "violations": [violation.to_dict() for violation in new],
-        "suppressed": [violation.to_dict() for violation in suppressed],
-        "stale_baseline": [entry.to_dict() for entry in stale],
-        "counts": {
-            "violations": len(new),
-            "suppressed": len(suppressed),
-            "stale_baseline": len(stale),
-        },
-        "ok": not new and not stale,
-    }
-    return json.dumps(document, indent=2, sort_keys=True)
-
-
-def _escape_property(value: str) -> str:
-    """GitHub workflow-command property escaping."""
-    return (
-        value.replace("%", "%25")
-        .replace("\r", "%0D")
-        .replace("\n", "%0A")
-        .replace(":", "%3A")
-        .replace(",", "%2C")
-    )
-
-
-def _escape_data(value: str) -> str:
-    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
-
-
-def render_github(
-    new: Sequence[Violation],
-    suppressed: Sequence[Violation],
-    stale: Sequence[BaselineEntry],
-) -> str:
-    lines: List[str] = []
-    for violation in new:
-        command = "error" if violation.severity == "error" else "warning"
-        lines.append(
-            f"::{command} file={_escape_property(violation.path)}"
-            f",line={violation.line},col={violation.col}"
-            f",title={_escape_property(violation.rule)}"
-            f"::{_escape_data(violation.message)}"
-        )
-    for entry in stale:
-        lines.append(
-            f"::error file={_escape_property(entry.path)}"
-            f",title={_escape_property(entry.rule + ' baseline')}"
-            f"::{_escape_data('stale baseline entry (' + entry.line_text + '); delete it')}"
-        )
-    lines.append(
-        f"{len(new)} violation(s), {len(suppressed)} baselined, "
-        f"{len(stale)} stale"
-    )
-    return "\n".join(lines)
-
-
-def render(
-    fmt: str,
-    new: Sequence[Violation],
-    suppressed: Sequence[Violation],
-    stale: Sequence[BaselineEntry],
-    rules: Sequence[Rule],
-) -> str:
-    if fmt == "json":
-        return render_json(new, suppressed, stale, rules)
-    if fmt == "github":
-        return render_github(new, suppressed, stale)
-    return render_text(new, suppressed, stale)
-
+from repro.devtools.formats import (
+    FORMATS,
+    JSON_FORMAT_VERSION,
+    render,
+    render_github,
+    render_json,
+    render_text,
+)
 
 __all__ = [
     "FORMATS",

@@ -373,6 +373,7 @@ _REGISTRY_NAMES = frozenset(
         "EVALS",
         "GENERATORS",
         "LINT_RULES",
+        "CHECKS",
     }
 )
 

@@ -37,6 +37,8 @@ TYPED_CORE = (
     "src/repro/tpo",
     "src/repro/service",
     "src/repro/utils",
+    "src/repro/devtools",
+    "src/repro/evals",
 )
 
 _SUMMARY = re.compile(r"Found (\d+) errors? in \d+ files?")

@@ -105,10 +105,12 @@ def _reference_specs() -> List[SessionSpec]:
     """The sessions the committed dataset records (one per regime)."""
 
     def spec(policy: str, measure: str, *, n: int, k: int, seed: int,
-             budget: int, accuracy: float = 1.0,
+             budget: int, accuracy: float = 1.0, engine: str = "grid",
              engine_params: Optional[Dict[str, Any]] = None) -> SessionSpec:
         crowd_model = "perfect" if accuracy >= 1.0 else "noisy"
-        params = {"resolution": 512}
+        params: Dict[str, Any] = (
+            {"resolution": 512} if engine == "grid" else {}
+        )
         params.update(engine_params or {})
         return SessionSpec(
             instance=InstanceSpec(n=n, k=k, workload="jittered", seed=seed),
@@ -116,7 +118,7 @@ def _reference_specs() -> List[SessionSpec]:
             measure=MeasureSpec(measure),
             crowd=CrowdSpec(accuracy=accuracy, model=crowd_model),
             budget=BudgetSpec(questions=budget),
-            engine=EngineSpec("grid", params),
+            engine=EngineSpec(engine, params),
         )
 
     return [
@@ -126,6 +128,11 @@ def _reference_specs() -> List[SessionSpec]:
         spec("TB-off", "MPO", n=8, k=4, seed=13, budget=4),
         spec("T1-on", "H", n=12, k=5, seed=15, budget=6,
              engine_params={"beam_epsilon": 0.02}),
+        # The MC engine under beam pruning: the sampled TPO must replay
+        # bit-identically too (seeded sampler + pruned beam).
+        spec("T1-on", "Hw", n=10, k=4, seed=16, budget=6, engine="mc",
+             engine_params={"samples": 4000, "seed": 7,
+                            "beam_epsilon": 0.02, "beam_width": 48}),
     ]
 
 

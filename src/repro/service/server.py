@@ -63,6 +63,7 @@ from repro.service.manager import (
     SessionManager,
     UnknownSessionError,
 )
+from repro.tpo.builders import TPOSizeError
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     REASON_PHRASES,
@@ -340,6 +341,11 @@ async def _handle_create_session(ctx: Context) -> Dict[str, Any]:
         session_id = ctx.body.get("session_id")
     try:
         sid = ctx.manager.create_session(spec, session_id=session_id)
+    except TPOSizeError as exc:
+        # An instance whose TPO blows the engine's size budget is a
+        # client-side resource limit, not an internal failure — surface
+        # it as 413 instead of leaking an opaque 500 (found by RPC104).
+        raise HttpError(413, str(exc)) from None
     except (TypeError, ValueError) as exc:
         # TypeError covers bad generator params the spec validator cannot
         # know about (e.g. {"params": {"bogus": 1}}) — still the client's

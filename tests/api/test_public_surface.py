@@ -27,6 +27,7 @@ EXPECTED_API_ALL = [
     "ENGINES",
     "STORES",
     "EVALS",
+    "CHECKS",
     "all_registries",
     # specs
     "InstanceSpec",
@@ -51,6 +52,7 @@ EXPECTED_API_ALL = [
 #: Every enumerable plugin axis — ``repro list`` kinds and the
 #: ``/v1/meta`` plugin map share exactly this key set.
 EXPECTED_REGISTRY_KINDS = [
+    "checks",
     "crowd_models",
     "distributions",
     "engines",
@@ -112,6 +114,7 @@ EXPECTED_BUILTIN_PLUGINS = {
         "RPL009",
         "RPL010",
     ],
+    "checks": ["RPC101", "RPC102", "RPC103", "RPC104"],
 }
 
 

@@ -124,6 +124,7 @@ class TestCatalog:
             "stores",
             "evals",
             "lint_rules",
+            "checks",
         }
         for registry in registries.values():
             assert len(registry) > 0

@@ -1,0 +1,25 @@
+"""BAD: a coroutine reaches blocking I/O through two sync helpers.
+
+No single line here trips the per-file async rule (RPL004): the
+``open()`` lives three frames away from the ``async def``.  Only the
+interprocedural closure sees the chain
+``_handle_export -> persist_rows -> _write_row -> open``.
+"""
+
+import json
+
+
+def _write_row(path, row):
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(row) + "\n")
+
+
+def persist_rows(path, rows):
+    for row in rows:
+        _write_row(path, row)
+
+
+async def _handle_export(ctx):
+    rows = ctx.collect()
+    persist_rows(ctx.export_path, rows)
+    return {"exported": len(rows)}

@@ -1,0 +1,24 @@
+"""BAD: a content-key producer reaches a wall clock via a helper.
+
+``content_key`` itself contains no nondeterminism — the ``time.time()``
+hides inside ``_stamp``, one call down, so only the interprocedural
+taint closure flags it.
+"""
+
+import hashlib
+import json
+import time
+
+
+def _stamp(payload):
+    enriched = dict(payload)
+    enriched["at"] = time.time()
+    return enriched
+
+
+def canonical_json(payload):
+    return json.dumps(_stamp(payload), sort_keys=True)
+
+
+def content_key(payload):
+    return hashlib.blake2b(canonical_json(payload).encode()).hexdigest()

@@ -1,0 +1,19 @@
+"""OK: the content key is a pure function of its payload."""
+
+import hashlib
+import json
+
+
+def canonical_json(payload):
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_key(payload):
+    return hashlib.blake2b(canonical_json(payload).encode()).hexdigest()
+
+
+def wall_clock_label():
+    # Nondeterminism is fine outside the content-key call paths.
+    import time
+
+    return f"run-{time.time():.0f}"

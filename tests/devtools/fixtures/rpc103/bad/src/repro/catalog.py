@@ -1,0 +1,17 @@
+"""BAD: dangling lazy registrations and an unregistered literal lookup.
+
+``repro.widgets`` exists but exports no ``make_gadget``;
+``repro.missing`` does not exist at all; and the ``create`` call names a
+plugin nobody registered.
+"""
+
+from repro.registry import Registry
+
+WIDGETS = Registry("widget")
+WIDGETS.register("widget", "repro.widgets:make_widget")
+WIDGETS.register("gadget", "repro.widgets:make_gadget")
+WIDGETS.register("ghost", "repro.missing:make_ghost")
+
+
+def default_widget():
+    return WIDGETS.create("wdiget")

@@ -1,0 +1,13 @@
+"""Minimal registry stand-in so the fixture tree is self-contained."""
+
+
+class Registry:
+    def __init__(self, kind):
+        self.kind = kind
+        self._factories = {}
+
+    def register(self, name, factory):
+        self._factories[name] = factory
+
+    def create(self, name):
+        return self._factories[name]()

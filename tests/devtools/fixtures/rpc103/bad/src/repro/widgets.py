@@ -1,0 +1,5 @@
+"""Widget factories — note there is no ``make_gadget`` here."""
+
+
+def make_widget():
+    return {"kind": "widget"}

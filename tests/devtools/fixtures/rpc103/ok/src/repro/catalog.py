@@ -1,0 +1,12 @@
+"""OK: every lazy registration resolves and lookups use registered
+names."""
+
+from repro.registry import Registry
+
+WIDGETS = Registry("widget")
+WIDGETS.register("widget", "repro.widgets:make_widget")
+WIDGETS.register("gadget", "repro.widgets:make_gadget")
+
+
+def default_widget():
+    return WIDGETS.create("widget")

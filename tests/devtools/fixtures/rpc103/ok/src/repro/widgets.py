@@ -1,0 +1,9 @@
+"""Widget factories — both registered attributes exist."""
+
+
+def make_widget():
+    return {"kind": "widget"}
+
+
+def make_gadget():
+    return {"kind": "gadget"}

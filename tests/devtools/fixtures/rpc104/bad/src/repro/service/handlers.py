@@ -1,0 +1,43 @@
+"""BAD: unmapped exception types escape the ``/v1`` handlers.
+
+``_load_session`` raises a bare ``KeyError`` two frames below
+``_handle_snapshot`` — nothing on the way up maps it, so the client gets
+an opaque 500.  ``_handle_reset`` catches ``ValueError`` but the helper
+chain raises ``RuntimeError``, which sails straight through the filter.
+"""
+
+
+class HttpError(Exception):
+    def __init__(self, status, message):
+        super().__init__(message)
+        self.status = status
+
+
+_SESSIONS = {}
+
+
+def _load_session(session_id):
+    if session_id not in _SESSIONS:
+        raise KeyError(session_id)
+    return _SESSIONS[session_id]
+
+
+def _snapshot_payload(session_id):
+    session = _load_session(session_id)
+    return {"id": session_id, "state": session}
+
+
+def _reset_engine(session):
+    raise RuntimeError("engine wedged")
+
+
+async def _handle_snapshot(ctx):
+    return _snapshot_payload(ctx.params["session_id"])
+
+
+async def _handle_reset(ctx):
+    try:
+        _reset_engine(ctx.session)
+    except ValueError as exc:
+        raise HttpError(400, str(exc)) from None
+    return {"ok": True}

@@ -1,0 +1,43 @@
+"""OK: every exception escaping a handler is protocol-mapped.
+
+The helper still raises ``KeyError`` / ``RuntimeError`` internally, but
+each call site catches the concrete type and re-raises one of the
+envelope-mapped classes (``HttpError`` / ``UnknownSessionError``), so
+clients always see a structured error.
+"""
+
+
+class HttpError(Exception):
+    def __init__(self, status, message):
+        super().__init__(message)
+        self.status = status
+
+
+class UnknownSessionError(KeyError):
+    pass
+
+
+_SESSIONS = {}
+
+
+def _load_session(session_id):
+    if session_id not in _SESSIONS:
+        raise UnknownSessionError(session_id)
+    return _SESSIONS[session_id]
+
+
+def _reset_engine(session):
+    raise RuntimeError("engine wedged")
+
+
+async def _handle_snapshot(ctx):
+    session = _load_session(ctx.params["session_id"])
+    return {"id": ctx.params["session_id"], "state": session}
+
+
+async def _handle_reset(ctx):
+    try:
+        _reset_engine(ctx.session)
+    except RuntimeError as exc:
+        raise HttpError(500, str(exc)) from None
+    return {"ok": True}

@@ -1,0 +1,176 @@
+"""CLI contract of ``repro check`` / ``python -m repro.devtools.analysis``:
+exit codes, formats, the graph dump artifact, and the baseline ratchet.
+
+Mirrors ``test_lint_cli.py`` — the two gates share one exit-code
+convention (0 clean / 1 findings or stale baseline / 2 usage error) and
+one baseline/render implementation (:mod:`repro.devtools.gate`)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.devtools.analysis.cli import main as check_main
+from repro.devtools.formats import JSON_FORMAT_VERSION
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = FIXTURES / "rpc103" / "bad"
+OK = FIXTURES / "rpc103" / "ok"
+
+
+def test_exit_zero_on_clean_tree(capsys):
+    assert check_main(["--root", str(OK)]) == 0
+    assert "0 violation(s)" in capsys.readouterr().out
+
+
+def test_exit_nonzero_on_violation_fixture(capsys):
+    assert check_main(["--root", str(BAD)]) == 1
+    out = capsys.readouterr().out
+    assert "RPC103" in out
+    assert "FAILED" in out
+
+
+@pytest.mark.parametrize(
+    "code", ["rpc101", "rpc102", "rpc103", "rpc104"]
+)
+def test_exit_codes_on_every_fixture_pair(code):
+    assert check_main(["--root", str(FIXTURES / code / "bad")]) == 1
+    assert check_main(["--root", str(FIXTURES / code / "ok")]) == 0
+
+
+def test_repro_cli_check_verb(capsys):
+    assert repro_main(["check", "--root", str(BAD)]) == 1
+    assert "RPC103" in capsys.readouterr().out
+    assert repro_main(["check", "--root", str(OK)]) == 0
+    capsys.readouterr()
+
+
+def test_json_format_schema(capsys):
+    assert check_main(["--root", str(BAD), "--format", "json"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["format_version"] == JSON_FORMAT_VERSION
+    assert document["ok"] is False
+    assert document["counts"]["violations"] == len(document["violations"])
+    for violation in document["violations"]:
+        assert violation["rule"] == "RPC103"
+        assert violation["severity"] in ("error", "warning")
+    rule_rows = {rule["code"] for rule in document["rules"]}
+    assert rule_rows == {"RPC101", "RPC102", "RPC103", "RPC104"}
+
+
+def test_github_format_annotations(capsys):
+    assert check_main(["--root", str(BAD), "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line.startswith("::error")]
+    assert lines, out
+    assert "file=src/repro/catalog.py" in lines[0]
+    assert "title=RPC103" in lines[0]
+
+
+def test_select_limits_checks(capsys):
+    # The rpc103 bad tree only violates RPC103; selecting RPC101 passes.
+    assert check_main(["--root", str(BAD), "--select", "RPC101"]) == 0
+    capsys.readouterr()
+
+
+def test_select_unknown_check_is_usage_error(capsys):
+    assert check_main(["--root", str(BAD), "--select", "RPC999"]) == 2
+    assert "unknown check" in capsys.readouterr().err
+
+
+def test_missing_package_tree_is_usage_error(tmp_path, capsys):
+    assert check_main(["--root", str(tmp_path)]) == 2
+    assert "src/repro" in capsys.readouterr().err
+
+
+def test_list_checks(capsys):
+    assert check_main(["--list-checks"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RPC101", "RPC102", "RPC103", "RPC104"):
+        assert code in out
+
+
+def test_graph_dump_artifact(tmp_path, capsys):
+    dump = tmp_path / "artifacts" / "graph.json"
+    assert (
+        check_main(["--root", str(OK), "--graph-dump", str(dump)]) == 0
+    )
+    capsys.readouterr()
+    document = json.loads(dump.read_text(encoding="utf-8"))
+    assert document["format_version"] == 1
+    assert document["counts"]["modules"] == 3
+    assert "repro.catalog" in document["modules"]
+    # The lazy registry edges are part of the artifact.
+    texts = {ref["text"] for ref in document["lazy_refs"]}
+    assert "repro.widgets:make_widget" in texts
+
+
+def test_update_baseline_then_pass_then_stale(tmp_path, capsys):
+    """The full ratchet lifecycle through the CLI."""
+    baseline = tmp_path / "baseline.jsonl"
+    # 1. New violations fail without a baseline.
+    assert (
+        check_main(["--root", str(BAD), "--baseline", str(baseline)]) == 1
+    )
+    # 2. --update-baseline records them (with TODO reasons to edit).
+    assert (
+        check_main(
+            [
+                "--root",
+                str(BAD),
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+            ]
+        )
+        == 0
+    )
+    assert "TODO reason" in capsys.readouterr().out
+    # 3. Baselined violations now pass.
+    assert (
+        check_main(["--root", str(BAD), "--baseline", str(baseline)]) == 0
+    )
+    # 4. Pointing the same baseline at the fixed tree flags every entry
+    #    as stale — the ratchet only turns one way.
+    assert (
+        check_main(["--root", str(OK), "--baseline", str(baseline)]) == 1
+    )
+    assert "stale" in capsys.readouterr().out
+    # 5. ... unless stale checking is explicitly waived.
+    assert (
+        check_main(
+            [
+                "--root",
+                str(OK),
+                "--baseline",
+                str(baseline),
+                "--no-stale-check",
+            ]
+        )
+        == 0
+    )
+
+
+class TestSharedExitCodeConvention:
+    """Satellite: ``repro lint`` and ``repro check`` pin the same codes
+    (2 = usage, 1 = findings/gate failure, 0 = clean) as ``repro eval``."""
+
+    def test_usage_error_is_2_for_both(self, capsys):
+        assert repro_main(["lint", "--select", "NOPE", "src"]) == 2
+        assert repro_main(["check", "--select", "NOPE"]) == 2
+        capsys.readouterr()
+
+    def test_findings_are_1_for_both(self, capsys):
+        lint_bad = FIXTURES / "rpl008" / "bad"
+        assert repro_main(["lint", "--root", str(lint_bad), "src"]) == 1
+        assert repro_main(["check", "--root", str(BAD)]) == 1
+        capsys.readouterr()
+
+    def test_clean_is_0_for_both(self, capsys):
+        lint_ok = FIXTURES / "rpl008" / "ok"
+        assert repro_main(["lint", "--root", str(lint_ok), "src"]) == 0
+        assert repro_main(["check", "--root", str(OK)]) == 0
+        capsys.readouterr()
